@@ -1,0 +1,147 @@
+//! BlitzCoin-Centralized (BC-C): the paper's own ablation baseline.
+//!
+//! BC-C "directly implements a power-allocation scheme similar to
+//! BlitzCoin, but with a centralized DVFS controller... the frequency of
+//! each tile is set in proportion to the ratio of the tile's target power
+//! to the whole SoC's power" (Section V-C). It separates the benefit of
+//! the proportional allocation policy from the benefit of the
+//! decentralized hardware: allocations are identical to converged
+//! BlitzCoin, but every activity change requires the central unit to be
+//! notified and to sequentially push updated settings to all tiles —
+//! O(N) response (Equation 5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// The BC-C central allocation engine.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_baselines::BccController;
+///
+/// let bcc = BccController::new(640);
+/// // three active tiles with targets 8, 16, 8: pool split 160/320/160
+/// let alloc = bcc.allocate(&[8, 16, 8]);
+/// assert_eq!(alloc, vec![160, 320, 160]);
+/// assert_eq!(alloc.iter().sum::<i64>(), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BccController {
+    pool: u64,
+}
+
+impl BccController {
+    /// Creates a controller distributing a fixed coin pool (the power
+    /// budget, in coins).
+    pub fn new(pool: u64) -> Self {
+        BccController { pool }
+    }
+
+    /// The managed coin pool.
+    pub fn pool(&self) -> u64 {
+        self.pool
+    }
+
+    /// Computes the converged BlitzCoin allocation centrally: every active
+    /// tile receives `round(pool · max_i / Σmax)` coins with the rounding
+    /// remainder assigned to the largest fractional shares (exactly the
+    /// 4-way redistribution arithmetic, applied globally). Inactive tiles
+    /// (`max = 0`) receive 0.
+    pub fn allocate(&self, max: &[u64]) -> Vec<i64> {
+        let weight_sum: u64 = max.iter().sum();
+        if weight_sum == 0 {
+            return vec![0; max.len()];
+        }
+        let total = self.pool as i64;
+        let mut alloc: Vec<i64> = Vec::with_capacity(max.len());
+        let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(max.len());
+        for (k, &m) in max.iter().enumerate() {
+            let share = total as f64 * m as f64 / weight_sum as f64;
+            let base = share.floor() as i64;
+            alloc.push(base);
+            fracs.push((k, share - base as f64));
+        }
+        let mut remainder = total - alloc.iter().sum::<i64>();
+        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for &(k, _) in &fracs {
+            if remainder == 0 {
+                break;
+            }
+            if max[k] > 0 {
+                alloc[k] += 1;
+                remainder -= 1;
+            }
+        }
+        alloc
+    }
+
+    /// Response time of an activity change, in NoC cycles: the tile's
+    /// notification reaches the controller (`notify_cycles`), the
+    /// controller recomputes, then sequentially pushes one register write
+    /// per active tile at `service_cycles` each (Equation 5.2's O(N)).
+    pub fn response_cycles(n_active: usize, notify_cycles: u64, service_cycles: u64) -> u64 {
+        notify_cycles + n_active as u64 * service_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_split_conserves_pool() {
+        let bcc = BccController::new(100);
+        for max in [vec![1u64, 2, 3], vec![7, 7, 7, 7], vec![0, 5, 0, 10]] {
+            let alloc = bcc.allocate(&max);
+            assert_eq!(alloc.iter().sum::<i64>(), 100, "max={max:?}");
+        }
+    }
+
+    #[test]
+    fn inactive_tiles_get_zero() {
+        let bcc = BccController::new(64);
+        let alloc = bcc.allocate(&[0, 32, 0, 32]);
+        assert_eq!(alloc[0], 0);
+        assert_eq!(alloc[2], 0);
+        assert_eq!(alloc[1], 32);
+        assert_eq!(alloc[3], 32);
+    }
+
+    #[test]
+    fn all_inactive_allocates_nothing() {
+        let bcc = BccController::new(64);
+        assert_eq!(bcc.allocate(&[0, 0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn allocation_matches_converged_blitzcoin_targets() {
+        // BC-C's whole point: same equilibrium as decentralized BlitzCoin.
+        let bcc = BccController::new(320);
+        let max = [8u64, 16, 8, 32];
+        let alloc = bcc.allocate(&max);
+        let alpha = 320.0 / 64.0;
+        for (a, &m) in alloc.iter().zip(&max) {
+            assert!(
+                (*a as f64 - alpha * m as f64).abs() <= 1.0,
+                "allocation {a} vs target {}",
+                alpha * m as f64
+            );
+        }
+    }
+
+    #[test]
+    fn response_is_linear_in_n() {
+        let r7 = BccController::response_cycles(7, 10, 160);
+        let r14 = BccController::response_cycles(14, 10, 160);
+        assert_eq!(r7, 1130);
+        assert!(r14 > 2 * r7 - 20);
+    }
+
+    #[test]
+    fn remainder_goes_to_largest_fractions_deterministically() {
+        let bcc = BccController::new(10);
+        let a = bcc.allocate(&[3, 3, 3]);
+        assert_eq!(a.iter().sum::<i64>(), 10);
+        assert_eq!(a, vec![4, 3, 3]); // tie -> lowest index
+    }
+}

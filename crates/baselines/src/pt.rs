@@ -1,0 +1,226 @@
+//! Price Theory (PT): hierarchical market-based power allocation.
+//!
+//! Muthukaruppan et al. (ASPLOS 2014) allocate power to clusters of a
+//! heterogeneous multi-core through price theory: a supervisor publishes a
+//! power *price*, clusters bid demand curves, and an iterative price
+//! adjustment (tâtonnement) clears the market so total demand equals the
+//! supply (the power budget). The scheme is hierarchical and implemented
+//! in software; its response time is dominated by the iteration count
+//! times the per-level communication latency. The paper compares against
+//! both the original software numbers and a hypothetical hardware
+//! implementation scaled by 2.5 orders of magnitude (Section VI-D).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one market-clearing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PtOutcome {
+    /// The cleared price (budget-normalized).
+    pub price: f64,
+    /// Per-cluster power grants (mW).
+    pub grants: Vec<f64>,
+    /// Tâtonnement iterations to clear the market.
+    pub iterations: u32,
+    /// Whether the market cleared within the iteration cap.
+    pub cleared: bool,
+}
+
+/// A price-theory power market over clusters.
+///
+/// Each cluster has a *utility weight* (how much performance it gains per
+/// mW, i.e. its willingness to pay) and a power range `[p_min, p_max]`.
+/// At price `p`, cluster `i` demands
+/// `clamp(weight_i / p, p_min_i, p_max_i)` — the classic iso-elastic
+/// demand curve. The supervisor adjusts the price multiplicatively until
+/// total demand matches the budget within a tolerance.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_baselines::PriceTheory;
+///
+/// let pt = PriceTheory::new(vec![1.0, 2.0], vec![10.0, 10.0], vec![200.0, 200.0]);
+/// let out = pt.clear(300.0);
+/// assert!(out.cleared);
+/// // the higher-utility cluster receives more power
+/// assert!(out.grants[1] > out.grants[0]);
+/// let total: f64 = out.grants.iter().sum();
+/// assert!((total - 300.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTheory {
+    weights: Vec<f64>,
+    p_min: Vec<f64>,
+    p_max: Vec<f64>,
+}
+
+impl PriceTheory {
+    /// Iteration cap for the tâtonnement loop.
+    pub const MAX_ITERATIONS: u32 = 200;
+
+    /// Creates a market over clusters.
+    ///
+    /// # Panics
+    /// Panics if vector lengths disagree, any weight is non-positive, or
+    /// any range is invalid.
+    pub fn new(weights: Vec<f64>, p_min: Vec<f64>, p_max: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), p_min.len(), "market vectors must align");
+        assert_eq!(weights.len(), p_max.len(), "market vectors must align");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        assert!(
+            p_min
+                .iter()
+                .zip(&p_max)
+                .all(|(lo, hi)| *lo >= 0.0 && hi >= lo),
+            "power ranges must be valid"
+        );
+        PriceTheory {
+            weights,
+            p_min,
+            p_max,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the market has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Demand of cluster `i` at `price`.
+    pub fn demand(&self, i: usize, price: f64) -> f64 {
+        (self.weights[i] / price.max(1e-12)).clamp(self.p_min[i], self.p_max[i])
+    }
+
+    /// Clears the market for a `budget_mw` supply by multiplicative price
+    /// adjustment. If the budget exceeds the total maximum demand, every
+    /// cluster is granted its maximum and the market is trivially cleared.
+    pub fn clear(&self, budget_mw: f64) -> PtOutcome {
+        assert!(budget_mw >= 0.0, "budget must be non-negative");
+        let total_max: f64 = self.p_max.iter().sum();
+        let total_min: f64 = self.p_min.iter().sum();
+        if budget_mw >= total_max {
+            return PtOutcome {
+                price: 0.0,
+                grants: self.p_max.clone(),
+                iterations: 0,
+                cleared: true,
+            };
+        }
+        if budget_mw <= total_min {
+            return PtOutcome {
+                price: f64::INFINITY,
+                grants: self.p_min.clone(),
+                iterations: 0,
+                cleared: true,
+            };
+        }
+        let mut price = self.weights.iter().sum::<f64>() / budget_mw;
+        let tol = (budget_mw * 1e-3).max(1e-6);
+        for it in 1..=Self::MAX_ITERATIONS {
+            let demand: f64 = (0..self.len()).map(|i| self.demand(i, price)).sum();
+            if (demand - budget_mw).abs() <= tol {
+                return PtOutcome {
+                    price,
+                    grants: (0..self.len()).map(|i| self.demand(i, price)).collect(),
+                    iterations: it,
+                    cleared: true,
+                };
+            }
+            // multiplicative tâtonnement: raise price on excess demand
+            price *= (demand / budget_mw).powf(0.8);
+        }
+        PtOutcome {
+            price,
+            grants: (0..self.len()).map(|i| self.demand(i, price)).collect(),
+            iterations: Self::MAX_ITERATIONS,
+            cleared: false,
+        }
+    }
+
+    /// Response-time model, in nanoseconds: `iterations` supervisor rounds
+    /// at `round_ns` each (the per-round latency bundles the hierarchical
+    /// bid/publish messaging and the demand recomputation).
+    pub fn response_ns(iterations: u32, round_ns: f64) -> f64 {
+        iterations as f64 * round_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> PriceTheory {
+        PriceTheory::new(
+            vec![1.0, 2.0, 4.0],
+            vec![5.0, 5.0, 5.0],
+            vec![100.0, 100.0, 100.0],
+        )
+    }
+
+    #[test]
+    fn clears_to_budget() {
+        let out = market().clear(150.0);
+        assert!(out.cleared);
+        let total: f64 = out.grants.iter().sum();
+        assert!((total - 150.0).abs() <= 0.2, "total={total}");
+    }
+
+    #[test]
+    fn grants_follow_utility() {
+        let out = market().clear(150.0);
+        assert!(out.grants[0] < out.grants[1]);
+        assert!(out.grants[1] < out.grants[2]);
+    }
+
+    #[test]
+    fn abundant_budget_grants_maximum() {
+        let out = market().clear(1000.0);
+        assert!(out.cleared);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.grants, vec![100.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn scarce_budget_grants_minimum() {
+        let out = market().clear(10.0);
+        assert!(out.cleared);
+        assert_eq!(out.grants, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn grants_respect_ranges() {
+        for budget in [20.0, 50.0, 120.0, 250.0] {
+            let out = market().clear(budget);
+            for (i, g) in out.grants.iter().enumerate() {
+                assert!(*g >= 5.0 - 1e-9 && *g <= 100.0 + 1e-9, "cluster {i}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_drive_response_time() {
+        let out = market().clear(150.0);
+        assert!(out.iterations >= 1);
+        let ns = PriceTheory::response_ns(out.iterations, 1000.0);
+        assert!(ns >= 1000.0);
+    }
+
+    #[test]
+    fn many_cluster_market_scales() {
+        let n = 256;
+        let pt = PriceTheory::new(
+            (1..=n).map(|i| i as f64).collect(),
+            vec![1.0; n],
+            vec![50.0; n],
+        );
+        let out = pt.clear(2000.0);
+        assert!(out.cleared, "{out:?}");
+        let total: f64 = out.grants.iter().sum();
+        assert!((total - 2000.0).abs() <= 2.0);
+    }
+}

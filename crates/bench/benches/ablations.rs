@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! each knob is swept and the emulator's end-to-end convergence run is
+//! timed (the corresponding *quality* numbers — cycles/packets — come from
+//! `blitzcoin-exp` and `examples/design_space.rs`).
+
+use blitzcoin_bench::run_emulator_once;
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig, ExchangeMode};
+use blitzcoin_core::{DynamicTiming, HotspotCap, PairingMode};
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const D: usize = 10;
+
+fn ablation_exchange_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_exchange_mode");
+    g.sample_size(10);
+    for (label, mode) in [("one_way", ExchangeMode::OneWay), ("four_way", ExchangeMode::FourWay)] {
+        let cfg = EmulatorConfig {
+            mode,
+            ..EmulatorConfig::default()
+        };
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(D, cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_lambda(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lambda");
+    g.sample_size(10);
+    for lambda in [1.0f64, 2.0, 8.0] {
+        let cfg = EmulatorConfig {
+            dynamic_timing: Some(DynamicTiming {
+                lambda,
+                ..DynamicTiming::default()
+            }),
+            ..EmulatorConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(lambda), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(D, *cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_pairing_period(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pairing_period");
+    g.sample_size(10);
+    for (label, pairing) in [
+        ("p8", PairingMode::ShiftRegister { period: 8 }),
+        ("p16", PairingMode::ShiftRegister { period: 16 }),
+        ("p32", PairingMode::ShiftRegister { period: 32 }),
+        ("off", PairingMode::Disabled),
+    ] {
+        let cfg = EmulatorConfig {
+            pairing,
+            max_cycles: 200_000,
+            ..EmulatorConfig::default()
+        };
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(D, cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_wraparound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wraparound");
+    g.sample_size(10);
+    for (label, wrap) in [("torus", true), ("mesh", false)] {
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let topo = Topology::square(D, wrap);
+                let mut emu = Emulator::new(topo, vec![32; D * D], EmulatorConfig::default());
+                let mut rng = SimRng::seed(seed);
+                emu.init_uniform_random(&mut rng);
+                black_box(emu.run(&mut rng).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_coin_precision(c: &mut Criterion) {
+    // coin precision: scale the per-tile target range (4/6/8-bit style)
+    let mut g = c.benchmark_group("ablation_coin_precision");
+    g.sample_size(10);
+    for (label, max_per_tile) in [("4bit", 8u64), ("6bit", 32), ("8bit", 128)] {
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let topo = Topology::torus(D, D);
+                let mut emu = Emulator::new(
+                    topo,
+                    vec![max_per_tile; D * D],
+                    EmulatorConfig::default(),
+                );
+                let mut rng = SimRng::seed(seed);
+                emu.init_uniform_random(&mut rng);
+                black_box(emu.run(&mut rng).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_refresh_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_refresh");
+    g.sample_size(10);
+    for refresh in [16u64, 64, 256] {
+        let cfg = EmulatorConfig {
+            refresh_cycles: refresh,
+            dynamic_timing: Some(DynamicTiming {
+                base_cycles: refresh,
+                max_cycles: refresh * 16,
+                ..DynamicTiming::default()
+            }),
+            ..EmulatorConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(refresh), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(D, *cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_hotspot_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hotspot_cap");
+    g.sample_size(10);
+    for (label, cap) in [("off", None), ("on", Some(HotspotCap::new(200)))] {
+        let cfg = EmulatorConfig {
+            hotspot_cap: cap,
+            max_cycles: 200_000,
+            ..EmulatorConfig::default()
+        };
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(D, cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_exchange_mode,
+    ablation_lambda,
+    ablation_pairing_period,
+    ablation_wraparound,
+    ablation_coin_precision,
+    ablation_refresh_interval,
+    ablation_hotspot_cap,
+);
+criterion_main!(ablations);

@@ -1,0 +1,251 @@
+//! One bench group per paper figure/table: each benchmark times the code
+//! path that regenerates that figure's data (with reduced trial counts;
+//! the data itself comes from `blitzcoin-exp`).
+
+use blitzcoin_bench::{run_emulator_once, run_soc_3x3, run_soc_4x4, run_soc_6x6};
+use blitzcoin_baselines::tokensmart::{TokenSmart, TsConfig};
+use blitzcoin_core::emulator::EmulatorConfig;
+use blitzcoin_scaling::paper;
+use blitzcoin_sim::SimRng;
+use blitzcoin_soc::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig01_scaling(c: &mut Criterion) {
+    c.bench_function("fig01/analytical_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..=1000usize {
+                acc += paper::bc().response_us(n) + paper::crr().response_us(n);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig02_exchange_step(c: &mut Criterion) {
+    use blitzcoin_core::{four_way_allocation, pairwise_exchange, TileState};
+    let group = [
+        TileState::new(3, 8),
+        TileState::new(8, 8),
+        TileState::new(0, 4),
+        TileState::new(5, 4),
+        TileState::new(0, 8),
+    ];
+    c.bench_function("fig02/four_way_allocation", |b| {
+        b.iter(|| black_box(four_way_allocation(black_box(&group))))
+    });
+    c.bench_function("fig02/pairwise_exchange", |b| {
+        b.iter(|| black_box(pairwise_exchange(black_box(group[0]), black_box(group[1]))))
+    });
+}
+
+fn fig03_oneway_fourway(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    for d in [6usize, 12] {
+        g.bench_with_input(BenchmarkId::new("oneway_convergence", d), &d, |b, &d| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(d, EmulatorConfig::plain_one_way(), seed)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fourway_convergence", d), &d, |b, &d| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(d, EmulatorConfig::plain_four_way(), seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig04_bc_vs_ts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("bc_convergence_d12", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_emulator_once(12, EmulatorConfig::default(), seed)
+        })
+    });
+    g.bench_function("tokensmart_ring_n144", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed(seed);
+            let mut ts = TokenSmart::new(vec![32; 144], 32 * 144, TsConfig::default());
+            ts.init_uniform_random(&mut rng);
+            black_box(ts.run(&mut rng).cycles)
+        })
+    });
+    g.finish();
+}
+
+fn fig06_dynamic_timing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    let conventional = EmulatorConfig {
+        dynamic_timing: None,
+        ..EmulatorConfig::default()
+    };
+    g.bench_function("conventional_d12", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_emulator_once(12, conventional, seed)
+        })
+    });
+    g.bench_function("dynamic_d12", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_emulator_once(12, EmulatorConfig::default(), seed)
+        })
+    });
+    g.finish();
+}
+
+fn fig07_random_pairing(c: &mut Criterion) {
+    use blitzcoin_core::PairingMode;
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    for (label, pairing) in [
+        ("pairing_off", PairingMode::Disabled),
+        ("pairing_on", PairingMode::default()),
+    ] {
+        let cfg = EmulatorConfig {
+            pairing,
+            stop_at_convergence: false,
+            max_cycles: 20_000,
+            quiescence_exchanges: 800,
+            ..EmulatorConfig::default()
+        };
+        g.bench_function(label, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_emulator_once(10, cfg, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig08_heterogeneity(c: &mut Criterion) {
+    use blitzcoin_core::emulator::Emulator;
+    use blitzcoin_core::hetero::heterogeneous_max;
+    use blitzcoin_noc::Topology;
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    for acc_types in [1u32, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("hetero_convergence_d10", acc_types),
+            &acc_types,
+            |b, &k| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = SimRng::seed(seed);
+                    let topo = Topology::torus(10, 10);
+                    let max = heterogeneous_max(100, k, &mut rng);
+                    let mut emu = Emulator::new(topo, max, EmulatorConfig::default());
+                    emu.init_uniform_random(&mut rng);
+                    black_box(emu.run(&mut rng).cycles)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig13_characterization(c: &mut Criterion) {
+    use blitzcoin_power::{AcceleratorClass, PowerModel};
+    c.bench_function("fig13/characterize_all_classes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for class in AcceleratorClass::ALL {
+                let m = PowerModel::of(class);
+                for (_, p) in m.characterization(24) {
+                    acc += p;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig16_18_soc_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_18");
+    g.sample_size(10);
+    for m in [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+    ] {
+        g.bench_function(format!("soc3x3_{m}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_soc_3x3(m, 120.0, seed).exec_time)
+            })
+        });
+    }
+    g.bench_function("soc4x4_BC", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_soc_4x4(ManagerKind::BlitzCoin, 450.0, seed).exec_time)
+        })
+    });
+    g.finish();
+}
+
+fn fig19_20_pm_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_20");
+    g.sample_size(10);
+    for m in [ManagerKind::BlitzCoin, ManagerKind::Static] {
+        g.bench_function(format!("soc6x6_{m}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_soc_6x6(m, seed).exec_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig21_table1_scaling(c: &mut Criterion) {
+    use blitzcoin_scaling::{Strategy, TauFit};
+    c.bench_function("fig21/fit_and_extrapolate", |b| {
+        let meas: Vec<(usize, f64)> = vec![(6, 0.4), (7, 0.5), (13, 0.7)];
+        b.iter(|| {
+            let fit = TauFit::fit(Strategy::BlitzCoin, black_box(&meas));
+            let mut acc = 0.0;
+            for tw in 1..200 {
+                acc += fit.n_max(tw as f64 * 100.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    fig01_scaling,
+    fig02_exchange_step,
+    fig03_oneway_fourway,
+    fig04_bc_vs_ts,
+    fig06_dynamic_timing,
+    fig07_random_pairing,
+    fig08_heterogeneity,
+    fig13_characterization,
+    fig16_18_soc_runs,
+    fig19_20_pm_cluster,
+    fig21_table1_scaling,
+);
+criterion_main!(figures);

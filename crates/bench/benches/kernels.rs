@@ -1,0 +1,118 @@
+//! Microbenchmarks of the simulator kernels: the hot inner operations
+//! every figure's regeneration spends its time in.
+
+use blitzcoin_core::exchange::{four_way_allocation, pairwise_exchange_stochastic};
+use blitzcoin_core::{global_error, pairwise_exchange, DynamicTiming, TileState};
+use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, RoundRobinArbiter, Topology};
+use blitzcoin_power::{AcceleratorClass, CoinLut, PowerModel, Uvfr, UvfrConfig};
+use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn exchange_kernels(c: &mut Criterion) {
+    let a = TileState::new(17, 32);
+    let b_ = TileState::new(3, 16);
+    c.bench_function("kernel/pairwise_exchange", |b| {
+        b.iter(|| black_box(pairwise_exchange(black_box(a), black_box(b_))))
+    });
+    let mut rng = SimRng::seed(5);
+    c.bench_function("kernel/pairwise_exchange_stochastic", |b| {
+        b.iter(|| black_box(pairwise_exchange_stochastic(black_box(a), black_box(b_), &mut rng)))
+    });
+    let group = [
+        TileState::new(3, 8),
+        TileState::new(8, 8),
+        TileState::new(0, 4),
+        TileState::new(5, 4),
+        TileState::new(0, 8),
+    ];
+    c.bench_function("kernel/four_way_allocation", |b| {
+        b.iter(|| black_box(four_way_allocation(black_box(&group))))
+    });
+    let tiles: Vec<TileState> = (0..400).map(|i| TileState::new(i % 64, 32)).collect();
+    c.bench_function("kernel/global_error_400_tiles", |b| {
+        b.iter(|| black_box(global_error(black_box(&tiles))))
+    });
+}
+
+fn noc_kernels(c: &mut Criterion) {
+    let topo = Topology::mesh(20, 20);
+    c.bench_function("kernel/xy_route_diameter", |b| {
+        let src = topo.tile(0, 0);
+        let dst = topo.tile(19, 19);
+        b.iter(|| black_box(topo.xy_route(black_box(src), black_box(dst))))
+    });
+    c.bench_function("kernel/network_send", |b| {
+        let mut net = Network::new(topo, NetworkConfig::default());
+        let pkt = Packet::coin(
+            topo.tile(3, 3),
+            topo.tile(4, 3),
+            PacketKind::CoinStatus { has: 3, max: 8 },
+        );
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::from_noc_cycles(64);
+            black_box(net.send(t, &pkt))
+        })
+    });
+    c.bench_function("kernel/arbiter_grant", |b| {
+        let mut arb = RoundRobinArbiter::new(3);
+        let reqs = [true, false, true];
+        b.iter(|| black_box(arb.grant(black_box(&reqs))))
+    });
+}
+
+fn power_kernels(c: &mut Criterion) {
+    let model = PowerModel::of(AcceleratorClass::Nvdla);
+    c.bench_function("kernel/power_at", |b| {
+        b.iter(|| black_box(model.power_at(black_box(555.0))))
+    });
+    c.bench_function("kernel/freq_for_power_bisect", |b| {
+        b.iter(|| black_box(model.freq_for_power(black_box(111.0))))
+    });
+    let lut = CoinLut::build(&model, 1.9, 64);
+    c.bench_function("kernel/lut_lookup", |b| {
+        b.iter(|| black_box(lut.f_target(black_box(37))))
+    });
+    c.bench_function("kernel/uvfr_control_step", |b| {
+        let mut uvfr = Uvfr::new(model.curve().clone(), UvfrConfig::default());
+        uvfr.set_target(600.0);
+        b.iter(|| black_box(uvfr.step()))
+    });
+}
+
+fn sim_kernels(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_schedule_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.schedule(SimTime::from_noc_cycles(i % 1024), i);
+            if q.len() > 64 {
+                black_box(q.pop());
+            }
+        })
+    });
+    c.bench_function("kernel/step_trace_record_query", |b| {
+        let mut tr = StepTrace::new("bench");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            tr.record(SimTime::from_ns(t), (t % 7) as f64);
+            black_box(tr.value_at(SimTime::from_ns(t / 2)))
+        })
+    });
+    c.bench_function("kernel/dynamic_timing_update", |b| {
+        let dt = DynamicTiming::default();
+        let mut interval = 64u64;
+        let mut moved = 0i64;
+        b.iter(|| {
+            moved = (moved + 1) % 5;
+            interval = dt.next_interval(interval, moved);
+            black_box(interval)
+        })
+    });
+}
+
+criterion_group!(kernels, exchange_kernels, noc_kernels, power_kernels, sim_kernels);
+criterion_main!(kernels);

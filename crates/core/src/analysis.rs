@@ -1,0 +1,192 @@
+//! Executable form of the paper's convergence analysis (Section III-E).
+//!
+//! The paper proves that each pairwise exchange leaves the total error
+//! constant or smaller by classifying the pair's initial ratios
+//! `β_i ≥ β' ≥ β_j` against the global target ratio `α` into four cases.
+//! This module implements that classification and the per-case error-delta
+//! predictions as checkable code: the property tests assert that every
+//! concrete exchange obeys its case's bound, which is the strongest
+//! regression guard we can put around the exchange arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::exchange::pairwise_exchange;
+use crate::metrics::ConvergenceRatio;
+use crate::tile::TileState;
+
+/// The four cases of Section III-E, ordered as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeCase {
+    /// `β_i ≥ β' ≥ β_j ≥ α`: both tiles hold too many coins before and
+    /// after; the total error is constant (coins just relabel).
+    BothAbove,
+    /// `β_i ≥ β' ≥ α ≥ β_j`: donor above target, receiver below, both end
+    /// above; total error decreases.
+    StraddleEndAbove,
+    /// `β_i ≥ α ≥ β' ≥ β_j`: donor above, receiver below, both end below;
+    /// total error decreases.
+    StraddleEndBelow,
+    /// `α ≥ β_i ≥ β' ≥ β_j`: both tiles hold too few coins before and
+    /// after; the total error is constant.
+    BothBelow,
+    /// At least one tile is inactive, or the ratios are degenerate — the
+    /// paper's case analysis does not apply (but conservation still does).
+    Degenerate,
+}
+
+/// The classification plus the measured error movement of one exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeAnalysis {
+    /// Which of the paper's cases this exchange falls into.
+    pub case: ExchangeCase,
+    /// `E_i + E_j` before the exchange.
+    pub error_before: f64,
+    /// `E_i + E_j` after the exchange.
+    pub error_after: f64,
+}
+
+impl ExchangeAnalysis {
+    /// The paper's bound for this case: how much the pair error may change
+    /// (positive slack only from the half-coin rounding).
+    pub fn bound_holds(&self) -> bool {
+        match self.case {
+            // "the total error E is constant" — up to rounding
+            ExchangeCase::BothAbove | ExchangeCase::BothBelow => {
+                (self.error_after - self.error_before).abs() <= 1.0 + 1e-9
+            }
+            // "resulting in a reduction in the total error" — up to rounding
+            ExchangeCase::StraddleEndAbove | ExchangeCase::StraddleEndBelow => {
+                self.error_after <= self.error_before + 1.0 + 1e-9
+            }
+            ExchangeCase::Degenerate => self.error_after <= self.error_before + 1e-9,
+        }
+    }
+}
+
+/// Classifies and measures a pairwise exchange against a global ratio
+/// context `alpha` (normally [`ConvergenceRatio::of`] over the whole SoC).
+pub fn analyze_exchange(i: TileState, j: TileState, alpha: f64) -> ExchangeAnalysis {
+    let out = pairwise_exchange(i, j);
+    let after_i = TileState::new(out.new_i, i.max);
+    let after_j = TileState::new(out.new_j, j.max);
+    let err = |t: &TileState| (t.has as f64 - alpha * t.max as f64).abs();
+    let error_before = err(&i) + err(&j);
+    let error_after = err(&after_i) + err(&after_j);
+
+    let case = match (i.ratio(), j.ratio()) {
+        (Some(bi), Some(bj)) => {
+            // order the pair so beta_hi >= beta_lo (coins flow hi -> lo)
+            let (hi, lo) = if bi >= bj { (bi, bj) } else { (bj, bi) };
+            if lo >= alpha {
+                ExchangeCase::BothAbove
+            } else if hi <= alpha {
+                ExchangeCase::BothBelow
+            } else {
+                // the pair straddles alpha; the final common ratio decides
+                let total = i.has + j.has;
+                let weight = (i.max + j.max) as f64;
+                let beta_final = total as f64 / weight;
+                if beta_final >= alpha {
+                    ExchangeCase::StraddleEndAbove
+                } else {
+                    ExchangeCase::StraddleEndBelow
+                }
+            }
+        }
+        _ => ExchangeCase::Degenerate,
+    };
+    ExchangeAnalysis {
+        case,
+        error_before,
+        error_after,
+    }
+}
+
+/// Analyzes every neighbor exchange a full system state could perform and
+/// returns the worst observed `error_after - error_before`; a positive
+/// return beyond rounding would falsify Section III-E.
+pub fn worst_case_error_delta(tiles: &[TileState]) -> f64 {
+    let ratio = ConvergenceRatio::of(tiles);
+    let alpha = match ratio.alpha {
+        Some(a) => a,
+        None => return 0.0,
+    };
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..tiles.len() {
+        for j in (i + 1)..tiles.len() {
+            let a = analyze_exchange(tiles[i], tiles[j], alpha);
+            worst = worst.max(a.error_after - a.error_before);
+        }
+    }
+    if worst.is_finite() {
+        worst
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitzcoin_sim::SimRng;
+
+    #[test]
+    fn case_classification_matches_paper_examples() {
+        // alpha = 0.5 throughout
+        let a = analyze_exchange(TileState::new(7, 8), TileState::new(5, 8), 0.5);
+        assert_eq!(a.case, ExchangeCase::BothAbove);
+        let b = analyze_exchange(TileState::new(1, 8), TileState::new(2, 8), 0.5);
+        assert_eq!(b.case, ExchangeCase::BothBelow);
+        let c = analyze_exchange(TileState::new(8, 8), TileState::new(3, 8), 0.5);
+        assert_eq!(c.case, ExchangeCase::StraddleEndAbove);
+        let d = analyze_exchange(TileState::new(5, 8), TileState::new(0, 8), 0.5);
+        assert_eq!(d.case, ExchangeCase::StraddleEndBelow);
+        let e = analyze_exchange(TileState::inactive(5), TileState::new(4, 8), 0.5);
+        assert_eq!(e.case, ExchangeCase::Degenerate);
+    }
+
+    #[test]
+    fn constant_cases_relabel_error() {
+        // BothAbove: coins move but total excess is conserved
+        let a = analyze_exchange(TileState::new(8, 8), TileState::new(5, 8), 0.25);
+        assert_eq!(a.case, ExchangeCase::BothAbove);
+        assert!((a.error_after - a.error_before).abs() <= 1.0);
+    }
+
+    #[test]
+    fn straddle_cases_reduce_error() {
+        let a = analyze_exchange(TileState::new(16, 8), TileState::new(0, 8), 0.5);
+        assert!(a.error_after < a.error_before);
+        assert!(a.bound_holds());
+    }
+
+    #[test]
+    fn every_random_exchange_obeys_its_bound() {
+        let mut rng = SimRng::seed(42);
+        for _ in 0..5_000 {
+            let i = TileState::new(rng.range_i64(-4..80), rng.range_u64(0..64));
+            let j = TileState::new(rng.range_i64(-4..80), rng.range_u64(0..64));
+            let alpha = rng.unit_f64() * 2.0;
+            let a = analyze_exchange(i, j, alpha);
+            assert!(a.bound_holds(), "{i:?} {j:?} alpha={alpha}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn system_wide_delta_bounded_by_rounding() {
+        let mut rng = SimRng::seed(9);
+        for _ in 0..50 {
+            let tiles: Vec<TileState> = (0..12)
+                .map(|_| TileState::new(rng.range_i64(0..64), rng.range_u64(1..64)))
+                .collect();
+            let worst = worst_case_error_delta(&tiles);
+            assert!(worst <= 1.0 + 1e-9, "worst delta {worst}");
+        }
+    }
+
+    #[test]
+    fn all_inactive_system_is_trivially_safe() {
+        let tiles = [TileState::inactive(3), TileState::inactive(0)];
+        assert_eq!(worst_case_error_delta(&tiles), 0.0);
+    }
+}

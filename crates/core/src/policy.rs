@@ -1,0 +1,123 @@
+//! Power-allocation policies (Section V-B).
+//!
+//! BlitzCoin equalizes `has/max` across tiles; the *policy* is expressed
+//! entirely in how `max` targets are programmed:
+//!
+//! - **Absolute Proportional (AP)**: every active tile gets the same
+//!   `max`, i.e. equal absolute power targets.
+//! - **Relative Proportional (RP)**: each tile's `max` is proportional to
+//!   its power at F_max, i.e. equal *relative* throttling — the
+//!   workload-aware strategy that the evaluation shows is 3.0-4.1% faster
+//!   because no low-power tile is forced to an inefficient high-V point.
+
+use serde::{Deserialize, Serialize};
+
+/// The target-allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Equal absolute power target for every active tile.
+    AbsoluteProportional,
+    /// Power target proportional to each tile's power at F_max.
+    RelativeProportional,
+}
+
+impl AllocationPolicy {
+    /// Computes integer `max` coin targets for a set of tiles.
+    ///
+    /// `p_max_mw[i]` is tile `i`'s power at F_max (used by RP and to skip
+    /// inactive tiles: entries of 0.0 mean "inactive", and receive
+    /// `max = 0`). `levels` is the per-tile register ceiling (64 for the
+    /// 6-bit hardware): the largest target is scaled to `levels`.
+    ///
+    /// Returns an empty vector for empty input; all-inactive input yields
+    /// all zeros.
+    ///
+    /// # Panics
+    /// Panics if `levels == 0` or any power is negative.
+    pub fn assign_max(&self, p_max_mw: &[f64], levels: u64) -> Vec<u64> {
+        assert!(levels > 0, "need at least one coin level");
+        assert!(
+            p_max_mw.iter().all(|&p| p >= 0.0),
+            "powers must be non-negative"
+        );
+        let active_peak = p_max_mw.iter().cloned().fold(0.0, f64::max);
+        if active_peak == 0.0 {
+            return vec![0; p_max_mw.len()];
+        }
+        p_max_mw
+            .iter()
+            .map(|&p| {
+                if p == 0.0 {
+                    0
+                } else {
+                    match self {
+                        AllocationPolicy::AbsoluteProportional => levels,
+                        AllocationPolicy::RelativeProportional => {
+                            ((p / active_peak) * levels as f64).round().max(1.0) as u64
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Short name as used in the paper ("AP"/"RP").
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocationPolicy::AbsoluteProportional => "AP",
+            AllocationPolicy::RelativeProportional => "RP",
+        }
+    }
+}
+
+impl std::fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ap_gives_equal_targets_to_active_tiles() {
+        let p = [50.0, 190.0, 0.0, 30.0];
+        let m = AllocationPolicy::AbsoluteProportional.assign_max(&p, 64);
+        assert_eq!(m, vec![64, 64, 0, 64]);
+    }
+
+    #[test]
+    fn rp_scales_with_power() {
+        let p = [50.0, 190.0, 0.0, 30.0];
+        let m = AllocationPolicy::RelativeProportional.assign_max(&p, 64);
+        assert_eq!(m[1], 64); // the peak tile gets the full range
+        assert_eq!(m[0], (50.0 / 190.0 * 64.0_f64).round() as u64);
+        assert_eq!(m[2], 0);
+        assert!(m[3] >= 1);
+        // ordering follows power
+        assert!(m[1] > m[0] && m[0] > m[3]);
+    }
+
+    #[test]
+    fn rp_small_tiles_get_at_least_one_coin_target() {
+        let p = [1000.0, 0.5];
+        let m = AllocationPolicy::RelativeProportional.assign_max(&p, 64);
+        assert_eq!(m[1], 1);
+    }
+
+    #[test]
+    fn all_inactive() {
+        let m = AllocationPolicy::AbsoluteProportional.assign_max(&[0.0, 0.0], 64);
+        assert_eq!(m, vec![0, 0]);
+        assert!(AllocationPolicy::RelativeProportional
+            .assign_max(&[], 64)
+            .is_empty());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AllocationPolicy::AbsoluteProportional.to_string(), "AP");
+        assert_eq!(AllocationPolicy::RelativeProportional.to_string(), "RP");
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment runners, grouped by the substrate they exercise.
+
+pub mod analytical;
+pub mod behavioural;
+pub mod extensions;
+pub mod power;
+pub mod socs;

@@ -1,0 +1,74 @@
+//! Power-substrate experiments: Fig 13 (and the UVFR behaviours of
+//! Fig 19's bottom-right inset).
+
+use blitzcoin_power::{AcceleratorClass, PowerModel, Uvfr, UvfrConfig};
+use blitzcoin_sim::csv::CsvTable;
+
+use crate::{Ctx, FigResult};
+
+/// Fig 13: per-accelerator power/frequency characterization curves.
+pub fn fig13(ctx: &Ctx) -> FigResult {
+    let mut fig = FigResult::new("fig13", "Accelerator power/frequency characterization");
+    let mut csv = CsvTable::new(["accelerator", "freq_mhz", "power_mw", "voltage_v"]);
+    for class in AcceleratorClass::ALL {
+        let m = PowerModel::of(class);
+        for (f, p) in m.characterization(24) {
+            let v = m.curve().voltage_for(f);
+            csv.row([
+                class.name().to_string(),
+                format!("{f:.1}"),
+                format!("{p:.3}"),
+                format!("{v:.3}"),
+            ]);
+        }
+    }
+    let path = ctx.path("fig13_characterization.csv");
+    csv.write_to(&path).expect("write fig13 csv");
+    fig.output(&path);
+
+    let total_3x3 = 3.0 * PowerModel::of(AcceleratorClass::Fft).p_max()
+        + 2.0 * PowerModel::of(AcceleratorClass::Viterbi).p_max()
+        + PowerModel::of(AcceleratorClass::Nvdla).p_max();
+    fig.claim(
+        "3x3-budget-anchors",
+        "evaluated 120/60 mW budgets are 30%/15% of the 3x3 accelerators' max power",
+        format!("sum P_max = {total_3x3:.0} mW (120 mW = {:.0}%)", 100.0 * 120.0 / total_3x3),
+        (total_3x3 - 400.0).abs() < 1.0,
+    );
+    let total_4x4 = 4.0 * PowerModel::of(AcceleratorClass::Gemm).p_max()
+        + 5.0 * PowerModel::of(AcceleratorClass::Conv2d).p_max()
+        + 4.0 * PowerModel::of(AcceleratorClass::Vision).p_max();
+    fig.claim(
+        "4x4-budget-anchors",
+        "evaluated 450/900 mW budgets are 33%/66% of the 4x4 accelerators' max power",
+        format!("sum P_max = {total_4x4:.0} mW"),
+        (total_4x4 - 1350.0).abs() < 1.0,
+    );
+    let idle_ratio = PowerModel::of(AcceleratorClass::Fft).p_min()
+        / PowerModel::of(AcceleratorClass::Fft).idle_power();
+    fig.claim(
+        "idle-scaling",
+        "at minimum voltage the clock scales further down, saving 7.5x power when idle",
+        format!("P_min / P_idle = {idle_ratio:.1}x"),
+        (idle_ratio - 7.5).abs() < 0.1,
+    );
+
+    // the Fig 19 inset behaviour: a UVFR target step settles via the TDC
+    let mut uvfr = Uvfr::new(
+        PowerModel::of(AcceleratorClass::Fft).curve().clone(),
+        UvfrConfig::default(),
+    );
+    uvfr.set_target(600.0);
+    let settle = uvfr.settle(1, 500);
+    fig.claim(
+        "uvfr-settling",
+        "a LDO setting update moves the tile clock to the target (TDC-tracked)",
+        format!(
+            "settled to {:.0} MHz in {:?} TDC windows",
+            uvfr.frequency(),
+            settle
+        ),
+        settle.is_some() && (uvfr.frequency() - 600.0).abs() < 2.0 * uvfr.tdc().resolution_mhz(),
+    );
+    fig
+}

@@ -1,0 +1,311 @@
+//! # blitzcoin-exp
+//!
+//! The experiment harness: one runner per figure/table of the BlitzCoin
+//! paper's evaluation, each regenerating the figure's data series as CSV
+//! under `results/` and checking the paper's claims against the measured
+//! values.
+//!
+//! Run everything with `cargo run --release -p blitzcoin-exp -- all`, or a
+//! single experiment with e.g. `... -- fig17`. `--quick` trims Monte-Carlo
+//! trial counts for smoke runs; `--write-experiments` regenerates
+//! `EXPERIMENTS.md` from the measured claims.
+//!
+//! The harness compares *shapes and ratios*, not absolute numbers: our
+//! substrate is a simulator calibrated per DESIGN.md §5, not the authors'
+//! 12 nm testbed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+pub mod figures;
+
+/// Shared context for all experiment runners.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Directory CSV outputs are written into.
+    pub out_dir: PathBuf,
+    /// Reduced trial counts for smoke runs.
+    pub quick: bool,
+    /// Root seed for all Monte-Carlo sweeps.
+    pub seed: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            out_dir: PathBuf::from("results"),
+            quick: false,
+            seed: 2024,
+        }
+    }
+}
+
+impl Ctx {
+    /// A quick-mode context writing into `dir` (used by tests).
+    pub fn quick_into(dir: impl Into<PathBuf>) -> Self {
+        Ctx {
+            out_dir: dir.into(),
+            quick: true,
+            seed: 2024,
+        }
+    }
+
+    /// Picks `full` trials normally, `quick` trials in quick mode.
+    pub fn trials(&self, full: u32, quick: u32) -> u32 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Output path for a CSV file.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+}
+
+/// One paper claim checked against a measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Claim {
+    /// Short identifier ("fig4.speedup@d20").
+    pub id: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measures.
+    pub measured: String,
+    /// Whether the claim's shape/direction holds here.
+    pub holds: bool,
+}
+
+impl Claim {
+    /// Builds a claim.
+    pub fn new(
+        id: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        holds: bool,
+    ) -> Self {
+        Claim {
+            id: id.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            holds,
+        }
+    }
+}
+
+/// The outcome of one experiment runner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigResult {
+    /// Experiment id ("fig17").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Checked claims (paper vs measured).
+    pub claims: Vec<Claim>,
+    /// CSV files written.
+    pub outputs: Vec<String>,
+}
+
+impl FigResult {
+    /// Creates an empty result.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        FigResult {
+            id: id.into(),
+            title: title.into(),
+            claims: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Registers a written output file.
+    pub fn output(&mut self, path: &Path) {
+        self.outputs.push(path.display().to_string());
+    }
+
+    /// Adds a claim.
+    pub fn claim(
+        &mut self,
+        id: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        holds: bool,
+    ) {
+        self.claims.push(Claim::new(id, paper, measured, holds));
+    }
+
+    /// Whether every claim held.
+    pub fn all_hold(&self) -> bool {
+        self.claims.iter().all(|c| c.holds)
+    }
+
+    /// Renders the result as a printable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        for c in &self.claims {
+            let mark = if c.holds { "OK " } else { "DEV" };
+            let _ = writeln!(
+                out,
+                "  [{mark}] {}: paper: {} | measured: {}",
+                c.id, c.paper, c.measured
+            );
+        }
+        for o in &self.outputs {
+            let _ = writeln!(out, "  -> {o}");
+        }
+        out
+    }
+}
+
+/// The full catalogue of experiment ids: the paper's figures/tables in
+/// order, then the extension studies.
+pub const ALL_EXPERIMENTS: [&str; 23] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig13", "fig16", "fig17",
+    "fig18", "fig19", "fig20", "fig21", "table1", "ap-vs-rp", "thermal-ext", "scaling-sim",
+    "granularity", "clusters", "noc-validation", "cpu-proxy",
+];
+
+/// Runs the experiment with the given id.
+///
+/// # Panics
+/// Panics on an unknown id (the CLI validates first).
+pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
+    match id {
+        "fig1" => figures::analytical::fig1(ctx),
+        "fig2" => figures::behavioural::fig2(ctx),
+        "fig3" => figures::behavioural::fig3(ctx),
+        "fig4" => figures::behavioural::fig4(ctx),
+        "fig5" => figures::behavioural::fig5(ctx),
+        "fig6" => figures::behavioural::fig6(ctx),
+        "fig7" => figures::behavioural::fig7(ctx),
+        "fig8" => figures::behavioural::fig8(ctx),
+        "fig13" => figures::power::fig13(ctx),
+        "fig16" => figures::socs::fig16(ctx),
+        "fig17" => figures::socs::fig17(ctx),
+        "fig18" => figures::socs::fig18(ctx),
+        "fig19" => figures::socs::fig19(ctx),
+        "fig20" => figures::socs::fig20(ctx),
+        "fig21" => figures::analytical::fig21(ctx),
+        "table1" => figures::analytical::table1(ctx),
+        "ap-vs-rp" => figures::socs::ap_vs_rp(ctx),
+        "thermal-ext" => figures::extensions::thermal_ext(ctx),
+        "scaling-sim" => figures::extensions::scaling_sim(ctx),
+        "granularity" => figures::extensions::granularity(ctx),
+        "clusters" => figures::extensions::clusters(ctx),
+        "noc-validation" => figures::extensions::noc_validation(ctx),
+        "cpu-proxy" => figures::extensions::cpu_proxy(ctx),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}
+
+/// Renders a Markdown EXPERIMENTS report from a set of results.
+pub fn render_experiments_md(results: &[FigResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# EXPERIMENTS — paper vs. measured\n");
+    let _ = writeln!(
+        out,
+        "Generated by `cargo run --release -p blitzcoin-exp -- all --write-experiments`."
+    );
+    let _ = writeln!(
+        out,
+        "Comparisons are of *shape and ratio*, not absolute numbers: the substrate"
+    );
+    let _ = writeln!(
+        out,
+        "is the simulator described in DESIGN.md, not the authors' 12 nm testbed.\n"
+    );
+    let total: usize = results.iter().map(|r| r.claims.len()).sum();
+    let held: usize = results
+        .iter()
+        .flat_map(|r| &r.claims)
+        .filter(|c| c.holds)
+        .count();
+    let _ = writeln!(
+        out,
+        "**{held}/{total} claims hold.** Deviations are marked DEV and discussed inline.\n"
+    );
+    for r in results {
+        let _ = writeln!(out, "## {} — {}\n", r.id, r.title);
+        let _ = writeln!(out, "| | claim | paper | measured |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for c in &r.claims {
+            let mark = if c.holds { "OK" } else { "**DEV**" };
+            let _ = writeln!(out, "| {mark} | {} | {} | {} |", c.id, c.paper, c.measured);
+        }
+        if !r.outputs.is_empty() {
+            let _ = writeln!(out, "\nData: {}\n", r.outputs.join(", "));
+        } else {
+            let _ = writeln!(out);
+        }
+    }
+    out.push_str(DEVIATION_NOTES);
+    out
+}
+
+/// Standing notes on accounting choices and known deviations, appended to
+/// every generated EXPERIMENTS.md (the detailed discussion lives in
+/// DESIGN.md §3c).
+const DEVIATION_NOTES: &str = "\n## Notes on accounting and deviations\n\n\
+- **Response-time calibration.** The C-RR and BC-C service constants are \
+calibrated once against Fig 20's silicon measurements at N=7 (DESIGN.md §5) \
+and then validated unchanged against the independent Fig 17/18 ratios.\n\
+- **BC vs BC-C throughput.** At the paper's task granularity the two tie \
+here (identical equilibrium allocations); the `granularity` experiment \
+shows the paper's +9% emerging as tasks shrink toward the 10 us scale.\n\
+- **Fig 6 packet accounting.** Packets-to-convergence are insensitive to \
+refresh pacing in a quantized-diffusion system; dynamic timing's wins are \
+convergence time and steady-state traffic, and all three series are \
+reported.\n\
+- **Monte-Carlo trials.** Fig 7 uses 400 trials (paper: 1000); the \
+histogram shape is stable well below that.\n\
+- **AP vs RP magnitude.** Direction reproduces; the magnitude depends on \
+how hard the workload leans on the highest-power tile, which the \
+synthetic task mix exaggerates.\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_trials() {
+        let full = Ctx::default();
+        assert_eq!(full.trials(100, 10), 100);
+        let quick = Ctx::quick_into("/tmp/x");
+        assert_eq!(quick.trials(100, 10), 10);
+    }
+
+    #[test]
+    fn figresult_rendering() {
+        let mut r = FigResult::new("figX", "Test");
+        r.claim("a", "1x", "1.1x", true);
+        r.claim("b", "2x", "0.5x", false);
+        assert!(!r.all_hold());
+        let s = r.render();
+        assert!(s.contains("[OK ]"));
+        assert!(s.contains("[DEV]"));
+    }
+
+    #[test]
+    fn markdown_report() {
+        let mut r = FigResult::new("fig9", "Nine");
+        r.claim("c", "p", "m", true);
+        let md = render_experiments_md(&[r]);
+        assert!(md.contains("## fig9"));
+        assert!(md.contains("1/1 claims hold"));
+    }
+
+    #[test]
+    fn catalogue_is_complete_and_unique() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! CLI entry point of the experiment harness.
+//!
+//! ```text
+//! blitzcoin-exp all [--quick] [--out DIR] [--write-experiments]
+//! blitzcoin-exp fig17 [--quick] [--out DIR]
+//! blitzcoin-exp plots [--out DIR]     # render results/*.csv to SVG
+//! blitzcoin-exp list
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use blitzcoin_exp::{render_experiments_md, run_experiment, Ctx, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = Ctx::default();
+    let mut write_experiments = false;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => ctx.quick = true,
+            "--write-experiments" => write_experiments = true,
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                ctx.out_dir = PathBuf::from(dir);
+            }
+            "--seed" => {
+                let Some(seed) = iter.next() else {
+                    eprintln!("--seed needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match seed.parse() {
+                    Ok(s) => ctx.seed = s,
+                    Err(e) => {
+                        eprintln!("bad seed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "plots" => {
+                let written = blitzcoin_viz::figures::render_results_dir(&ctx.out_dir)
+                    .expect("render plots");
+                for p in &written {
+                    println!("{}", p.display());
+                }
+                println!("{} plots written", written.len());
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if ALL_EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment '{other}'; try `blitzcoin-exp list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--write-experiments]",
+            ALL_EXPERIMENTS.join("|")
+        );
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output directory");
+    let mut results = Vec::new();
+    for id in &ids {
+        eprintln!("running {id}...");
+        let r = run_experiment(id, &ctx);
+        print!("{}", r.render());
+        results.push(r);
+    }
+    let total: usize = results.iter().map(|r| r.claims.len()).sum();
+    let held: usize = results
+        .iter()
+        .flat_map(|r| &r.claims)
+        .filter(|c| c.holds)
+        .count();
+    println!("\n{held}/{total} claims hold.");
+
+    let manifest = serde_json::to_string_pretty(&results).expect("serialize manifest");
+    let manifest_path = ctx.out_dir.join("manifest.json");
+    std::fs::write(&manifest_path, manifest).expect("write manifest");
+    println!("manifest: {}", manifest_path.display());
+
+    if write_experiments {
+        let md = render_experiments_md(&results);
+        std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
+        println!("wrote EXPERIMENTS.md");
+    }
+    ExitCode::SUCCESS
+}

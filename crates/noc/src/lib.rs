@@ -1,0 +1,54 @@
+//! # blitzcoin-noc
+//!
+//! Cycle-level 2-D mesh network-on-chip model for the BlitzCoin
+//! reproduction.
+//!
+//! BlitzCoin targets tile-based SoCs interconnected by a 2-D mesh,
+//! multi-plane NoC (the open-source ESP platform in the paper). Every
+//! quantity the paper reports — convergence time in NoC cycles, packets
+//! exchanged, response time — is a property of messages moving across this
+//! fabric, so the reproduction models it explicitly:
+//!
+//! - [`topology`]: grid coordinates, tile identifiers, mesh/torus neighbor
+//!   maps (the torus variant implements the paper's *wrap-around*
+//!   optimization, Fig 5), XY hop distances.
+//! - [`packet`]: NoC planes (the ESP NoC has six; plane 5 carries
+//!   memory-mapped register and interrupt traffic and — in the BlitzCoin
+//!   integration — the new coin-management message class) and message kinds.
+//! - [`network`]: a deterministic link-reservation timing model — XY
+//!   dimension-ordered routing, one cycle per hop, per-link serialization
+//!   and contention — that returns delivery times for scheduled packets.
+//! - [`arbiter`]: the round-robin arbiter each tile's NoC-domain socket
+//!   uses to multiplex plane-5 injections (BlitzCoin FSM vs. CSRs vs. the
+//!   tile's register interface).
+//! - [`wormhole`]: a flit-level wormhole router reference model that
+//!   cross-validates the analytic timing model's latencies.
+//!
+//! # Example
+//!
+//! ```
+//! use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, Plane, Topology};
+//! use blitzcoin_sim::SimTime;
+//!
+//! let topo = Topology::mesh(4, 4);
+//! let mut net = Network::new(topo, NetworkConfig::default());
+//! let pkt = Packet::new(topo.tile(0, 0), topo.tile(3, 3), Plane::MmioIrq,
+//!                       PacketKind::CoinRequest);
+//! let arrival = net.send(SimTime::ZERO, &pkt);
+//! // 6 hops plus injection/ejection overhead
+//! assert!(arrival >= SimTime::from_noc_cycles(6));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbiter;
+pub mod network;
+pub mod packet;
+pub mod topology;
+pub mod wormhole;
+
+pub use arbiter::RoundRobinArbiter;
+pub use network::{Network, NetworkConfig, TrafficStats};
+pub use packet::{Packet, PacketKind, Plane};
+pub use topology::{Coord, Direction, TileId, Topology};

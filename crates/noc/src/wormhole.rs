@@ -1,0 +1,545 @@
+//! A flit-level wormhole-routed mesh, used to validate the
+//! link-reservation timing model.
+//!
+//! [`crate::Network`] is an analytic timing model: it reserves links along
+//! the XY route and returns a delivery time. That is fast enough to sit
+//! inside Monte-Carlo sweeps, but its fidelity needs to be checked against
+//! something closer to hardware. This module implements the classic
+//! reference: input-buffered wormhole routers with XY dimension-ordered
+//! routing, one flit per link per cycle, and round-robin output
+//! arbitration — stepped cycle by cycle.
+//!
+//! The cross-validation tests (and the `noc-validation` experiment) show
+//! that at zero load the two models agree hop-for-hop, and that under the
+//! coin-exchange traffic levels BlitzCoin produces, the analytic model's
+//! latencies are within a small factor of the wormhole router's.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+use crate::topology::{TileId, Topology};
+
+/// Wormhole network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WormholeConfig {
+    /// Flit slots per input buffer.
+    pub buffer_flits: usize,
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        WormholeConfig { buffer_flits: 4 }
+    }
+}
+
+/// Router port indices: N, S, E, W, local.
+const PORTS: usize = 5;
+const LOCAL: usize = 4;
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+struct Flight {
+    packet: Packet,
+    injected_at: u64,
+    /// Flits remaining to leave the source (serialization).
+    flits_left: u32,
+}
+
+/// One flit in a buffer: which flight it belongs to and whether it is the
+/// tail (frees the path reservation).
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    flight: usize,
+    is_tail: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Router {
+    /// Input buffers per port.
+    inputs: [VecDeque<Flit>; PORTS],
+    /// Which input port currently owns each output port (wormhole path
+    /// reservation), if any.
+    out_owner: [Option<usize>; PORTS],
+    /// Round-robin pointer per output port.
+    rr: [usize; PORTS],
+}
+
+impl Router {
+    fn new() -> Self {
+        Router {
+            inputs: Default::default(),
+            out_owner: [None; PORTS],
+            rr: [0; PORTS],
+        }
+    }
+}
+
+/// A delivered packet with its measured latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The packet that arrived.
+    pub packet: Packet,
+    /// Cycle the tail flit ejected.
+    pub at_cycle: u64,
+    /// Total cycles from injection to tail ejection.
+    pub latency_cycles: u64,
+}
+
+/// The cycle-stepped wormhole network.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_noc::wormhole::{WormholeConfig, WormholeNetwork};
+/// use blitzcoin_noc::{Packet, PacketKind, Plane, Topology};
+///
+/// let topo = Topology::mesh(4, 4);
+/// let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+/// let pkt = Packet::new(topo.tile(0, 0), topo.tile(3, 0), Plane::MmioIrq,
+///                       PacketKind::CoinRequest);
+/// net.inject(pkt);
+/// let delivered = net.run_until_idle(1_000);
+/// assert_eq!(delivered.len(), 1);
+/// // 3 hops + pipeline overheads: single-digit cycles at zero load
+/// assert!(delivered[0].latency_cycles <= 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WormholeNetwork {
+    topo: Topology,
+    config: WormholeConfig,
+    routers: Vec<Router>,
+    flights: Vec<Flight>,
+    /// Flights waiting at their source NI to start injecting.
+    inject_queue: Vec<VecDeque<usize>>,
+    cycle: u64,
+    delivered_flits: Vec<u32>,
+}
+
+impl WormholeNetwork {
+    /// Creates an idle network over `topo`.
+    pub fn new(topo: Topology, config: WormholeConfig) -> Self {
+        assert!(config.buffer_flits >= 1, "buffers need at least one slot");
+        WormholeNetwork {
+            topo,
+            config,
+            routers: (0..topo.len()).map(|_| Router::new()).collect(),
+            flights: Vec::new(),
+            inject_queue: vec![VecDeque::new(); topo.len()],
+            cycle: 0,
+            delivered_flits: Vec::new(),
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Queues a packet for injection at its source tile (takes effect from
+    /// the next cycle; injection serializes one flit per cycle per tile).
+    pub fn inject(&mut self, packet: Packet) {
+        let src = packet.src.index();
+        let flits = packet.flits();
+        let id = self.flights.len();
+        self.flights.push(Flight {
+            packet,
+            injected_at: self.cycle,
+            flits_left: flits,
+        });
+        self.inject_queue[src].push_back(id);
+    }
+
+    /// Advances one cycle; returns packets whose tail ejected this cycle.
+    pub fn step(&mut self) -> Vec<Delivery> {
+        self.cycle += 1;
+        let n = self.topo.len();
+        let mut deliveries = Vec::new();
+
+        // Phase 1: each router arbitrates each output port and moves at
+        // most one flit from the granted input into the neighbor's input
+        // buffer (or ejects at the local port). To keep the update order
+        // deterministic and single-cycle-consistent, moves are computed
+        // against buffer occupancies snapshotted at cycle start.
+        let free_slots: Vec<[usize; PORTS]> = self
+            .routers
+            .iter()
+            .map(|r| {
+                let mut s = [0; PORTS];
+                for (p, buf) in r.inputs.iter().enumerate() {
+                    s[p] = self.config.buffer_flits - buf.len().min(self.config.buffer_flits);
+                }
+                s
+            })
+            .collect();
+        let mut incoming: Vec<Vec<(usize, Flit)>> = vec![Vec::new(); n];
+        let mut claimed: Vec<[usize; PORTS]> = vec![[0; PORTS]; n];
+
+        for r in 0..n {
+            for out in 0..PORTS {
+                // find the input owning this output, or arbitrate a new head
+                let owner = match self.routers[r].out_owner[out] {
+                    Some(inp) => Some(inp),
+                    None => {
+                        let start = self.routers[r].rr[out];
+                        (0..PORTS)
+                            .map(|k| (start + k) % PORTS)
+                            .find(|&inp| {
+                                self.routers[r].inputs[inp]
+                                    .front()
+                                    .map(|f| self.route_port(r, f.flight) == out)
+                                    .unwrap_or(false)
+                            })
+                    }
+                };
+                let Some(inp) = owner else { continue };
+                let Some(&flit) = self.routers[r].inputs[inp].front() else {
+                    continue;
+                };
+                // the owning input's head flit must actually want this output
+                if self.route_port(r, flit.flight) != out {
+                    continue;
+                }
+                if out == LOCAL {
+                    // ejection: always accepted
+                    let f = self.routers[r].inputs[inp].pop_front().expect("head");
+                    if f.is_tail {
+                        self.routers[r].out_owner[out] = None;
+                        let flight = &self.flights[f.flight];
+                        deliveries.push(Delivery {
+                            packet: flight.packet,
+                            at_cycle: self.cycle,
+                            latency_cycles: self.cycle - flight.injected_at,
+                        });
+                        self.delivered_flits.push(flight.packet.flits());
+                    } else {
+                        self.routers[r].out_owner[out] = Some(inp);
+                    }
+                    self.routers[r].rr[out] = (inp + 1) % PORTS;
+                    continue;
+                }
+                // forward to the neighbor if it has buffer space
+                let (next, next_port) = self.next_hop(r, out);
+                if free_slots[next][next_port] > claimed[next][next_port] {
+                    claimed[next][next_port] += 1;
+                    let f = self.routers[r].inputs[inp].pop_front().expect("head");
+                    self.routers[r].out_owner[out] = if f.is_tail { None } else { Some(inp) };
+                    self.routers[r].rr[out] = (inp + 1) % PORTS;
+                    incoming[next].push((next_port, f));
+                }
+            }
+        }
+        for (r, flits) in incoming.into_iter().enumerate() {
+            for (port, flit) in flits {
+                self.routers[r].inputs[port].push_back(flit);
+            }
+        }
+
+        // Phase 2: source injection, one flit per tile per cycle.
+        for src in 0..n {
+            let Some(&flight_id) = self.inject_queue[src].front() else {
+                continue;
+            };
+            let local_free = self.config.buffer_flits
+                - self.routers[src].inputs[LOCAL].len().min(self.config.buffer_flits);
+            if local_free == 0 {
+                continue;
+            }
+            let flight = &mut self.flights[flight_id];
+            flight.flits_left -= 1;
+            let is_tail = flight.flits_left == 0;
+            self.routers[src].inputs[LOCAL].push_back(Flit {
+                flight: flight_id,
+                is_tail,
+            });
+            if is_tail {
+                self.inject_queue[src].pop_front();
+            }
+        }
+        deliveries
+    }
+
+    /// Steps until every injected packet has been delivered or `max_cycles`
+    /// elapse; returns all deliveries in order.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let total: usize = self.flights.len();
+        for _ in 0..max_cycles {
+            out.extend(self.step());
+            if out.len() == total && self.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Mean accepted throughput so far, in flits per cycle per tile —
+    /// the classic saturation metric. Meaningful after some deliveries.
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        let flits: u64 = self.delivered_flits.iter().map(|&f| f as u64).sum();
+        flits as f64 / self.cycle as f64 / self.topo.len() as f64
+    }
+
+    /// Whether no flits remain anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.inject_queue.iter().all(VecDeque::is_empty)
+            && self
+                .routers
+                .iter()
+                .all(|r| r.inputs.iter().all(VecDeque::is_empty))
+    }
+
+    /// The output port a flight's packet takes out of router `r` (XY
+    /// dimension-ordered): 0=N, 1=S, 2=E, 3=W, 4=local.
+    fn route_port(&self, r: usize, flight: usize) -> usize {
+        let dst = self.flights[flight].packet.dst;
+        let here = self.topo.coord(TileId(r));
+        let there = self.topo.coord(dst);
+        if here.x < there.x {
+            2
+        } else if here.x > there.x {
+            3
+        } else if here.y < there.y {
+            1
+        } else if here.y > there.y {
+            0
+        } else {
+            LOCAL
+        }
+    }
+
+    /// The neighbor reached through output `port` of router `r`, and the
+    /// input port it arrives on there.
+    fn next_hop(&self, r: usize, port: usize) -> (usize, usize) {
+        use crate::topology::Direction::*;
+        let dir = match port {
+            0 => North,
+            1 => South,
+            2 => East,
+            _ => West,
+        };
+        let next = self
+            .topo
+            .neighbor(TileId(r), dir)
+            .expect("XY routing never runs off the mesh edge");
+        // arriving from the opposite direction's input port
+        let in_port = match port {
+            0 => 1,
+            1 => 0,
+            2 => 3,
+            _ => 2,
+        };
+        (next.index(), in_port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetworkConfig};
+    use crate::packet::{PacketKind, Plane};
+
+    fn pkt(topo: &Topology, a: (usize, usize), b: (usize, usize)) -> Packet {
+        Packet::new(
+            topo.tile(a.0, a.1),
+            topo.tile(b.0, b.1),
+            Plane::MmioIrq,
+            PacketKind::CoinStatus { has: 1, max: 2 },
+        )
+    }
+
+    #[test]
+    fn zero_load_latency_tracks_hop_count() {
+        let topo = Topology::mesh(6, 6);
+        for (a, b, hops) in [((0, 0), (5, 0), 5), ((0, 0), (0, 5), 5), ((1, 1), (4, 3), 5)] {
+            let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+            net.inject(pkt(&topo, a, b));
+            let d = net.run_until_idle(1_000);
+            assert_eq!(d.len(), 1);
+            // inject + hops + eject + tail-flit serialization: small constant
+            assert!(
+                d[0].latency_cycles >= hops as u64 && d[0].latency_cycles <= hops as u64 + 4,
+                "{a:?}->{b:?}: {} cycles for {hops} hops",
+                d[0].latency_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_immediately() {
+        let topo = Topology::mesh(3, 3);
+        let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+        let a = topo.tile(1, 1);
+        net.inject(Packet::new(a, a, Plane::MmioIrq, PacketKind::CoinRequest));
+        let d = net.run_until_idle(100);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].latency_cycles <= 3);
+    }
+
+    #[test]
+    fn all_packets_eventually_deliver_under_load() {
+        let topo = Topology::mesh(5, 5);
+        let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+        // all-to-one hotspot: the worst congestion pattern
+        for i in 1..25 {
+            let src = topo.tile_by_id(i);
+            net.inject(Packet::new(src, topo.tile_by_id(0), Plane::MmioIrq, PacketKind::CoinRequest));
+        }
+        let d = net.run_until_idle(10_000);
+        assert_eq!(d.len(), 24, "every packet must be delivered");
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn wormhole_keeps_multiflit_packets_contiguous() {
+        let topo = Topology::mesh(4, 1);
+        let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+        // two long packets fighting for the same path
+        let long = Packet::new(
+            topo.tile(0, 0),
+            topo.tile(3, 0),
+            Plane::MmioIrq,
+            PacketKind::DmaBurst { flits: 6 },
+        );
+        net.inject(long);
+        net.inject(long);
+        let d = net.run_until_idle(1_000);
+        assert_eq!(d.len(), 2);
+        // second packet is serialized behind the first's 6 flits
+        assert!(d[1].at_cycle >= d[0].at_cycle + 6);
+    }
+
+    #[test]
+    fn agrees_with_analytic_model_at_zero_load() {
+        // the cross-validation behind the noc-validation experiment
+        let topo = Topology::mesh(8, 8);
+        let analytic = Network::new(topo, NetworkConfig::default());
+        for (a, b) in [((0, 0), (7, 7)), ((3, 2), (3, 6)), ((5, 5), (0, 5))] {
+            let p = pkt(&topo, a, b);
+            let t_analytic = analytic.latency_bound(p.src, p.dst).as_noc_cycles();
+            let mut wh = WormholeNetwork::new(topo, WormholeConfig::default());
+            wh.inject(p);
+            let d = wh.run_until_idle(1_000);
+            let t_wormhole = d[0].latency_cycles;
+            let diff = t_analytic.abs_diff(t_wormhole);
+            assert!(
+                diff <= 3,
+                "{a:?}->{b:?}: analytic {t_analytic} vs wormhole {t_wormhole}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_raises_latency_over_zero_load() {
+        let topo = Topology::mesh(6, 1);
+        let route = |n_background: usize| -> u64 {
+            let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+            for _ in 0..n_background {
+                net.inject(Packet::new(
+                    topo.tile(0, 0),
+                    topo.tile(5, 0),
+                    Plane::MmioIrq,
+                    PacketKind::DmaBurst { flits: 8 },
+                ));
+            }
+            // let the background stream fill the row's buffers first
+            for _ in 0..8 {
+                net.step();
+            }
+            let probe = pkt(&topo, (1, 0), (5, 0));
+            let t0 = net.cycle();
+            net.inject(probe);
+            let d = net.run_until_idle(10_000);
+            d.iter()
+                .find(|x| x.packet == probe)
+                .expect("probe delivered")
+                .at_cycle
+                - t0
+        };
+        assert!(route(6) > route(0), "{} vs {}", route(6), route(0));
+    }
+
+    #[test]
+    fn throughput_saturates_under_offered_load() {
+        // uniform-random traffic: accepted throughput grows with offered
+        // load, then saturates well below 1 flit/cycle/tile (XY wormhole
+        // on a mesh saturates around 30-60% of bisection)
+        let topo = Topology::mesh(6, 6);
+        let run = |packets: usize| -> f64 {
+            let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+            let mut lcg = 12345u64;
+            let mut next = || {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (lcg >> 33) as usize % 36
+            };
+            for _ in 0..packets {
+                let a = next();
+                let mut b = next();
+                if a == b {
+                    b = (b + 1) % 36;
+                }
+                net.inject(Packet::new(
+                    TileId(a),
+                    TileId(b),
+                    Plane::MmioIrq,
+                    PacketKind::DmaBurst { flits: 4 },
+                ));
+            }
+            net.run_until_idle(200_000);
+            net.accepted_throughput()
+        };
+        let light = run(36);
+        let heavy = run(720);
+        assert!(heavy > light, "throughput should rise with load");
+        assert!(heavy < 1.0, "cannot exceed one flit/cycle/tile: {heavy}");
+    }
+
+    #[test]
+    fn random_traffic_always_delivers() {
+        // delivery guarantee: XY routing on a mesh is deadlock-free, so
+        // every packet must eventually arrive, whatever the pattern
+        let topo = Topology::mesh(5, 5);
+        let mut lcg = 99u64;
+        let mut next = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (lcg >> 33) as usize % 25
+        };
+        for trial in 0..20 {
+            let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+            let k = 10 + trial * 5;
+            for _ in 0..k {
+                let a = next();
+                let b = next();
+                net.inject(Packet::new(
+                    TileId(a),
+                    TileId(b),
+                    Plane::MmioIrq,
+                    PacketKind::CoinStatus { has: 1, max: 1 },
+                ));
+            }
+            let d = net.run_until_idle(500_000);
+            assert_eq!(d.len(), k, "trial {trial}: lost packets");
+            assert!(net.is_idle());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_injections() {
+        let topo = Topology::mesh(4, 4);
+        let run = || {
+            let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+            for i in 0..8 {
+                net.inject(pkt(&topo, (i % 4, 0), (3 - i % 4, 3)));
+            }
+            net.run_until_idle(10_000)
+                .iter()
+                .map(|d| d.at_cycle)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

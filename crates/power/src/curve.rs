@@ -1,0 +1,180 @@
+//! Voltage-frequency characterization curves.
+//!
+//! Each accelerator tile is pre-characterized with the maximum frequency it
+//! sustains at each supply voltage (Fig 13 of the paper). The UVFR design
+//! exploits the monotonicity of this relation: the free-running ring
+//! oscillator acts as a critical-path replica, so for any tile voltage it
+//! produces (approximately) the tile's F_max at that voltage, and the
+//! control loop can regulate frequency by moving voltage alone.
+
+use serde::{Deserialize, Serialize};
+
+/// A strictly monotone piecewise-linear voltage↔frequency curve.
+///
+/// Units: volts and megahertz.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_power::VfCurve;
+///
+/// let c = VfCurve::linear(0.5, 1.0, 200.0, 800.0);
+/// assert_eq!(c.freq_at(0.75), 500.0);
+/// assert_eq!(c.voltage_for(500.0), 0.75);
+/// // out-of-range inputs clamp to the characterized corners
+/// assert_eq!(c.freq_at(2.0), 800.0);
+/// assert_eq!(c.voltage_for(0.0), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfCurve {
+    /// `(voltage, frequency)` corners, strictly increasing in both fields.
+    points: Vec<(f64, f64)>,
+}
+
+impl VfCurve {
+    /// Builds a curve from characterized `(voltage, frequency)` corners.
+    ///
+    /// # Panics
+    /// Panics if fewer than two corners are given or if the corners are not
+    /// strictly increasing in both voltage and frequency.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "a V-F curve needs at least two corners");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0 && w[1].1 > w[0].1,
+                "V-F corners must be strictly increasing in V and F"
+            );
+        }
+        assert!(
+            points[0].0 > 0.0 && points[0].1 > 0.0,
+            "voltages and frequencies must be positive"
+        );
+        VfCurve { points }
+    }
+
+    /// Builds a two-corner linear curve from `(v_min, f_min)` to
+    /// `(v_max, f_max)`.
+    pub fn linear(v_min: f64, v_max: f64, f_min: f64, f_max: f64) -> Self {
+        VfCurve::new(vec![(v_min, f_min), (v_max, f_max)])
+    }
+
+    /// Minimum characterized voltage.
+    pub fn v_min(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Maximum characterized voltage.
+    pub fn v_max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Frequency at the minimum voltage.
+    pub fn f_min(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// Frequency at the maximum voltage.
+    pub fn f_max(&self) -> f64 {
+        self.points[self.points.len() - 1].1
+    }
+
+    /// The characterized corners.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Maximum sustainable frequency at voltage `v` (clamped to the
+    /// characterized range).
+    pub fn freq_at(&self, v: f64) -> f64 {
+        let v = v.clamp(self.v_min(), self.v_max());
+        for w in self.points.windows(2) {
+            let ((v0, f0), (v1, f1)) = (w[0], w[1]);
+            if v <= v1 {
+                return f0 + (f1 - f0) * (v - v0) / (v1 - v0);
+            }
+        }
+        self.f_max()
+    }
+
+    /// Minimum voltage needed to sustain frequency `f` (clamped to the
+    /// characterized range).
+    pub fn voltage_for(&self, f: f64) -> f64 {
+        let f = f.clamp(self.f_min(), self.f_max());
+        for w in self.points.windows(2) {
+            let ((v0, f0), (v1, f1)) = (w[0], w[1]);
+            if f <= f1 {
+                return v0 + (v1 - v0) * (f - f0) / (f1 - f0);
+            }
+        }
+        self.v_max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolation_and_inverse() {
+        let c = VfCurve::linear(0.6, 0.9, 300.0, 600.0);
+        assert_eq!(c.freq_at(0.6), 300.0);
+        assert_eq!(c.freq_at(0.9), 600.0);
+        assert!((c.freq_at(0.75) - 450.0).abs() < 1e-9);
+        for f in [300.0, 400.0, 555.5, 600.0] {
+            let v = c.voltage_for(f);
+            assert!((c.freq_at(v) - f).abs() < 1e-9, "round trip at {f}");
+        }
+    }
+
+    #[test]
+    fn multi_segment_curve() {
+        let c = VfCurve::new(vec![(0.5, 100.0), (0.7, 400.0), (1.0, 800.0)]);
+        assert!((c.freq_at(0.6) - 250.0).abs() < 1e-9);
+        assert!((c.freq_at(0.85) - 600.0).abs() < 1e-9);
+        assert!((c.voltage_for(250.0) - 0.6).abs() < 1e-9);
+        assert!((c.voltage_for(600.0) - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_at_corners() {
+        let c = VfCurve::linear(0.5, 1.0, 200.0, 800.0);
+        assert_eq!(c.freq_at(0.1), 200.0);
+        assert_eq!(c.freq_at(1.5), 800.0);
+        assert_eq!(c.voltage_for(1.0), 0.5);
+        assert_eq!(c.voltage_for(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = VfCurve::linear(0.5, 1.0, 200.0, 800.0);
+        assert_eq!(c.v_min(), 0.5);
+        assert_eq!(c.v_max(), 1.0);
+        assert_eq!(c.f_min(), 200.0);
+        assert_eq!(c.f_max(), 800.0);
+        assert_eq!(c.points().len(), 2);
+    }
+
+    #[test]
+    fn monotone_everywhere() {
+        let c = VfCurve::new(vec![(0.5, 100.0), (0.7, 400.0), (1.0, 800.0)]);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let v = 0.5 + 0.5 * i as f64 / 100.0;
+            let f = c.freq_at(v);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_corners_panic() {
+        VfCurve::new(vec![(0.5, 200.0), (0.7, 150.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_corner_panics() {
+        VfCurve::new(vec![(0.5, 200.0)]);
+    }
+}

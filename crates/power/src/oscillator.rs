@@ -1,0 +1,137 @@
+//! Free-running ring oscillator (critical-path replica).
+//!
+//! Each tile's clock comes from a local ring oscillator supplied by the
+//! tile voltage and tuned to act as a Critical Path Replica: for any value
+//! of V it generates a frequency close to the tile's maximum frequency at
+//! that voltage (Section IV-A). Because the RO tracks the same voltage as
+//! the logic, a voltage droop automatically stretches the next clock edge —
+//! the self-timing property the UVFR scheme relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::curve::VfCurve;
+
+/// A critical-path-replica ring oscillator.
+///
+/// The oscillator output tracks the tile's V-F curve with a configurable
+/// multiplicative tracking margin (a real replica is tuned a few percent
+/// slow so the logic always meets timing).
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_power::{RingOscillator, VfCurve};
+///
+/// let curve = VfCurve::linear(0.5, 1.0, 200.0, 800.0);
+/// let ro = RingOscillator::new(curve, 0.97);
+/// // at 1.0 V the replica runs at 97% of the 800 MHz critical-path limit
+/// assert!((ro.freq_at(1.0) - 776.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingOscillator {
+    curve: VfCurve,
+    margin: f64,
+}
+
+impl RingOscillator {
+    /// Creates a replica oscillator over the tile's V-F curve.
+    ///
+    /// `margin` is the fraction of the critical-path frequency the replica
+    /// produces (e.g. 0.97 for a 3% guardband).
+    ///
+    /// # Panics
+    /// Panics unless `0 < margin <= 1`.
+    pub fn new(curve: VfCurve, margin: f64) -> Self {
+        assert!(
+            margin > 0.0 && margin <= 1.0,
+            "tracking margin must be in (0, 1]"
+        );
+        RingOscillator { curve, margin }
+    }
+
+    /// Creates a perfectly tracking replica (margin 1.0); convenient for
+    /// behavioural studies where the guardband is irrelevant.
+    pub fn ideal(curve: VfCurve) -> Self {
+        RingOscillator::new(curve, 1.0)
+    }
+
+    /// The oscillator frequency (MHz) at tile voltage `v`.
+    pub fn freq_at(&self, v: f64) -> f64 {
+        self.curve.freq_at(v) * self.margin
+    }
+
+    /// The voltage required for the oscillator to run at frequency `f`.
+    pub fn voltage_for(&self, f: f64) -> f64 {
+        self.curve.voltage_for(f / self.margin)
+    }
+
+    /// The replica's tracking margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Maximum output frequency (at V_max).
+    pub fn f_max(&self) -> f64 {
+        self.freq_at(self.curve.v_max())
+    }
+
+    /// Minimum output frequency (at V_min).
+    pub fn f_min(&self) -> f64 {
+        self.freq_at(self.curve.v_min())
+    }
+
+    /// The underlying V-F curve.
+    pub fn curve(&self) -> &VfCurve {
+        &self.curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> VfCurve {
+        VfCurve::linear(0.5, 1.0, 200.0, 800.0)
+    }
+
+    #[test]
+    fn tracks_curve_with_margin() {
+        let ro = RingOscillator::new(curve(), 0.95);
+        assert!((ro.freq_at(0.75) - 500.0 * 0.95).abs() < 1e-9);
+        assert_eq!(ro.f_max(), 800.0 * 0.95);
+        assert_eq!(ro.f_min(), 200.0 * 0.95);
+        assert_eq!(ro.margin(), 0.95);
+    }
+
+    #[test]
+    fn ideal_replica_is_exact() {
+        let ro = RingOscillator::ideal(curve());
+        assert_eq!(ro.freq_at(1.0), 800.0);
+        assert_eq!(ro.freq_at(0.5), 200.0);
+    }
+
+    #[test]
+    fn droop_slows_clock() {
+        // Section IV-A: when a voltage droop occurs, the oscillator slows,
+        // delaying the next clock edge.
+        let ro = RingOscillator::ideal(curve());
+        let nominal = ro.freq_at(0.8);
+        let drooped = ro.freq_at(0.72);
+        assert!(drooped < nominal);
+    }
+
+    #[test]
+    fn voltage_for_round_trip() {
+        let ro = RingOscillator::new(curve(), 0.9);
+        for f in [200.0, 400.0, 700.0] {
+            let v = ro.voltage_for(f);
+            assert!((ro.freq_at(v) - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn zero_margin_panics() {
+        RingOscillator::new(curve(), 0.0);
+    }
+}

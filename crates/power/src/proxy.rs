@@ -1,0 +1,223 @@
+//! Activity-counter power proxies for programmable tiles.
+//!
+//! Section IV-C: extending BlitzCoin to CPU tiles "would require the
+//! power-to-frequency LUT to be dynamically adjusted to support the wide
+//! variation in workloads run on CPUs. Previous work \[18\], \[75\] have
+//! demonstrated the use of activity counters and other power proxies for
+//! this purpose." This module implements that extension: a weighted
+//! activity-counter power estimator in the style of the POWER7 proxies
+//! of Floyd et al. \[18\] and Huang et al. \[75\], plus the dynamic LUT
+//! rescaling it enables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lut::CoinLut;
+use crate::model::PowerModel;
+
+/// One control period's worth of micro-architectural activity counters,
+/// normalized per cycle (0.0 = idle, 1.0 = every-cycle activity).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Instructions dispatched per cycle (0..~1 for a single-issue CVA6).
+    pub dispatch: f64,
+    /// Fraction of cycles with an L1/L2 access.
+    pub cache_access: f64,
+    /// Fraction of cycles with a floating-point operation.
+    pub fpu: f64,
+    /// Fraction of cycles with a load-store-unit operation.
+    pub lsu: f64,
+}
+
+impl ActivityCounters {
+    /// Clamps every counter into `[0, 1]` (hardware counters saturate).
+    pub fn clamped(self) -> Self {
+        ActivityCounters {
+            dispatch: self.dispatch.clamp(0.0, 1.0),
+            cache_access: self.cache_access.clamp(0.0, 1.0),
+            fpu: self.fpu.clamp(0.0, 1.0),
+            lsu: self.lsu.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A weighted activity-counter power proxy.
+///
+/// Estimated power at frequency `f` and counters `a`:
+///
+/// ```text
+/// P(f, a) = P_idle + f/f_max · (w_base + w·a) · P_dyn_max
+/// ```
+///
+/// so a fully-active workload at f_max draws the characterized maximum
+/// and the utilization factor scales the dynamic share.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_power::proxy::{ActivityCounters, PowerProxy};
+///
+/// let proxy = PowerProxy::cva6();
+/// let busy = ActivityCounters { dispatch: 0.9, cache_access: 0.4, fpu: 0.3, lsu: 0.35 };
+/// let idle = ActivityCounters::default();
+/// assert!(proxy.estimate_mw(800.0, busy) > 2.0 * proxy.estimate_mw(800.0, idle));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProxy {
+    f_max_mhz: f64,
+    p_idle_mw: f64,
+    p_dyn_max_mw: f64,
+    /// Activity-independent dynamic share (clock tree, fetch).
+    w_base: f64,
+    /// Weights for (dispatch, cache, fpu, lsu); with `w_base` they sum
+    /// to 1 at full activity.
+    weights: [f64; 4],
+}
+
+impl PowerProxy {
+    /// A proxy calibrated for the CVA6-class core of the evaluated SoCs
+    /// (a Linux-capable in-order RV64 core: ~40 mW dynamic at 800 MHz,
+    /// 4 mW idle).
+    pub fn cva6() -> Self {
+        PowerProxy::new(800.0, 4.0, 40.0, 0.3, [0.3, 0.15, 0.15, 0.1])
+    }
+
+    /// Builds a proxy.
+    ///
+    /// # Panics
+    /// Panics unless the base weight plus counter weights sum to 1 (the
+    /// full-activity point must reproduce `p_dyn_max`).
+    pub fn new(
+        f_max_mhz: f64,
+        p_idle_mw: f64,
+        p_dyn_max_mw: f64,
+        w_base: f64,
+        weights: [f64; 4],
+    ) -> Self {
+        let total = w_base + weights.iter().sum::<f64>();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "weights must sum to 1, got {total}"
+        );
+        assert!(f_max_mhz > 0.0 && p_idle_mw >= 0.0 && p_dyn_max_mw > 0.0);
+        PowerProxy {
+            f_max_mhz,
+            p_idle_mw,
+            p_dyn_max_mw,
+            w_base,
+            weights,
+        }
+    }
+
+    /// Estimated power (mW) at clock `f_mhz` with counters `a`.
+    pub fn estimate_mw(&self, f_mhz: f64, a: ActivityCounters) -> f64 {
+        let a = a.clamped();
+        let util = self.w_base
+            + self.weights[0] * a.dispatch
+            + self.weights[1] * a.cache_access
+            + self.weights[2] * a.fpu
+            + self.weights[3] * a.lsu;
+        self.p_idle_mw + (f_mhz / self.f_max_mhz).clamp(0.0, 1.5) * util * self.p_dyn_max_mw
+    }
+
+    /// Maximum estimated power (full activity at f_max).
+    pub fn p_max_mw(&self) -> f64 {
+        self.p_idle_mw + self.p_dyn_max_mw
+    }
+
+    /// The *dynamic LUT adjustment* of Section IV-C: rebuilds a CPU
+    /// tile's coin LUT for the workload currently running, by scaling the
+    /// reference model's power axis to the proxy-observed utilization.
+    /// A low-activity workload then gets more frequency per coin, which
+    /// is exactly why CPU LUTs cannot be static.
+    ///
+    /// # Panics
+    /// Panics if the observed utilization estimate is non-positive.
+    pub fn adjusted_lut(
+        &self,
+        reference: &PowerModel,
+        observed: ActivityCounters,
+        coin_value_mw: f64,
+        levels: u32,
+    ) -> CoinLut {
+        let full = self.estimate_mw(self.f_max_mhz, ActivityCounters {
+            dispatch: 1.0,
+            cache_access: 1.0,
+            fpu: 1.0,
+            lsu: 1.0,
+        });
+        let now = self.estimate_mw(self.f_max_mhz, observed);
+        assert!(now > 0.0, "observed power estimate must be positive");
+        // effective coin value seen by this workload: a workload drawing
+        // half the reference power stretches each coin twice as far
+        let scale = (full / now).clamp(0.25, 8.0);
+        CoinLut::build(reference, coin_value_mw * scale, levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AcceleratorClass;
+
+    fn busy() -> ActivityCounters {
+        ActivityCounters {
+            dispatch: 1.0,
+            cache_access: 1.0,
+            fpu: 1.0,
+            lsu: 1.0,
+        }
+    }
+
+    #[test]
+    fn estimates_span_idle_to_max() {
+        let p = PowerProxy::cva6();
+        assert!((p.estimate_mw(800.0, busy()) - p.p_max_mw()).abs() < 1e-9);
+        let idle = p.estimate_mw(800.0, ActivityCounters::default());
+        assert!(idle > p.p_idle_mw && idle < p.p_max_mw() / 2.0);
+        assert!((p.estimate_mw(0.0, busy()) - p.p_idle_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_frequency_and_activity() {
+        let p = PowerProxy::cva6();
+        assert!(p.estimate_mw(400.0, busy()) < p.estimate_mw(800.0, busy()));
+        let some = ActivityCounters {
+            dispatch: 0.5,
+            ..ActivityCounters::default()
+        };
+        assert!(p.estimate_mw(800.0, some) < p.estimate_mw(800.0, busy()));
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let p = PowerProxy::cva6();
+        let over = ActivityCounters {
+            dispatch: 7.0,
+            cache_access: 7.0,
+            fpu: 7.0,
+            lsu: 7.0,
+        };
+        assert!((p.estimate_mw(800.0, over) - p.p_max_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_lut_gives_light_workloads_more_frequency() {
+        let p = PowerProxy::cva6();
+        let reference = PowerModel::of(AcceleratorClass::Fft);
+        let light = ActivityCounters {
+            dispatch: 0.2,
+            ..ActivityCounters::default()
+        };
+        let lut_light = p.adjusted_lut(&reference, light, 1.0, 64);
+        let lut_heavy = p.adjusted_lut(&reference, busy(), 1.0, 64);
+        // same coin count buys a lighter workload more clock
+        assert!(lut_light.f_target(8) >= lut_heavy.f_target(8));
+        assert!(lut_light.f_target(16) > lut_heavy.f_target(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_rejected() {
+        PowerProxy::new(800.0, 4.0, 40.0, 0.5, [0.5, 0.5, 0.0, 0.0]);
+    }
+}

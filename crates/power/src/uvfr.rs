@@ -1,0 +1,246 @@
+//! The assembled Unified Voltage and Frequency Regulator.
+//!
+//! Conventional per-tile DVFS uses two control loops (a voltage regulator
+//! against a voltage reference, and a PLL against a frequency reference).
+//! UVFR collapses them into one (Fig 9): the LDO controller compares the
+//! *frequency target* against the TDC readout of the ring oscillator and
+//! adjusts the LDO code; the tile clock is the oscillator itself, so the
+//! tile always runs at (approximately) the maximum frequency its current
+//! voltage supports — no transient-IR guardbands, no canary flip-flops.
+
+use serde::{Deserialize, Serialize};
+
+use crate::curve::VfCurve;
+use crate::ldo::{Ldo, PidGains};
+use crate::oscillator::RingOscillator;
+use crate::tdc::Tdc;
+
+/// UVFR configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UvfrConfig {
+    /// LDO code resolution (max code; 255 = 8-bit).
+    pub ldo_max_code: u32,
+    /// PID gains for the LDO controller.
+    pub gains: PidGains,
+    /// TDC measurement window in NoC cycles; also the control period.
+    pub tdc_window: u32,
+    /// Ring oscillator tracking margin.
+    pub ro_margin: f64,
+}
+
+impl Default for UvfrConfig {
+    fn default() -> Self {
+        UvfrConfig {
+            ldo_max_code: 255,
+            gains: PidGains::default(),
+            tdc_window: 64,
+            ro_margin: 1.0,
+        }
+    }
+}
+
+/// A per-tile UVFR instance.
+///
+/// Call [`Uvfr::set_target`] with the frequency the coin LUT selected,
+/// then [`Uvfr::step`] once per control period (one TDC window); the tile
+/// clock between steps is [`Uvfr::frequency`].
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_power::{Uvfr, UvfrConfig, VfCurve};
+///
+/// let curve = VfCurve::linear(0.5, 1.0, 200.0, 800.0);
+/// let mut uvfr = Uvfr::new(curve, UvfrConfig::default());
+/// uvfr.set_target(500.0);
+/// for _ in 0..100 { uvfr.step(); }
+/// assert!((uvfr.frequency() - 500.0).abs() < 2.0 * uvfr.tdc().resolution_mhz());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Uvfr {
+    ldo: Ldo,
+    ro: RingOscillator,
+    tdc: Tdc,
+    target_mhz: f64,
+    steps: u64,
+}
+
+impl Uvfr {
+    /// Builds a UVFR over a tile's V-F characterization curve.
+    pub fn new(curve: VfCurve, config: UvfrConfig) -> Self {
+        let ldo = Ldo::new(
+            curve.v_min(),
+            curve.v_max(),
+            config.ldo_max_code,
+            config.gains,
+        );
+        let ro = RingOscillator::new(curve, config.ro_margin);
+        Uvfr {
+            ldo,
+            ro,
+            tdc: Tdc::new(config.tdc_window),
+            target_mhz: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Sets the frequency target (MHz), e.g. from the coin LUT. The target
+    /// is clamped to the oscillator's achievable range at step time.
+    pub fn set_target(&mut self, f_mhz: f64) {
+        assert!(f_mhz >= 0.0, "frequency target must be non-negative");
+        self.target_mhz = f_mhz;
+    }
+
+    /// The current frequency target (MHz).
+    pub fn target(&self) -> f64 {
+        self.target_mhz
+    }
+
+    /// The instantaneous tile clock frequency (MHz): the oscillator output
+    /// at the present LDO voltage.
+    pub fn frequency(&self) -> f64 {
+        self.ro.freq_at(self.ldo.voltage())
+    }
+
+    /// The present tile voltage.
+    pub fn voltage(&self) -> f64 {
+        self.ldo.voltage()
+    }
+
+    /// One control period: TDC measures the oscillator, the PID compares
+    /// against the target code and steps the LDO. Returns the new tile
+    /// frequency.
+    pub fn step(&mut self) -> f64 {
+        let clamped = self.target_mhz.clamp(self.ro.f_min(), self.ro.f_max());
+        let target_code = self.tdc.code_for(clamped);
+        let measured_code = self.tdc.code_for(self.frequency());
+        let error = target_code as f64 - measured_code as f64;
+        self.ldo.pid_update(error);
+        self.steps += 1;
+        self.frequency()
+    }
+
+    /// Runs control periods until the measured frequency is within
+    /// `tol_counts` TDC counts of the target, or `max_steps` elapse.
+    /// Returns the number of steps taken (i.e. settle time in TDC
+    /// windows), or `None` if it did not settle.
+    pub fn settle(&mut self, tol_counts: u32, max_steps: u32) -> Option<u32> {
+        let clamped = self.target_mhz.clamp(self.ro.f_min(), self.ro.f_max());
+        let target_code = self.tdc.code_for(clamped);
+        for i in 0..max_steps {
+            let measured = self.tdc.code_for(self.frequency());
+            if measured.abs_diff(target_code) <= tol_counts {
+                return Some(i);
+            }
+            self.step();
+        }
+        None
+    }
+
+    /// Total control steps performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The TDC instance (for resolution queries).
+    pub fn tdc(&self) -> &Tdc {
+        &self.tdc
+    }
+
+    /// The LDO instance.
+    pub fn ldo(&self) -> &Ldo {
+        &self.ldo
+    }
+
+    /// The ring oscillator.
+    pub fn oscillator(&self) -> &RingOscillator {
+        &self.ro
+    }
+
+    /// Injects a supply droop by forcing the LDO code down by `codes`
+    /// steps; used by droop-tracking tests and failure-injection studies.
+    pub fn inject_droop(&mut self, codes: u32) {
+        let new = self.ldo.code().saturating_sub(codes);
+        self.ldo.set_code(new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uvfr() -> Uvfr {
+        Uvfr::new(VfCurve::linear(0.5, 1.0, 200.0, 800.0), UvfrConfig::default())
+    }
+
+    #[test]
+    fn settles_to_target_within_tolerance() {
+        let mut u = uvfr();
+        for target in [300.0, 500.0, 750.0, 250.0] {
+            u.set_target(target);
+            let steps = u.settle(1, 200).expect("must settle");
+            assert!(steps < 100, "target {target} took {steps} steps");
+            assert!(
+                (u.frequency() - target).abs() <= 2.0 * u.tdc().resolution_mhz(),
+                "target {target}, got {}",
+                u.frequency()
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_downward_transitions() {
+        let mut u = uvfr();
+        u.set_target(800.0);
+        u.settle(1, 500).unwrap();
+        let high = u.frequency();
+        u.set_target(200.0);
+        u.settle(1, 500).unwrap();
+        assert!(u.frequency() < high);
+    }
+
+    #[test]
+    fn clamps_unreachable_targets() {
+        let mut u = uvfr();
+        u.set_target(10_000.0);
+        u.settle(1, 500).unwrap();
+        assert!(u.frequency() <= 800.0 + 1e-9);
+        u.set_target(0.0);
+        u.settle(1, 500).unwrap();
+        assert!(u.frequency() >= 200.0 - 1e-9);
+    }
+
+    #[test]
+    fn droop_recovers() {
+        let mut u = uvfr();
+        u.set_target(600.0);
+        u.settle(1, 500).unwrap();
+        let settled = u.frequency();
+        u.inject_droop(40);
+        assert!(u.frequency() < settled, "droop must slow the clock (CPR)");
+        u.settle(1, 500).expect("loop must recover from droop");
+        assert!((u.frequency() - 600.0).abs() <= 2.0 * u.tdc().resolution_mhz());
+    }
+
+    #[test]
+    fn frequency_never_exceeds_voltage_capability() {
+        // The UVFR invariant: the tile clock is always the replica
+        // frequency at the present voltage, never above it.
+        let mut u = uvfr();
+        u.set_target(700.0);
+        for _ in 0..50 {
+            u.step();
+            let cap = u.oscillator().curve().freq_at(u.voltage());
+            assert!(u.frequency() <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn step_counter() {
+        let mut u = uvfr();
+        u.set_target(400.0);
+        u.step();
+        u.step();
+        assert_eq!(u.steps(), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! # blitzcoin-scaling
+//!
+//! The analytical scaling model of Sections I and V-E/VI-D: how far each
+//! power-management strategy scales as SoCs grow to hundreds of
+//! accelerators.
+//!
+//! For an accelerator-level workload phase duration `T_w`, an N-accelerator
+//! SoC changes activity on average every `T_w / N`; power management must
+//! respond faster than that. Response times follow
+//!
+//! ```text
+//! T_CRR(N)  = N  · τ_CRR       (Eq 5.1, centralized firmware)
+//! T_BCC(N)  = N  · τ_BCC       (Eq 5.2, centralized hardware)
+//! T_BC(N)   = √N · τ_BC        (Eq 5.3, decentralized BlitzCoin)
+//! T_TS(N)   = N  · τ_TS        (TokenSmart's sequential ring)
+//! ```
+//!
+//! and the largest supported SoC solves `T(N_max) = T_w / N_max`:
+//!
+//! ```text
+//! N_max = (T_w/τ)^(1/2)   for linear strategies
+//! N_max = (T_w/τ)^(2/3)   for BlitzCoin
+//! ```
+//!
+//! The τ constants are fitted from measured response times (our full-SoC
+//! simulations at N = 6, 7 and 13 stand in for the paper's RTL and silicon
+//! measurements); Fig 1 and Fig 21 are then pure evaluations of this model.
+//!
+//! # Example
+//!
+//! ```
+//! use blitzcoin_scaling::{Strategy, TauFit};
+//!
+//! // fit τ_BC from measured (N, response_us) points
+//! let fit = TauFit::fit(Strategy::BlitzCoin, &[(6, 0.5), (7, 0.55), (13, 0.75)]);
+//! let nmax = fit.n_max(10_000.0); // T_w = 10 ms
+//! assert!(nmax > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+
+/// The power-management strategies the scaling model covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Decentralized BlitzCoin: `T = √N·τ`.
+    BlitzCoin,
+    /// Centralized BlitzCoin allocation (BC-C): `T = N·τ`.
+    BcCentralized,
+    /// Centralized round-robin firmware (C-RR): `T = N·τ`.
+    CentralizedRoundRobin,
+    /// TokenSmart sequential ring: `T = N·τ`.
+    TokenSmart,
+    /// Price Theory, hierarchical software (scaled for HW in Fig 21):
+    /// `T = N·τ` with a much larger τ.
+    PriceTheory,
+}
+
+impl Strategy {
+    /// All strategies, in Fig 21's legend order.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::BlitzCoin,
+        Strategy::BcCentralized,
+        Strategy::CentralizedRoundRobin,
+        Strategy::TokenSmart,
+        Strategy::PriceTheory,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::BlitzCoin => "BC",
+            Strategy::BcCentralized => "BC-C",
+            Strategy::CentralizedRoundRobin => "C-RR",
+            Strategy::TokenSmart => "TS",
+            Strategy::PriceTheory => "PT",
+        }
+    }
+
+    /// The exponent `e` in `T(N) = N^e · τ`.
+    pub fn exponent(&self) -> f64 {
+        match self {
+            Strategy::BlitzCoin => 0.5,
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted response-time model `T(N) = N^e · τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TauFit {
+    /// The strategy (fixes the exponent).
+    pub strategy: Strategy,
+    /// The fitted scaling constant τ, in µs.
+    pub tau_us: f64,
+}
+
+impl TauFit {
+    /// Constructs a model from a known τ (e.g. the paper's fitted values:
+    /// τ_BC = 0.20 µs, τ_BC-C = 0.66 µs, τ_C-RR = 0.96 µs, τ_TS = 0.22 µs).
+    pub fn with_tau(strategy: Strategy, tau_us: f64) -> Self {
+        assert!(tau_us > 0.0, "tau must be positive");
+        TauFit { strategy, tau_us }
+    }
+
+    /// Least-squares fit of τ over measured `(N, response_us)` points for
+    /// the strategy's fixed exponent: `τ = Σ(x·y)/Σ(x²)` with `x = N^e`.
+    ///
+    /// # Panics
+    /// Panics on an empty measurement set or non-positive values.
+    pub fn fit(strategy: Strategy, measurements: &[(usize, f64)]) -> Self {
+        assert!(!measurements.is_empty(), "need at least one measurement");
+        let e = strategy.exponent();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(n, resp) in measurements {
+            assert!(n > 0 && resp > 0.0, "measurements must be positive");
+            let x = (n as f64).powf(e);
+            num += x * resp;
+            den += x * x;
+        }
+        TauFit {
+            strategy,
+            tau_us: num / den,
+        }
+    }
+
+    /// Predicted response time at `n` accelerators, in µs.
+    pub fn response_us(&self, n: usize) -> f64 {
+        (n as f64).powf(self.strategy.exponent()) * self.tau_us
+    }
+
+    /// The maximum supported accelerator count for workload phase duration
+    /// `t_w_us`: solves `T(N) = T_w / N`, i.e. `N^(e+1)·τ = T_w`.
+    pub fn n_max(&self, t_w_us: f64) -> f64 {
+        assert!(t_w_us > 0.0, "T_w must be positive");
+        (t_w_us / self.tau_us).powf(1.0 / (self.strategy.exponent() + 1.0))
+    }
+
+    /// Fraction of execution time spent in power management for an
+    /// N-accelerator SoC at phase duration `t_w_us`: one decision is
+    /// needed every `T_w/N`, each costing `T(N)` (Fig 21 right). Values
+    /// above 1.0 mean the manager cannot keep up (`N > N_max`).
+    pub fn pm_time_fraction(&self, n: usize, t_w_us: f64) -> f64 {
+        assert!(t_w_us > 0.0, "T_w must be positive");
+        self.response_us(n) * n as f64 / t_w_us
+    }
+}
+
+/// The paper's fitted constants (Section VI-D), reproduced here as the
+/// reference point our own fits are compared against in EXPERIMENTS.md.
+pub mod paper {
+    use super::{Strategy, TauFit};
+
+    /// τ_BC = 0.20 µs.
+    pub fn bc() -> TauFit {
+        TauFit::with_tau(Strategy::BlitzCoin, 0.20)
+    }
+    /// τ_BC-C = 0.66 µs.
+    pub fn bcc() -> TauFit {
+        TauFit::with_tau(Strategy::BcCentralized, 0.66)
+    }
+    /// τ_C-RR = 0.96 µs.
+    pub fn crr() -> TauFit {
+        TauFit::with_tau(Strategy::CentralizedRoundRobin, 0.96)
+    }
+    /// τ_TS = 0.22 µs.
+    pub fn ts() -> TauFit {
+        TauFit::with_tau(Strategy::TokenSmart, 0.22)
+    }
+    /// Price theory, software measurements: 6.62-11.4 ms at N=256
+    /// clusters → τ ≈ 9 ms / 256 ≈ 35 µs per unit.
+    pub fn pt_software() -> TauFit {
+        TauFit::with_tau(Strategy::PriceTheory, 35.0)
+    }
+    /// Price theory scaled to a hypothetical hardware implementation by
+    /// 2.5 orders of magnitude (the paper's normalization).
+    pub fn pt_hardware() -> TauFit {
+        TauFit::with_tau(Strategy::PriceTheory, 35.0 / 316.0)
+    }
+}
+
+/// Software-to-hardware scaling factor the paper uses for PT (2.5 orders
+/// of magnitude).
+pub const SW_TO_HW_SCALE: f64 = 316.22776601683796;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponents() {
+        assert_eq!(Strategy::BlitzCoin.exponent(), 0.5);
+        assert_eq!(Strategy::CentralizedRoundRobin.exponent(), 1.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_tau() {
+        let pts: Vec<(usize, f64)> = [4usize, 9, 16, 100]
+            .iter()
+            .map(|&n| (n, 0.2 * (n as f64).sqrt()))
+            .collect();
+        let fit = TauFit::fit(Strategy::BlitzCoin, &pts);
+        assert!((fit.tau_us - 0.2).abs() < 1e-12);
+        let lin: Vec<(usize, f64)> = [4usize, 8, 12].iter().map(|&n| (n, 0.96 * n as f64)).collect();
+        let fit2 = TauFit::fit(Strategy::CentralizedRoundRobin, &lin);
+        assert!((fit2.tau_us - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_max_solves_the_crossing() {
+        let fit = paper::bc();
+        let t_w = 1000.0; // 1 ms
+        let n = fit.n_max(t_w);
+        // at N_max, response == T_w / N_max
+        let resp = fit.response_us(n.round() as usize);
+        let need = t_w / n;
+        assert!((resp - need).abs() / need < 0.05, "resp={resp} need={need}");
+    }
+
+    #[test]
+    fn paper_headline_scaling_claims_hold() {
+        // "BlitzCoin can support N ~ 1000 accelerators for T_w >= 7.0 ms"
+        let n_bc = paper::bc().n_max(7000.0);
+        assert!(n_bc >= 900.0, "N_max(7ms) = {n_bc}");
+        // "and N ~ 100 for T_w >= 0.2 ms"
+        let n_bc_small = paper::bc().n_max(200.0);
+        assert!((80.0..130.0).contains(&n_bc_small), "N_max(0.2ms) = {n_bc_small}");
+        // 5.7-13.3x more accelerators than BC-C and C-RR
+        for t_w in [200.0, 1000.0, 7000.0] {
+            let r_bcc = paper::bc().n_max(t_w) / paper::bcc().n_max(t_w);
+            let r_crr = paper::bc().n_max(t_w) / paper::crr().n_max(t_w);
+            assert!(r_bcc > 3.0 && r_bcc < 15.0, "vs BC-C at {t_w}: {r_bcc}");
+            assert!(r_crr > 3.5 && r_crr < 15.0, "vs C-RR at {t_w}: {r_crr}");
+        }
+        // 3.2-6.2x more than TS
+        for t_w in [200.0, 1000.0, 7000.0] {
+            let r_ts = paper::bc().n_max(t_w) / paper::ts().n_max(t_w);
+            assert!(r_ts > 2.0 && r_ts < 8.0, "vs TS at {t_w}: {r_ts}");
+        }
+    }
+
+    #[test]
+    fn fig21_right_pm_fractions() {
+        // "for N=100 and T_w=10ms: C-RR 96%, BC-C 66%, TS 21%, BC 2.0%"
+        let t_w = 10_000.0;
+        let f_crr = paper::crr().pm_time_fraction(100, t_w);
+        let f_bcc = paper::bcc().pm_time_fraction(100, t_w);
+        let f_ts = paper::ts().pm_time_fraction(100, t_w);
+        let f_bc = paper::bc().pm_time_fraction(100, t_w);
+        assert!((f_crr - 0.96).abs() < 0.02, "{f_crr}");
+        assert!((f_bcc - 0.66).abs() < 0.02, "{f_bcc}");
+        assert!((f_ts - 0.22).abs() < 0.02, "{f_ts}");
+        assert!((f_bc - 0.02).abs() < 0.005, "{f_bc}");
+    }
+
+    #[test]
+    fn pm_fraction_above_one_means_over_capacity() {
+        let fit = paper::crr();
+        let n_max = fit.n_max(10_000.0);
+        assert!(fit.pm_time_fraction((n_max * 1.5) as usize, 10_000.0) > 1.0);
+        assert!(fit.pm_time_fraction((n_max * 0.5) as usize, 10_000.0) < 1.0);
+    }
+
+    #[test]
+    fn pt_hw_scaling() {
+        let sw = paper::pt_software();
+        let hw = paper::pt_hardware();
+        let ratio = sw.tau_us / hw.tau_us;
+        assert!((ratio - SW_TO_HW_SCALE).abs() / SW_TO_HW_SCALE < 0.01);
+        // BC supports 3.2-5.0x more than hardware-scaled PT
+        for t_w in [1000.0, 10_000.0] {
+            let r = paper::bc().n_max(t_w) / hw.n_max(t_w);
+            assert!(r > 2.0 && r < 7.0, "at {t_w}: {r}");
+        }
+    }
+
+    #[test]
+    fn response_prediction_matches_table1() {
+        // Table I: BC 0.39-0.77 us @ N=13
+        let r = paper::bc().response_us(13);
+        assert!((0.39..=0.97).contains(&r), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_fit_panics() {
+        TauFit::fit(Strategy::BlitzCoin, &[]);
+    }
+}

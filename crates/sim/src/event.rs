@@ -1,0 +1,187 @@
+//! Deterministic timestamped event queue.
+//!
+//! The full-SoC simulation in `blitzcoin-soc` advances by popping the
+//! earliest scheduled event. Determinism matters: the paper's evaluation
+//! (and ours) averages Monte-Carlo sweeps over seeds, so a given seed must
+//! always produce the same run. Events scheduled at the same timestamp are
+//! therefore delivered in FIFO order of scheduling, never in heap order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event that has been scheduled on an [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// The time at which the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number; breaks ties among equal timestamps.
+    pub seq: u64,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    // Reversed so that BinaryHeap (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10), 'b');
+/// q.schedule(SimTime::from_ns(5), 'a');
+/// assert_eq!(q.peek_time(), Some(SimTime::from_ns(5)));
+/// assert_eq!(q.pop().unwrap().payload, 'a');
+/// assert_eq!(q.pop().unwrap().payload, 'b');
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// Events scheduled at the same time are popped in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (pending or already popped).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Discards all pending events without resetting the sequence counter.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_at_equal_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), "a");
+        q.schedule(SimTime::from_ns(1), "b");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        q.schedule(SimTime::from_ns(2), "c");
+        q.schedule(SimTime::from_ns(5), "d"); // same time as "a", scheduled later
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "d");
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(3), 9);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(3)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # blitzcoin-sim
+//!
+//! Discrete-event simulation kernel and statistics substrate for the
+//! BlitzCoin reproduction.
+//!
+//! The BlitzCoin paper evaluates its decentralized power-management
+//! algorithm at two fidelities: a behavioural Monte-Carlo emulator
+//! (Section III) and cycle-accurate full-SoC RTL simulation (Sections V-VI).
+//! Both fidelities in this reproduction are built on the primitives in this
+//! crate:
+//!
+//! - [`SimTime`]: integer picosecond simulation time (the fabricated SoC's
+//!   NoC runs at 800 MHz, i.e. 1250 ps per NoC cycle), with exact integer
+//!   arithmetic so runs are bit-reproducible.
+//! - [`EventQueue`]: a deterministic priority queue of timestamped events
+//!   with FIFO tie-breaking at equal timestamps.
+//! - [`rng`]: seeded, portable random-number generation for Monte-Carlo
+//!   sweeps (ChaCha-based so results do not depend on platform or `rand`
+//!   version internals).
+//! - [`stats`]: online statistics, histograms and percentile summaries used
+//!   by every figure of the evaluation.
+//! - [`trace`]: time-weighted signal traces (power traces, coin traces,
+//!   frequency traces) with resampling, used by Figs 16, 19 and 20.
+//! - [`csv`]: tiny CSV emission helpers for the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use blitzcoin_sim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_noc_cycles(4), "later");
+//! q.schedule(SimTime::from_noc_cycles(1), "first");
+//! q.schedule(SimTime::from_noc_cycles(1), "second"); // FIFO at equal time
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+//! assert_eq!(order, ["first", "second", "later"]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, Summary};
+pub use time::SimTime;
+pub use trace::{StepTrace, TracePoint};

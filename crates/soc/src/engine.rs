@@ -1,0 +1,1470 @@
+//! The discrete-event full-SoC simulation engine.
+//!
+//! The engine advances a single deterministic event queue over:
+//!
+//! - **task execution**: each accelerator tile runs its task queue; work
+//!   progresses at the tile's instantaneous clock (work = ∫F dt), so a
+//!   frequency change reschedules the completion event;
+//! - **power management**: the configured manager reacts to activity
+//!   changes — BlitzCoin through per-tile FSMs exchanging coins over the
+//!   NoC model (with link contention), the centralized baselines through
+//!   notification + sequential update sweeps from the controller tile;
+//! - **actuation**: a frequency-target write takes effect after the UVFR
+//!   actuation delay (LDO slew + TDC settling), constant and parallel
+//!   across tiles.
+//!
+//! Every quantity in the paper's SoC evaluation falls out of this loop:
+//! execution time, per-transition response time, power/coin/frequency
+//! traces, utilization, and NoC traffic.
+
+use std::collections::VecDeque;
+
+use blitzcoin_core::exchange::{four_way_allocation, pairwise_exchange_stochastic};
+use blitzcoin_core::{AllocationPolicy, DynamicTiming, ExchangeMode, TileState};
+use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, TileId};
+use blitzcoin_power::{CoinLut, PowerModel};
+use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
+use serde::{Deserialize, Serialize};
+
+use crate::floorplan::SocConfig;
+use crate::manager::{ManagerKind, ManagerTiming};
+use crate::report::{ActivityChange, ResponseSample, SimReport};
+use crate::workload::{TaskId, Workload};
+use blitzcoin_baselines::{BccController, CrrController, CrrLevel};
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The power manager under test.
+    pub manager: ManagerKind,
+    /// Global accelerator power budget (mW).
+    pub budget_mw: f64,
+    /// Target-allocation policy (the paper's default is RP).
+    pub policy: AllocationPolicy,
+    /// Manager timing calibration.
+    pub timing: ManagerTiming,
+    /// BlitzCoin FSM refresh dynamics.
+    pub exchange_timing: DynamicTiming,
+    /// Exchange technique for the BlitzCoin FSMs (the fabricated design
+    /// uses 1-way; 4-way is provided for the Fig 3 comparison).
+    pub exchange_mode: ExchangeMode,
+    /// Random-pairing period, in base refresh intervals (0 disables).
+    pub pairing_period: u32,
+    /// Response-time convergence tolerance, in coins per tile.
+    pub response_tolerance: f64,
+    /// Coin-pool scale: the pool holds `63 * pool_scale` coins (coin value
+    /// `budget / (63 * pool_scale)`). The fabricated 6-bit design uses 1;
+    /// SoCs with many more than ~16 managed tiles need a finer economy or
+    /// the per-tile equilibrium falls below one coin (the hardware analog
+    /// is a wider coin register or hierarchical PM clusters).
+    pub pool_scale: u32,
+    /// Background accelerator-DMA traffic: every managed tile bursts this
+    /// many flits to the nearest memory tile each `dma_period_cycles`.
+    /// 0 disables. Models the memory traffic of real workloads.
+    pub dma_burst_flits: u32,
+    /// Period between DMA bursts per tile, in NoC cycles.
+    pub dma_period_cycles: u64,
+    /// Ablation: route coin messages on the DMA plane instead of plane 5,
+    /// so they contend with the bursts — quantifies why the BlitzCoin
+    /// integration reserves plane-5 access (Section IV-B).
+    pub share_plane_with_dma: bool,
+    /// Safety horizon: the run aborts (unfinished) past this time.
+    pub horizon: SimTime,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper's defaults for the given
+    /// manager and budget.
+    pub fn new(manager: ManagerKind, budget_mw: f64) -> Self {
+        assert!(budget_mw > 0.0, "budget must be positive");
+        SimConfig {
+            manager,
+            budget_mw,
+            policy: AllocationPolicy::RelativeProportional,
+            timing: ManagerTiming::default(),
+            // The SoC FSM uses "fast wake": any significant exchange drops
+            // the interval straight to the floor (k spans the whole range),
+            // so a freed budget propagates at the fast refresh rate.
+            exchange_timing: DynamicTiming {
+                k_cycles: 1024,
+                ..DynamicTiming::default()
+            },
+            exchange_mode: ExchangeMode::OneWay,
+            pairing_period: 16,
+            response_tolerance: 1.5,
+            pool_scale: 1,
+            dma_burst_flits: 0,
+            dma_period_cycles: 256,
+            share_plane_with_dma: false,
+            horizon: SimTime::from_ms(400),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration sized for a large SoC: the coin economy is scaled
+    /// so the average managed tile still holds tens of coins.
+    pub fn for_large_soc(manager: ManagerKind, budget_mw: f64, n_managed: usize) -> Self {
+        let pool_scale = (n_managed as u32 / 8).max(1);
+        SimConfig {
+            pool_scale,
+            // keep the convergence tolerance constant as a *fraction of the
+            // budget*, not in raw coins, so response times are comparable
+            // across economy scales
+            response_tolerance: 1.5 * pool_scale as f64,
+            ..SimConfig::new(manager, budget_mw)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    TaskDone { tile: usize, gen: u64 },
+    CoinFire { tile: usize, gen: u64 },
+    NotifyArrive,
+    SweepWrite { sweep: u64, step: usize },
+    WriteArrive { tile: usize, freq_centi_mhz: u64, coins: i64, sweep: u64, last: bool },
+    Rotate,
+    Actuate { tile: usize, gen: u64 },
+    DmaBurst { tile: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    task: TaskId,
+    remaining_kcycles: f64,
+    last: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct TileRt {
+    model: Option<PowerModel>,
+    lut: Option<CoinLut>,
+    managed: bool,
+    // coin state (managed tiles)
+    has: i64,
+    max: u64,
+    // frequency state
+    freq: f64,
+    target: f64,
+    actuate_gen: u64,
+    // task state
+    running: Option<Running>,
+    queue: VecDeque<TaskId>,
+    done_gen: u64,
+    // BlitzCoin FSM state
+    interval: u64,
+    rr: usize,
+    zero_rot: u32,
+    fire_gen: u64,
+    next_pairing: SimTime,
+    pair_offset: usize,
+    partners: Vec<usize>,
+}
+
+/// A configured full-SoC simulation, ready to run.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    soc: SocConfig,
+    wl: Workload,
+    cfg: SimConfig,
+    coin_value_mw: f64,
+    pool: u64,
+    top_pmax: f64,
+    /// Optional hierarchical PM clusters: a partition of the managed tile
+    /// ids. Coin exchange (and hence budget sharing) stays within a
+    /// cluster; each cluster owns a slice of the pool proportional to its
+    /// accelerators' combined P_max.
+    clusters: Option<Vec<Vec<usize>>>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `wl` on `soc` under `cfg`.
+    ///
+    /// The coin economy follows the 6-bit hardware: the pool is the
+    /// 64-level representation of the budget (one coin = `budget / 63`
+    /// mW, programmed into the per-tile LUTs through their CSRs), so the
+    /// allocation granularity scales with the budget and no tile's count
+    /// can exceed its 6-bit register. The idle floor of every managed
+    /// tile is drawn outside the coin economy and reserved up front, so
+    /// the enforced cap stays the stated budget.
+    pub fn new(soc: SocConfig, wl: Workload, cfg: SimConfig) -> Self {
+        let top_pmax = soc
+            .managed_tiles()
+            .iter()
+            .map(|&t| soc.power_model(t).expect("managed").p_max())
+            .fold(0.0, f64::max);
+        let coin_value_mw = cfg.budget_mw / (63.0 * cfg.pool_scale as f64);
+        let idle_floor: f64 = soc
+            .managed_tiles()
+            .iter()
+            .map(|&t| soc.power_model(t).expect("managed").idle_power())
+            .sum();
+        let pool = ((cfg.budget_mw - idle_floor).max(0.0) / coin_value_mw).round() as u64;
+        Simulation {
+            soc,
+            wl,
+            cfg,
+            coin_value_mw,
+            pool,
+            top_pmax,
+            clusters: None,
+        }
+    }
+
+    /// Like [`Simulation::new`], with the managed tiles partitioned into
+    /// hierarchical PM clusters (each inner vector lists managed tile
+    /// ids). Exchange — and therefore budget flexibility — is confined to
+    /// each cluster; smaller domains respond faster but cannot lend idle
+    /// budget across the boundary.
+    ///
+    /// # Panics
+    /// Panics unless the clusters exactly partition the managed tiles.
+    pub fn with_clusters(
+        soc: SocConfig,
+        wl: Workload,
+        cfg: SimConfig,
+        clusters: Vec<Vec<usize>>,
+    ) -> Self {
+        let mut sim = Simulation::new(soc, wl, cfg);
+        let mut covered: Vec<usize> = clusters.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        let mut managed: Vec<usize> = sim.soc.managed_tiles().iter().map(|t| t.index()).collect();
+        managed.sort_unstable();
+        assert_eq!(covered, managed, "clusters must partition the managed tiles");
+        sim.clusters = Some(clusters);
+        sim
+    }
+
+    /// Milliwatts represented by one coin in this economy.
+    pub fn coin_value_mw(&self) -> f64 {
+        self.coin_value_mw
+    }
+
+    /// Total coins in the pool (the budget, quantized).
+    pub fn pool(&self) -> u64 {
+        self.pool
+    }
+
+    /// Runs the simulation with the given seed and returns the report.
+    pub fn run(&self, seed: u64) -> SimReport {
+        Runner::new(self, SimRng::seed(seed)).run()
+    }
+}
+
+struct Runner<'a> {
+    sim: &'a Simulation,
+    rng: SimRng,
+    net: Network,
+    queue: EventQueue<Ev>,
+    tiles: Vec<TileRt>,
+    managed: Vec<usize>,
+    /// Cluster index per tile id (managed tiles only; usize::MAX elsewhere).
+    cluster_of: Vec<usize>,
+    n_clusters: usize,
+    now: SimTime,
+    // workload progress
+    deps_left: Vec<usize>,
+    completed: usize,
+    exec_end: SimTime,
+    // centralized managers
+    sweep_gen: u64,
+    sweep_plan: Vec<(usize, u64, i64)>,
+    rotation_step: usize,
+    // response measurement
+    pending_changes: Vec<SimTime>,
+    responses: Vec<ResponseSample>,
+    activity_changes: Vec<ActivityChange>,
+    // traces
+    coin_traces: Vec<StepTrace>,
+    freq_traces: Vec<StepTrace>,
+    power_traces: Vec<StepTrace>,
+    events: u64,
+}
+
+impl<'a> Runner<'a> {
+    fn new(sim: &'a Simulation, rng: SimRng) -> Self {
+        let soc = &sim.soc;
+        let managed: Vec<usize> = soc.managed_tiles().iter().map(|t| t.index()).collect();
+        let mut tiles: Vec<TileRt> = soc
+            .topology
+            .tiles()
+            .map(|id| {
+                let kind = soc.tiles[id.index()];
+                let model = kind.accel_class().map(PowerModel::of);
+                let lut = model
+                    .as_ref()
+                    .filter(|_| kind.is_managed())
+                    .map(|m| CoinLut::build(m, sim.coin_value_mw, 64));
+                let _ = id;
+                TileRt {
+                    model,
+                    lut,
+                    managed: kind.is_managed(),
+                    has: 0,
+                    max: 0,
+                    freq: 0.0,
+                    target: 0.0,
+                    actuate_gen: 0,
+                    running: None,
+                    queue: VecDeque::new(),
+                    done_gen: 0,
+                    interval: 64,
+                    rr: 0,
+                    zero_rot: 0,
+                    fire_gen: 0,
+                    next_pairing: SimTime::ZERO,
+                    pair_offset: 2,
+                    partners: Vec::new(),
+                }
+            })
+            .collect();
+        // hierarchical clusters: default one global domain
+        let mut cluster_of = vec![usize::MAX; soc.topology.len()];
+        let cluster_list: Vec<Vec<usize>> = match &sim.clusters {
+            Some(c) => c.clone(),
+            None => vec![managed.clone()],
+        };
+        for (ci, members) in cluster_list.iter().enumerate() {
+            for &t in members {
+                cluster_of[t] = ci;
+            }
+        }
+        // BlitzCoin exchange partners: the 4 nearest managed peers within
+        // the same cluster
+        for (mi, &ti) in managed.iter().enumerate() {
+            let me = TileId(ti);
+            let mut peers: Vec<(usize, usize)> = managed
+                .iter()
+                .enumerate()
+                .filter(|&(mj, &tj)| mj != mi && cluster_of[tj] == cluster_of[ti])
+                .map(|(_, &tj)| (soc.topology.hop_distance(me, TileId(tj)), tj))
+                .collect();
+            peers.sort();
+            tiles[ti].partners = peers.into_iter().take(4).map(|(_, tj)| tj).collect();
+        }
+        // initial coins: each cluster owns a pool slice proportional to
+        // its accelerators' combined P_max, split equally inside
+        let total_pmax: f64 = managed
+            .iter()
+            .map(|&t| soc.power_model(TileId(t)).expect("managed").p_max())
+            .sum();
+        for members in &cluster_list {
+            let cluster_pmax: f64 = members
+                .iter()
+                .map(|&t| soc.power_model(TileId(t)).expect("managed").p_max())
+                .sum();
+            let cluster_pool =
+                (sim.pool as f64 * cluster_pmax / total_pmax).round() as u64;
+            let n = members.len() as u64;
+            for (k, &ti) in members.iter().enumerate() {
+                let base = cluster_pool / n;
+                let extra = u64::from((k as u64) < cluster_pool % n);
+                tiles[ti].has = (base + extra) as i64;
+            }
+        }
+        let n_clusters = cluster_list.len();
+        let coin_traces = managed
+            .iter()
+            .map(|&ti| {
+                let mut tr = StepTrace::new(format!("coins_t{ti}"));
+                tr.record(SimTime::ZERO, tiles[ti].has as f64);
+                tr
+            })
+            .collect();
+        let freq_traces = managed
+            .iter()
+            .map(|&ti| StepTrace::new(format!("freq_t{ti}")))
+            .collect();
+        let power_traces = managed
+            .iter()
+            .map(|&ti| StepTrace::new(format!("power_t{ti}")))
+            .collect();
+        let deps_left = sim.wl.tasks().iter().map(|t| t.deps.len()).collect();
+        Runner {
+            sim,
+            rng,
+            net: Network::new(soc.topology, NetworkConfig::default()),
+            queue: EventQueue::new(),
+            tiles,
+            managed,
+            cluster_of,
+            n_clusters,
+            now: SimTime::ZERO,
+            deps_left,
+            completed: 0,
+            exec_end: SimTime::ZERO,
+            sweep_gen: 0,
+            sweep_plan: Vec::new(),
+            rotation_step: 0,
+            pending_changes: Vec::new(),
+            responses: Vec::new(),
+            activity_changes: Vec::new(),
+            coin_traces,
+            freq_traces,
+            power_traces,
+            events: 0,
+        }
+    }
+
+    fn cfg(&self) -> &SimConfig {
+        &self.sim.cfg
+    }
+
+    /// The plane coin messages travel on: plane 5 normally, or the DMA
+    /// plane under the plane-sharing ablation.
+    fn coin_plane(&self) -> blitzcoin_noc::Plane {
+        if self.cfg().share_plane_with_dma {
+            blitzcoin_noc::Plane::Dma1
+        } else {
+            blitzcoin_noc::Plane::MmioIrq
+        }
+    }
+
+    // -- helpers ------------------------------------------------------
+
+    /// kcycles of work per microsecond at the tile's current clock.
+    fn rate(&self, ti: usize) -> f64 {
+        let rt = &self.tiles[ti];
+        let model = rt.model.as_ref().expect("accelerator tile");
+        if rt.freq > 0.0 {
+            rt.freq / 1000.0
+        } else {
+            // idle-floor clock: F_min scaled down 7.5x at minimum voltage
+            model.f_min() / 7.5 / 1000.0
+        }
+    }
+
+    fn tile_power(&self, ti: usize) -> f64 {
+        let rt = &self.tiles[ti];
+        match (&rt.model, &rt.running) {
+            (Some(m), Some(_)) if rt.freq > 0.0 => m.power_at(rt.freq),
+            (Some(m), _) => m.idle_power(),
+            (None, _) => 0.0,
+        }
+    }
+
+    fn record_power(&mut self, ti: usize) {
+        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+            let p = self.tile_power(ti);
+            self.power_traces[slot].record(self.now, p);
+        }
+    }
+
+    fn record_coins(&mut self, ti: usize) {
+        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+            let h = self.tiles[ti].has as f64;
+            self.coin_traces[slot].record(self.now, h);
+        }
+    }
+
+    /// Updates task progress on `ti` at the current time and rate.
+    fn update_progress(&mut self, ti: usize) {
+        let rate = if self.tiles[ti].running.is_some() {
+            self.rate(ti)
+        } else {
+            return;
+        };
+        let now = self.now;
+        if let Some(run) = self.tiles[ti].running.as_mut() {
+            let dt = (now - run.last).as_us_f64();
+            run.remaining_kcycles = (run.remaining_kcycles - dt * rate).max(0.0);
+            run.last = now;
+        }
+    }
+
+    fn schedule_completion(&mut self, ti: usize) {
+        self.tiles[ti].done_gen += 1;
+        let gen = self.tiles[ti].done_gen;
+        let rate = if self.tiles[ti].running.is_some() {
+            self.rate(ti)
+        } else {
+            return;
+        };
+        let remaining = self.tiles[ti].running.as_ref().expect("running").remaining_kcycles;
+        let dur = SimTime::from_us_f64((remaining / rate).max(0.0));
+        self.queue
+            .schedule(self.now + dur, Ev::TaskDone { tile: ti, gen });
+    }
+
+    /// Commands a new frequency target; the tile clock follows after the
+    /// UVFR actuation delay.
+    fn set_target(&mut self, ti: usize, f_mhz: f64) {
+        if (self.tiles[ti].target - f_mhz).abs() < 1e-9 {
+            return;
+        }
+        self.tiles[ti].target = f_mhz;
+        self.tiles[ti].actuate_gen += 1;
+        let gen = self.tiles[ti].actuate_gen;
+        let delay = SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
+        self.queue.schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
+    }
+
+    /// The RP/AP `max` target for a managed tile when active: RP scales
+    /// targets so the hungriest tile's is the full 6-bit range (the
+    /// proportions, not the coin value, encode the policy).
+    fn policy_max(&self, ti: usize) -> u64 {
+        let model = self.tiles[ti].model.as_ref().expect("managed tile");
+        match self.cfg().policy {
+            AllocationPolicy::AbsoluteProportional => 63,
+            AllocationPolicy::RelativeProportional => {
+                (63.0 * model.p_max() / self.sim.top_pmax).round().max(1.0) as u64
+            }
+        }
+    }
+
+    /// Applies a coin count to a managed tile's frequency target via its
+    /// LUT (only meaningful while it runs; idle tiles clock-gate).
+    fn apply_coins(&mut self, ti: usize) {
+        if self.tiles[ti].running.is_some() {
+            let f = {
+                let rt = &self.tiles[ti];
+                rt.lut.as_ref().expect("managed").f_target(rt.has as i32)
+            };
+            self.set_target(ti, f);
+        } else {
+            self.set_target(ti, 0.0);
+        }
+    }
+
+    // -- task lifecycle -------------------------------------------------
+
+    fn enqueue_task(&mut self, task: TaskId) {
+        let ti = self.sim.wl.tasks()[task.0].tile.index();
+        self.tiles[ti].queue.push_back(task);
+        self.pump(ti);
+    }
+
+    fn pump(&mut self, ti: usize) {
+        if self.tiles[ti].running.is_some() {
+            return;
+        }
+        let Some(task) = self.tiles[ti].queue.pop_front() else {
+            // stream ended: deactivate
+            if self.tiles[ti].managed && self.tiles[ti].max != 0 {
+                self.tiles[ti].max = 0;
+                self.apply_coins(ti);
+                self.on_activity_change(ti);
+            }
+            self.record_power(ti);
+            return;
+        };
+        let work = self.sim.wl.tasks()[task.0].work_kcycles;
+        self.tiles[ti].running = Some(Running {
+            task,
+            remaining_kcycles: work,
+            last: self.now,
+        });
+        if self.tiles[ti].managed {
+            if self.tiles[ti].max == 0 {
+                // activation: execution begins on this tile
+                self.tiles[ti].max = self.policy_max(ti);
+                self.apply_coins(ti);
+                self.on_activity_change(ti);
+            }
+        } else {
+            // unmanaged accelerators always run at F_max
+            let fmax = self.tiles[ti].model.as_ref().expect("accelerator").f_max();
+            self.set_target(ti, fmax);
+        }
+        self.record_power(ti);
+        self.schedule_completion(ti);
+    }
+
+    fn on_task_done(&mut self, ti: usize, gen: u64) {
+        if gen != self.tiles[ti].done_gen {
+            return;
+        }
+        self.update_progress(ti);
+        let run = self.tiles[ti].running.take().expect("completion without task");
+        debug_assert!(run.remaining_kcycles < 1e-6);
+        self.completed += 1;
+        self.exec_end = self.now;
+        // release dependents
+        let done_id = run.task;
+        let ready: Vec<TaskId> = self
+            .sim
+            .wl
+            .tasks()
+            .iter()
+            .filter(|t| t.deps.contains(&done_id))
+            .map(|t| t.id)
+            .filter(|t| {
+                self.deps_left[t.0] -= 1;
+                self.deps_left[t.0] == 0
+            })
+            .collect();
+        self.pump(ti);
+        for t in ready {
+            self.enqueue_task(t);
+        }
+    }
+
+    // -- manager reactions ----------------------------------------------
+
+    fn on_activity_change(&mut self, ti: usize) {
+        self.activity_changes.push(ActivityChange {
+            tile: ti,
+            at_us: self.now.as_us_f64(),
+            active: self.tiles[ti].max > 0,
+        });
+        self.pending_changes.push(self.now);
+        match self.cfg().manager {
+            ManagerKind::BlitzCoin => {
+                // the local FSM reacts immediately at the fast refresh rate
+                let min_cycles = self.cfg().exchange_timing.min_cycles;
+                let rt = &mut self.tiles[ti];
+                rt.interval = min_cycles;
+                rt.zero_rot = 0;
+                rt.fire_gen += 1;
+                let gen = rt.fire_gen;
+                let at = self.now + SimTime::from_noc_cycles(rt.interval);
+                self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+                // an activity change may already satisfy the tolerance
+                self.check_bc_response();
+            }
+            ManagerKind::BcCentralized | ManagerKind::CentralizedRoundRobin => {
+                let pkt = Packet::new(
+                    TileId(ti),
+                    self.sim.soc.controller_tile(),
+                    blitzcoin_noc::Plane::MmioIrq,
+                    PacketKind::RegWrite { value: ti as u64 },
+                );
+                let arrive = self.net.send(self.now, &pkt);
+                self.queue.schedule(arrive, Ev::NotifyArrive);
+            }
+            ManagerKind::Static => {
+                // static allocation never responds; don't count a pending
+                // change that can never be drained
+                self.pending_changes.pop();
+            }
+        }
+    }
+
+    // -- BlitzCoin FSM ----------------------------------------------------
+
+    fn on_coin_fire(&mut self, ti: usize, gen: u64) {
+        if gen != self.tiles[ti].fire_gen {
+            return;
+        }
+        if self.cfg().exchange_mode == ExchangeMode::FourWay {
+            self.four_way_fire(ti);
+            return;
+        }
+        let dt = self.cfg().exchange_timing;
+        // partner selection: time-based random pairing, else round-robin
+        let pairing_iv = SimTime::from_noc_cycles(
+            self.cfg().pairing_period as u64 * dt.base_cycles,
+        );
+        let use_pairing = self.cfg().pairing_period > 0
+            && self.now >= self.tiles[ti].next_pairing
+            && self.managed.len() > 2;
+        let partner = if use_pairing {
+            self.tiles[ti].next_pairing = self.now + pairing_iv;
+            self.select_pairing_partner(ti)
+        } else {
+            let rt = &mut self.tiles[ti];
+            if rt.partners.is_empty() {
+                None
+            } else {
+                let p = rt.partners[rt.rr % rt.partners.len()];
+                rt.rr = (rt.rr + 1) % rt.partners.len();
+                Some(p)
+            }
+        };
+        let Some(pj) = partner else {
+            // nothing to exchange with; retry at base rate
+            let rt = &mut self.tiles[ti];
+            rt.fire_gen += 1;
+            let gen = rt.fire_gen;
+            let at = self.now + SimTime::from_noc_cycles(dt.base_cycles);
+            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+            return;
+        };
+
+        // status + update over the NoC (plane 5, with contention)
+        let me = TileId(ti);
+        let other = TileId(pj);
+        let status = Packet::new(
+            me,
+            other,
+            self.coin_plane(),
+            PacketKind::CoinStatus {
+                has: self.tiles[ti].has as i32,
+                max: self.tiles[ti].max as u32,
+            },
+        );
+        let t_status = self.net.send(self.now, &status);
+        let a = TileState::new(self.tiles[ti].has, self.tiles[ti].max);
+        let b = TileState::new(self.tiles[pj].has, self.tiles[pj].max);
+        let out = pairwise_exchange_stochastic(a, b, &mut self.rng);
+        let update = Packet::new(
+            other,
+            me,
+            self.coin_plane(),
+            PacketKind::CoinUpdate { delta: out.moved as i32 },
+        );
+        let t_update = self.net.send(t_status, &update);
+        let latency = (t_update - self.now) + SimTime::from_noc_cycles(1);
+
+        if out.moved != 0 {
+            self.tiles[ti].has = out.new_i;
+            self.tiles[pj].has = out.new_j;
+            self.record_coins(ti);
+            self.record_coins(pj);
+            self.apply_coins(ti);
+            self.apply_coins(pj);
+        }
+
+        let significant = dt.is_significant(out.moved);
+        // own reschedule
+        {
+            let rt = &mut self.tiles[ti];
+            rt.interval = if significant {
+                rt.zero_rot = 0;
+                dt.next_interval(rt.interval, out.moved)
+            } else {
+                rt.zero_rot += 1;
+                let rot = rt.partners.len().max(1) as u32;
+                if rt.zero_rot % rot == 0 {
+                    dt.next_interval(rt.interval, 0)
+                } else {
+                    rt.interval
+                }
+            };
+            rt.fire_gen += 1;
+            let gen = rt.fire_gen;
+            let at = self.now + latency + SimTime::from_noc_cycles(rt.interval);
+            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+        }
+        // partner wake-up on significant movement
+        if significant {
+            let rp = &mut self.tiles[pj];
+            rp.zero_rot = 0;
+            rp.interval = dt.next_interval(rp.interval, out.moved);
+            rp.fire_gen += 1;
+            let gen = rp.fire_gen;
+            let at = self.now + latency + SimTime::from_noc_cycles(rp.interval);
+            self.queue.schedule(at, Ev::CoinFire { tile: pj, gen });
+        }
+        self.check_bc_response();
+    }
+
+    /// One 4-way group exchange: the tile solicits all partners, applies
+    /// the 5-tile fair redistribution, and pushes updates — 12 messages
+    /// serialized through its injection port (Algorithm 1).
+    fn four_way_fire(&mut self, ti: usize) {
+        let dt = self.cfg().exchange_timing;
+        let partners = self.tiles[ti].partners.clone();
+        if partners.is_empty() {
+            return;
+        }
+        let me = TileId(ti);
+        // request + status + update per partner over the NoC
+        let mut last_arrival = self.now;
+        for &pj in &partners {
+            let req = Packet::coin(me, TileId(pj), PacketKind::CoinRequest);
+            let t_req = self.net.send(self.now, &req);
+            let status = Packet::coin(
+                TileId(pj),
+                me,
+                PacketKind::CoinStatus {
+                    has: self.tiles[pj].has as i32,
+                    max: self.tiles[pj].max as u32,
+                },
+            );
+            let t_status = self.net.send(t_req, &status);
+            let update = Packet::coin(me, TileId(pj), PacketKind::CoinUpdate { delta: 0 });
+            let t_update = self.net.send(t_status, &update);
+            last_arrival = last_arrival.max(t_update);
+        }
+        let latency = (last_arrival - self.now) + SimTime::from_noc_cycles(2);
+
+        let mut idx = Vec::with_capacity(partners.len() + 1);
+        idx.push(ti);
+        idx.extend(partners.iter().copied());
+        let group: Vec<TileState> = idx
+            .iter()
+            .map(|&k| TileState::new(self.tiles[k].has, self.tiles[k].max))
+            .collect();
+        let alloc = four_way_allocation(&group);
+        let mut moved_total = 0i64;
+        for (slot, &k) in idx.iter().enumerate() {
+            let delta = alloc[slot] - self.tiles[k].has;
+            if delta != 0 {
+                moved_total += delta.abs();
+                self.tiles[k].has = alloc[slot];
+                self.record_coins(k);
+                self.apply_coins(k);
+            }
+        }
+        let significant = dt.is_significant(moved_total);
+        let rt = &mut self.tiles[ti];
+        rt.interval = if significant {
+            rt.zero_rot = 0;
+            dt.next_interval(rt.interval, moved_total)
+        } else {
+            rt.zero_rot += 1;
+            if rt.zero_rot % 4 == 0 {
+                dt.next_interval(rt.interval, 0)
+            } else {
+                rt.interval
+            }
+        };
+        rt.fire_gen += 1;
+        let gen = rt.fire_gen;
+        let at = self.now + latency + SimTime::from_noc_cycles(rt.interval);
+        self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+        if significant {
+            for &pj in &partners {
+                let rp = &mut self.tiles[pj];
+                rp.zero_rot = 0;
+                rp.interval = dt.next_interval(rp.interval, moved_total);
+                rp.fire_gen += 1;
+                let gen = rp.fire_gen;
+                let at = self.now + latency + SimTime::from_noc_cycles(rp.interval);
+                self.queue.schedule(at, Ev::CoinFire { tile: pj, gen });
+            }
+        }
+        self.check_bc_response();
+    }
+
+    fn select_pairing_partner(&mut self, ti: usize) -> Option<usize> {
+        let pos = self.managed.iter().position(|&t| t == ti).expect("managed");
+        let n = self.managed.len();
+        for _ in 0..n {
+            let cand = self.managed[(pos + self.tiles[ti].pair_offset) % n];
+            self.tiles[ti].pair_offset =
+                if self.tiles[ti].pair_offset + 1 >= n { 1 } else { self.tiles[ti].pair_offset + 1 };
+            if cand != ti
+                && self.cluster_of[cand] == self.cluster_of[ti]
+                && !self.tiles[ti].partners.contains(&cand)
+            {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Whether the coin distribution matches the current activity's
+    /// proportional targets within tolerance; drains pending responses.
+    fn check_bc_response(&mut self) {
+        if self.pending_changes.is_empty() {
+            return;
+        }
+        // convergence is per PM cluster: each domain equalizes its own
+        // has/max ratio against its own pool slice
+        let ok = (0..self.n_clusters).all(|ci| {
+            let members: Vec<usize> = self
+                .managed
+                .iter()
+                .copied()
+                .filter(|&t| self.cluster_of[t] == ci)
+                .collect();
+            let total_max: u64 = members.iter().map(|&t| self.tiles[t].max).sum();
+            if total_max == 0 {
+                return true;
+            }
+            let total_has: i64 = members.iter().map(|&t| self.tiles[t].has).sum();
+            let alpha = total_has as f64 / total_max as f64;
+            members.iter().all(|&t| {
+                let target = alpha * self.tiles[t].max as f64;
+                (self.tiles[t].has as f64 - target).abs() <= self.cfg().response_tolerance
+            })
+        });
+        if ok {
+            let now = self.now;
+            for t0 in self.pending_changes.drain(..) {
+                self.responses.push(ResponseSample {
+                    at_us: t0.as_us_f64(),
+                    response_us: (now - t0).as_us_f64(),
+                });
+            }
+        }
+    }
+
+    // -- centralized managers ---------------------------------------------
+
+    fn start_sweep(&mut self) {
+        self.sweep_gen += 1;
+        // Plan once per sweep (a per-step recompute could change mid-sweep)
+        // and write downgrades before upgrades so the cap is never
+        // transiently exceeded by a newly-granted tile actuating before a
+        // revoked one.
+        let mut plan: Vec<(usize, u64, i64)> = self
+            .managed
+            .iter()
+            .zip(self.compute_plan())
+            .map(|(&t, (f, c))| (t, f, c))
+            .collect();
+        plan.sort_by_key(|&(t, f, _)| {
+            let current = (self.tiles[t].target * 100.0).round() as u64;
+            (f > current, t)
+        });
+        self.sweep_plan = plan;
+        let service = match self.cfg().manager {
+            ManagerKind::BcCentralized => self.cfg().timing.bcc_service_cycles,
+            _ => self.cfg().timing.crr_service_cycles,
+        };
+        let at = self.now + SimTime::from_noc_cycles(service);
+        self.queue.schedule(
+            at,
+            Ev::SweepWrite {
+                sweep: self.sweep_gen,
+                step: 0,
+            },
+        );
+    }
+
+    /// The plan of one sweep: per managed tile, the commanded frequency
+    /// (centi-MHz, kept integral so events stay `Eq`) and coin bookkeeping.
+    fn compute_plan(&self) -> Vec<(u64, i64)> {
+        match self.cfg().manager {
+            ManagerKind::BcCentralized => {
+                let maxes: Vec<u64> = self.managed.iter().map(|&t| self.tiles[t].max).collect();
+                let alloc = BccController::new(self.sim.pool).allocate(&maxes);
+                self.managed
+                    .iter()
+                    .zip(&alloc)
+                    .map(|(&t, &coins)| {
+                        let rt = &self.tiles[t];
+                        let f = if rt.running.is_some() {
+                            rt.lut.as_ref().expect("managed").f_target(coins as i32)
+                        } else {
+                            0.0
+                        };
+                        ((f * 100.0).round() as u64, coins)
+                    })
+                    .collect()
+            }
+            ManagerKind::CentralizedRoundRobin => {
+                let p_max: Vec<f64> = self
+                    .managed
+                    .iter()
+                    .map(|&t| self.tiles[t].model.as_ref().expect("acc").p_max())
+                    .collect();
+                let p_min: Vec<f64> = self
+                    .managed
+                    .iter()
+                    .map(|&t| self.tiles[t].model.as_ref().expect("acc").p_min())
+                    .collect();
+                let active: Vec<bool> = self
+                    .managed
+                    .iter()
+                    .map(|&t| self.tiles[t].running.is_some() || !self.tiles[t].queue.is_empty())
+                    .collect();
+                let crr = CrrController::new(p_max, p_min, self.cfg().budget_mw);
+                let levels = crr.allocation(&active, self.rotation_step);
+                self.managed
+                    .iter()
+                    .zip(&levels)
+                    .map(|(&t, level)| {
+                        let m = self.tiles[t].model.as_ref().expect("acc");
+                        let f = match level {
+                            CrrLevel::Max => m.f_max(),
+                            CrrLevel::Min => m.f_min(),
+                            CrrLevel::Off => 0.0,
+                        };
+                        ((f * 100.0).round() as u64, 0)
+                    })
+                    .collect()
+            }
+            _ => unreachable!("sweeps only run for centralized managers"),
+        }
+    }
+
+    fn on_sweep_write(&mut self, sweep: u64, step: usize) {
+        if sweep != self.sweep_gen {
+            return; // superseded by a newer sweep
+        }
+        let (ti, freq_centi_mhz, coins) = self.sweep_plan[step];
+        let pkt = Packet::new(
+            self.sim.soc.controller_tile(),
+            TileId(ti),
+            blitzcoin_noc::Plane::MmioIrq,
+            PacketKind::RegWrite { value: freq_centi_mhz },
+        );
+        let arrive = self.net.send(self.now, &pkt);
+        let last = step + 1 == self.sweep_plan.len();
+        self.queue.schedule(
+            arrive,
+            Ev::WriteArrive {
+                tile: ti,
+                freq_centi_mhz,
+                coins,
+                sweep,
+                last,
+            },
+        );
+        if !last {
+            let service = match self.cfg().manager {
+                ManagerKind::BcCentralized => self.cfg().timing.bcc_service_cycles,
+                _ => self.cfg().timing.crr_service_cycles,
+            };
+            let at = self.now + SimTime::from_noc_cycles(service);
+            self.queue.schedule(at, Ev::SweepWrite { sweep, step: step + 1 });
+        }
+    }
+
+    fn on_write_arrive(&mut self, ti: usize, freq_centi_mhz: u64, coins: i64, sweep: u64, last: bool) {
+        if self.cfg().manager == ManagerKind::BcCentralized {
+            self.tiles[ti].has = coins;
+            self.record_coins(ti);
+        }
+        let f = freq_centi_mhz as f64 / 100.0;
+        // apply only while the tile runs; idle tiles stay clock-gated
+        if self.tiles[ti].running.is_some() {
+            self.set_target(ti, f);
+        } else {
+            self.set_target(ti, 0.0);
+        }
+        if last && sweep == self.sweep_gen {
+            let done = self.now + SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
+            let drained: Vec<SimTime> = self.pending_changes.drain(..).collect();
+            for t0 in drained {
+                self.responses.push(ResponseSample {
+                    at_us: t0.as_us_f64(),
+                    response_us: (done - t0).as_us_f64(),
+                });
+            }
+        }
+    }
+
+    /// Sends one DMA burst from `ti` to its nearest memory tile and
+    /// schedules the next.
+    fn on_dma_burst(&mut self, ti: usize) {
+        let topo = self.sim.soc.topology;
+        let me = TileId(ti);
+        let mem = topo
+            .tiles()
+            .filter(|t| matches!(self.sim.soc.tiles[t.index()], crate::floorplan::TileKind::Memory))
+            .min_by_key(|&t| topo.hop_distance(me, t));
+        if let Some(mem) = mem {
+            let burst = Packet::new(
+                me,
+                mem,
+                blitzcoin_noc::Plane::Dma1,
+                PacketKind::DmaBurst {
+                    flits: self.cfg().dma_burst_flits,
+                },
+            );
+            self.net.send(self.now, &burst);
+        }
+        let at = self.now + SimTime::from_noc_cycles(self.cfg().dma_period_cycles.max(1));
+        self.queue.schedule(at, Ev::DmaBurst { tile: ti });
+    }
+
+    // -- main loop ---------------------------------------------------------
+
+    fn run(mut self) -> SimReport {
+        // kick off the workload
+        let roots = self.sim.wl.roots();
+        for t in roots {
+            self.enqueue_task(t);
+        }
+        match self.cfg().manager {
+            ManagerKind::BlitzCoin => {
+                let base = self.cfg().exchange_timing.base_cycles;
+                let pairing_iv = self.cfg().pairing_period as u64 * base;
+                for k in 0..self.managed.len() {
+                    let ti = self.managed[k];
+                    let phase = self.rng.range_u64(0..base);
+                    let rt = &mut self.tiles[ti];
+                    rt.interval = base;
+                    rt.fire_gen += 1;
+                    let gen = rt.fire_gen;
+                    rt.next_pairing = SimTime::from_noc_cycles(phase + pairing_iv);
+                    self.queue
+                        .schedule(SimTime::from_noc_cycles(phase), Ev::CoinFire { tile: ti, gen });
+                }
+            }
+            ManagerKind::CentralizedRoundRobin => {
+                let at = SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
+                self.queue.schedule(at, Ev::Rotate);
+            }
+            ManagerKind::BcCentralized => {}
+            ManagerKind::Static => {
+                // fixed design-time shares proportional to each tile's
+                // P_max, set once at boot and never revisited
+                let total_pmax: f64 = self
+                    .managed
+                    .iter()
+                    .map(|&t| self.tiles[t].model.as_ref().expect("managed").p_max())
+                    .sum();
+                for k in 0..self.managed.len() {
+                    let ti = self.managed[k];
+                    let (share, f) = {
+                        let m = self.tiles[ti].model.as_ref().expect("managed");
+                        let share = self.cfg().budget_mw * m.p_max() / total_pmax;
+                        let f = if share < m.p_min() {
+                            0.0
+                        } else {
+                            m.freq_for_power(share)
+                        };
+                        (share, f)
+                    };
+                    // a static tile runs at its share whenever it has work
+                    self.tiles[ti].has = (share / self.sim.coin_value_mw) as i64;
+                    if self.tiles[ti].running.is_some() {
+                        self.set_target(ti, f);
+                    }
+                }
+            }
+        }
+
+        if self.cfg().dma_burst_flits > 0 {
+            for k in 0..self.managed.len() {
+                let ti = self.managed[k];
+                let phase = self.rng.range_u64(0..self.cfg().dma_period_cycles.max(1));
+                self.queue
+                    .schedule(SimTime::from_noc_cycles(phase), Ev::DmaBurst { tile: ti });
+            }
+        }
+
+        let total_tasks = self.sim.wl.len();
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            self.events += 1;
+            if self.now > self.cfg().horizon {
+                break;
+            }
+            match ev.payload {
+                Ev::TaskDone { tile, gen } => self.on_task_done(tile, gen),
+                Ev::CoinFire { tile, gen } => self.on_coin_fire(tile, gen),
+                Ev::NotifyArrive => self.start_sweep(),
+                Ev::SweepWrite { sweep, step } => self.on_sweep_write(sweep, step),
+                Ev::WriteArrive {
+                    tile,
+                    freq_centi_mhz,
+                    coins,
+                    sweep,
+                    last,
+                } => self.on_write_arrive(tile, freq_centi_mhz, coins, sweep, last),
+                Ev::Rotate => {
+                    self.rotation_step += 1;
+                    if self.pending_changes.is_empty() {
+                        self.start_sweep();
+                    }
+                    let at = self.now
+                        + SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
+                    self.queue.schedule(at, Ev::Rotate);
+                }
+                Ev::DmaBurst { tile } => self.on_dma_burst(tile),
+                Ev::Actuate { tile, gen } => {
+                    if gen == self.tiles[tile].actuate_gen {
+                        self.update_progress(tile);
+                        self.tiles[tile].freq = self.tiles[tile].target;
+                        let f = self.tiles[tile].freq;
+                        if let Some(slot) = self.managed.iter().position(|&t| t == tile) {
+                            self.freq_traces[slot].record(self.now, f);
+                        }
+                        self.record_power(tile);
+                        self.schedule_completion(tile);
+                    }
+                }
+            }
+            if self.completed == total_tasks && self.pending_changes.is_empty() {
+                break;
+            }
+            // a static run never drains pending responses; stop at completion
+            if self.completed == total_tasks && self.cfg().manager == ManagerKind::Static {
+                break;
+            }
+        }
+
+        let finished = self.completed == total_tasks;
+        let refs: Vec<&StepTrace> = self.power_traces.iter().collect();
+        let power = StepTrace::sum("power_total_mw", &refs);
+        SimReport {
+            finished,
+            exec_time: self.exec_end,
+            responses: self.responses,
+            activity_changes: self.activity_changes,
+            power,
+            tile_power: self.power_traces,
+            coin_traces: self.coin_traces,
+            freq_traces: self.freq_traces,
+            managed_tiles: self.managed,
+            budget_mw: self.sim.cfg.budget_mw,
+            noc: self.net.stats().clone(),
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{soc_3x3, soc_4x4};
+    use crate::workload::{av_dependent, av_parallel};
+
+    fn run(manager: ManagerKind, budget: f64, frames: usize) -> SimReport {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, frames);
+        Simulation::new(soc, wl, SimConfig::new(manager, budget)).run(7)
+    }
+
+    #[test]
+    fn all_managers_finish_the_workload() {
+        for m in ManagerKind::ALL {
+            let r = run(m, 120.0, 1);
+            assert!(r.finished, "{m} did not finish");
+            assert!(r.exec_time_us() > 100.0, "{m}: {}", r.exec_time_us());
+        }
+    }
+
+    #[test]
+    fn bc_beats_crr_on_throughput() {
+        let bc = run(ManagerKind::BlitzCoin, 120.0, 2);
+        let crr = run(ManagerKind::CentralizedRoundRobin, 120.0, 2);
+        assert!(
+            bc.exec_time_us() < crr.exec_time_us(),
+            "BC {} vs C-RR {}",
+            bc.exec_time_us(),
+            crr.exec_time_us()
+        );
+    }
+
+    #[test]
+    fn bc_response_is_microseconds_and_faster_than_centralized() {
+        let bc = run(ManagerKind::BlitzCoin, 120.0, 2);
+        let bcc = run(ManagerKind::BcCentralized, 120.0, 2);
+        let crr = run(ManagerKind::CentralizedRoundRobin, 120.0, 2);
+        let (rb, rc, rr) = (
+            bc.mean_response_us().expect("bc responses"),
+            bcc.mean_response_us().expect("bcc responses"),
+            crr.mean_response_us().expect("crr responses"),
+        );
+        assert!(rb < rc, "BC {rb} vs BC-C {rc}");
+        assert!(rc < rr, "BC-C {rc} vs C-RR {rr}");
+        assert!(rb < 5.0, "BC response should be ~1 us scale: {rb}");
+    }
+
+    #[test]
+    fn budget_is_enforced_up_to_actuation_transients() {
+        for m in [ManagerKind::BlitzCoin, ManagerKind::BcCentralized] {
+            let r = run(m, 120.0, 2);
+            // allow one coin of quantization plus actuation transients
+            assert!(
+                r.peak_overshoot_mw() <= 0.15 * r.budget_mw,
+                "{m}: peak {} over budget {}",
+                r.peak_power_mw(),
+                r.budget_mw
+            );
+            assert!(r.utilization() > 0.3, "{m}: utilization {}", r.utilization());
+        }
+    }
+
+    #[test]
+    fn higher_budget_runs_faster() {
+        let lo = run(ManagerKind::BlitzCoin, 60.0, 2);
+        let hi = run(ManagerKind::BlitzCoin, 120.0, 2);
+        assert!(hi.exec_time_us() < lo.exec_time_us());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let soc = soc_3x3();
+        let wl = av_dependent(&soc, 2);
+        let cfg = SimConfig::new(ManagerKind::BlitzCoin, 60.0);
+        let a = Simulation::new(soc.clone(), wl.clone(), cfg).run(5);
+        let b = Simulation::new(soc, wl, cfg).run(5);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn dependent_workload_runs_under_low_budget() {
+        let soc = soc_3x3();
+        let wl = av_dependent(&soc, 2);
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 60.0)).run(3);
+        assert!(r.finished);
+        // WL-Dep at 60 mW is feasible because only a subset runs at a time
+        assert!(r.utilization() > 0.2 && r.utilization() <= 1.1, "{}", r.utilization());
+    }
+
+    #[test]
+    fn coin_conservation_in_bc_runs() {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 1);
+        let sim = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0));
+        let pool = sim.pool() as f64;
+        let r = sim.run(11);
+        let total_end: f64 = r.coin_traces.iter().map(|t| t.last_value()).sum();
+        assert!((total_end - pool).abs() < 1e-9, "pool {pool} ended as {total_end}");
+    }
+
+    #[test]
+    fn unmanaged_accelerators_run_at_fmax_outside_the_budget() {
+        // the FFT No-PM baseline tile of the fabricated SoC: it executes
+        // tasks at full speed and its power is not charged to the managed
+        // budget
+        use crate::floorplan::soc_6x6;
+        use crate::workload::WorkloadBuilder;
+        let soc = soc_6x6();
+        let no_pm = soc
+            .accelerator_tiles()
+            .into_iter()
+            .find(|t| matches!(soc.tiles[t.index()], crate::floorplan::TileKind::UnmanagedAccelerator(_)))
+            .expect("6x6 has a No-PM tile");
+        let mut b = WorkloadBuilder::new();
+        b.task(no_pm, 128.0, vec![]);
+        let wl = b.build("no-pm-only", &soc);
+        let budget = soc.total_p_max() * 0.33;
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, budget)).run(2);
+        assert!(r.finished);
+        // 128 kcycles at the FFT's 800 MHz F_max = 160 us, plus actuation
+        assert!(
+            (r.exec_time_us() - 160.0).abs() < 5.0,
+            "No-PM tile should run at F_max: {} us",
+            r.exec_time_us()
+        );
+        // its power is not in the managed trace
+        assert!(r.avg_power_mw() < 0.05 * budget);
+    }
+
+    #[test]
+    fn clusters_partition_the_exchange() {
+        let soc = soc_3x3();
+        // two clusters: {0,1,2} (top row accs) and {4,6,7}
+        let clusters = vec![vec![0usize, 1, 2], vec![4, 6, 7]];
+        let wl = av_parallel(&soc, 1);
+        let sim = Simulation::with_clusters(
+            soc,
+            wl,
+            SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+            clusters.clone(),
+        );
+        let r = sim.run(5);
+        assert!(r.finished);
+        // coins never cross the cluster boundary: each cluster's total is
+        // constant over the whole run
+        for members in &clusters {
+            let slots: Vec<usize> = members
+                .iter()
+                .map(|t| r.managed_tiles.iter().position(|&m| m == *t).unwrap())
+                .collect();
+            let at = |time: SimTime| -> f64 {
+                slots.iter().map(|&s| r.coin_traces[s].value_at(time)).sum()
+            };
+            let start = at(SimTime::ZERO);
+            let end = at(r.exec_time);
+            assert!((start - end).abs() < 1e-9, "cluster total drifted: {start} -> {end}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn bad_cluster_partition_rejected() {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 1);
+        Simulation::with_clusters(
+            soc,
+            wl,
+            SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+            vec![vec![0, 1]], // misses tiles 2, 4, 6, 7
+        );
+    }
+
+    #[test]
+    fn plane5_isolation_protects_responses_from_dma() {
+        // Section IV-B's design point: coin messages on plane 5 do not
+        // contend with DMA bursts. Force them onto the DMA plane and the
+        // response time degrades; keep them isolated and it does not.
+        let run = |share: bool| -> f64 {
+            let soc = soc_3x3();
+            let wl = av_parallel(&soc, 2);
+            let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, 120.0);
+            cfg.dma_burst_flits = 256;
+            cfg.dma_period_cycles = 64;
+            cfg.share_plane_with_dma = share;
+            Simulation::new(soc, wl, cfg)
+                .run(21)
+                .mean_nontrivial_response_us(0.05)
+                .expect("responses measured")
+        };
+        let isolated = run(false);
+        let shared = run(true);
+        assert!(
+            shared > 1.5 * isolated,
+            "sharing the DMA plane should hurt responses: isolated {isolated:.2} vs shared {shared:.2}"
+        );
+    }
+
+    #[test]
+    fn crr_rotation_shares_the_max_grant_over_time() {
+        // over a long run, rotation gives every class some time above its
+        // minimum frequency (fairness), visible in the frequency traces
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 3);
+        let r = Simulation::new(
+            soc,
+            wl,
+            SimConfig::new(ManagerKind::CentralizedRoundRobin, 120.0),
+        )
+        .run(9);
+        assert!(r.finished);
+        let mut upgraded = 0;
+        for (slot, trace) in r.freq_traces.iter().enumerate() {
+            let max_seen = trace
+                .points()
+                .iter()
+                .fold(0.0f64, |m, p| m.max(p.value));
+            // every FFT/Viterbi tile gets at least one Max grant; count them
+            let _ = slot;
+            if max_seen >= 590.0 {
+                upgraded += 1;
+            }
+        }
+        assert!(upgraded >= 3, "rotation should upgrade several tiles, got {upgraded}");
+    }
+
+    #[test]
+    fn horizon_aborts_unfinishable_runs() {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 4);
+        let mut cfg = SimConfig::new(ManagerKind::Static, 120.0);
+        cfg.horizon = SimTime::from_us(50); // way too short
+        let r = Simulation::new(soc, wl, cfg).run(1);
+        assert!(!r.finished);
+    }
+
+    #[test]
+    fn bcc_coin_traces_reflect_central_allocations() {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 1);
+        let sim = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BcCentralized, 120.0));
+        let pool = sim.pool() as i64;
+        let r = sim.run(3);
+        // mid-run, the recorded coin counts sum to the pool (the central
+        // unit redistributes but conserves)
+        let mid = SimTime::from_us_f64(r.exec_time_us() / 2.0);
+        let total: f64 = r.coin_traces.iter().map(|t| t.value_at(mid)).sum();
+        assert!((total - pool as f64).abs() <= 1.0, "total {total} vs pool {pool}");
+    }
+
+    #[test]
+    fn four_way_exchange_mode_works_in_engine() {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 1);
+        let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, 120.0);
+        cfg.exchange_mode = blitzcoin_core::ExchangeMode::FourWay;
+        let sim = Simulation::new(soc, wl, cfg);
+        let pool = sim.pool() as f64;
+        let r = sim.run(13);
+        assert!(r.finished);
+        assert!(r.mean_response_us().is_some());
+        let total_end: f64 = r.coin_traces.iter().map(|t| t.last_value()).sum();
+        assert!((total_end - pool).abs() < 1e-9, "conservation under 4-way");
+    }
+
+    #[test]
+    fn four_by_four_runs() {
+        let soc = soc_4x4();
+        let wl = crate::workload::vision_parallel(&soc, 1);
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 450.0)).run(1);
+        assert!(r.finished);
+        assert!(r.mean_response_us().is_some());
+    }
+}

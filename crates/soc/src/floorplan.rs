@@ -1,0 +1,367 @@
+//! SoC floorplans: tile kinds and the three evaluated configurations.
+//!
+//! The paper evaluates (Fig 12, Fig 15):
+//!
+//! - a **3x3-tile SoC** for a connected-autonomous-vehicle application:
+//!   3 FFT tiles (depth estimation), 2 Viterbi tiles (V2V communication),
+//!   1 NVDLA tile (object detection), plus CPU, memory and auxiliary/IO
+//!   tiles — 6 accelerators, ΣP_max = 400 mW;
+//! - a **4x4-tile SoC** for computer vision: 4 GEMM, 5 Conv2D and
+//!   4 Vision accelerators plus CPU, memory, aux — 13 accelerators,
+//!   ΣP_max = 1350 mW;
+//! - the **6x6 fabricated prototype**: a 10-accelerator PM cluster
+//!   (NVDLA + FFTs + Viterbis) with BlitzCoin, plus 4 CVA6 CPU tiles,
+//!   4 memory tiles, 4 scratchpads, an IO tile and further accelerator
+//!   tiles outside the PM cluster (including the FFT "No-PM" baseline).
+
+use blitzcoin_noc::{TileId, Topology};
+use blitzcoin_power::{AcceleratorClass, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// What occupies one tile of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TileKind {
+    /// RISC-V CVA6 application core (runs the workload driver).
+    Cpu,
+    /// A loosely-coupled accelerator, power-managed by the active manager.
+    Accelerator(AcceleratorClass),
+    /// An accelerator outside the PM domain (e.g. the FFT No-PM baseline
+    /// tile of the fabricated SoC). Runs tasks but always at F_max.
+    UnmanagedAccelerator(AcceleratorClass),
+    /// LLC slice + DRAM channel.
+    Memory,
+    /// Ethernet/UART, boot ROM, interrupt controller.
+    Io,
+    /// 1-MB scratchpad tile (fabricated SoC).
+    Scratchpad,
+    /// Unpopulated grid slot.
+    Empty,
+}
+
+impl TileKind {
+    /// Whether this tile participates in power management.
+    pub fn is_managed(&self) -> bool {
+        matches!(self, TileKind::Accelerator(_))
+    }
+
+    /// The accelerator class, for (un)managed accelerator tiles.
+    pub fn accel_class(&self) -> Option<AcceleratorClass> {
+        match self {
+            TileKind::Accelerator(c) | TileKind::UnmanagedAccelerator(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// A full SoC configuration: grid topology plus per-tile contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Human-readable name ("3x3-AV", "4x4-CV", "6x6-proto").
+    pub name: String,
+    /// The NoC grid.
+    pub topology: Topology,
+    /// Tile contents, index-aligned with tile ids.
+    pub tiles: Vec<TileKind>,
+}
+
+impl SocConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if the tile list does not match the grid size or if the SoC
+    /// has no CPU or no managed accelerator.
+    pub fn new(name: impl Into<String>, topology: Topology, tiles: Vec<TileKind>) -> Self {
+        assert_eq!(tiles.len(), topology.len(), "one tile kind per grid slot");
+        assert!(
+            tiles.iter().any(|t| matches!(t, TileKind::Cpu)),
+            "an SoC needs a CPU tile to drive workloads"
+        );
+        assert!(
+            tiles.iter().any(|t| t.is_managed()),
+            "an SoC needs at least one managed accelerator"
+        );
+        SocConfig {
+            name: name.into(),
+            topology,
+            tiles,
+        }
+    }
+
+    /// Ids of all managed accelerator tiles, in tile order.
+    pub fn managed_tiles(&self) -> Vec<TileId> {
+        self.topology
+            .tiles()
+            .filter(|t| self.tiles[t.index()].is_managed())
+            .collect()
+    }
+
+    /// Ids of all tiles that can run tasks (managed + unmanaged accs).
+    pub fn accelerator_tiles(&self) -> Vec<TileId> {
+        self.topology
+            .tiles()
+            .filter(|t| self.tiles[t.index()].accel_class().is_some())
+            .collect()
+    }
+
+    /// The first CPU tile (the workload driver).
+    pub fn cpu_tile(&self) -> TileId {
+        self.topology
+            .tiles()
+            .find(|t| matches!(self.tiles[t.index()], TileKind::Cpu))
+            .expect("validated at construction")
+    }
+
+    /// The tile hosting the centralized controller for BC-C / C-RR (the
+    /// CPU tile, where the controller daemon/unit lives).
+    pub fn controller_tile(&self) -> TileId {
+        self.cpu_tile()
+    }
+
+    /// Power model of the accelerator on `tile`, if any.
+    pub fn power_model(&self, tile: TileId) -> Option<PowerModel> {
+        self.tiles[tile.index()].accel_class().map(PowerModel::of)
+    }
+
+    /// Combined P_max of all managed accelerators (the reference for the
+    /// paper's percent-of-maximum budgets).
+    pub fn total_p_max(&self) -> f64 {
+        self.managed_tiles()
+            .iter()
+            .map(|&t| self.power_model(t).expect("managed tiles have models").p_max())
+            .sum()
+    }
+
+    /// Number of managed accelerator tiles.
+    pub fn n_managed(&self) -> usize {
+        self.managed_tiles().len()
+    }
+}
+
+/// The 3x3 connected-autonomous-vehicle SoC (Fig 12 left).
+///
+/// Layout (row-major): FFT, Viterbi, FFT / CPU, NVDLA, Memory /
+/// FFT, Viterbi, IO — accelerators and infrastructure interleaved as in
+/// the figure.
+pub fn soc_3x3() -> SocConfig {
+    use AcceleratorClass::*;
+    SocConfig::new(
+        "3x3-AV",
+        Topology::mesh(3, 3),
+        vec![
+            TileKind::Accelerator(Fft),
+            TileKind::Accelerator(Viterbi),
+            TileKind::Accelerator(Fft),
+            TileKind::Cpu,
+            TileKind::Accelerator(Nvdla),
+            TileKind::Memory,
+            TileKind::Accelerator(Fft),
+            TileKind::Accelerator(Viterbi),
+            TileKind::Io,
+        ],
+    )
+}
+
+/// The 4x4 computer-vision SoC (Fig 12 right): 4 GEMM, 5 Conv2D,
+/// 4 Vision, plus CPU / Memory / IO.
+pub fn soc_4x4() -> SocConfig {
+    use AcceleratorClass::*;
+    SocConfig::new(
+        "4x4-CV",
+        Topology::mesh(4, 4),
+        vec![
+            TileKind::Accelerator(Gemm),
+            TileKind::Accelerator(Conv2d),
+            TileKind::Accelerator(Vision),
+            TileKind::Accelerator(Gemm),
+            TileKind::Accelerator(Conv2d),
+            TileKind::Cpu,
+            TileKind::Accelerator(Conv2d),
+            TileKind::Accelerator(Vision),
+            TileKind::Accelerator(Vision),
+            TileKind::Accelerator(Conv2d),
+            TileKind::Memory,
+            TileKind::Accelerator(Gemm),
+            TileKind::Accelerator(Gemm),
+            TileKind::Accelerator(Conv2d),
+            TileKind::Accelerator(Vision),
+            TileKind::Io,
+        ],
+    )
+}
+
+/// The 6x6 fabricated-prototype floorplan (Fig 15): a 10-tile PM cluster
+/// with BlitzCoin (1 NVDLA, 3 FFT, 4 Viterbi, 2 further FFT-class
+/// accelerators), 4 CVA6 CPUs, 4 memory tiles, 4 scratchpads, 1 IO tile,
+/// an unmanaged FFT ("FFT No-PM") baseline tile and further unmanaged
+/// accelerators.
+pub fn soc_6x6() -> SocConfig {
+    use AcceleratorClass::*;
+    use TileKind::*;
+    // rows 0-1 and the left of row 2 hold the PM cluster (spatially
+    // contiguous, as on the die photo).
+    SocConfig::new(
+        "6x6-proto",
+        Topology::mesh(6, 6),
+        vec![
+            // row 0
+            Accelerator(Nvdla),
+            Accelerator(Fft),
+            Accelerator(Viterbi),
+            Accelerator(Viterbi),
+            Cpu,
+            Memory,
+            // row 1
+            Accelerator(Fft),
+            Accelerator(Fft),
+            Accelerator(Viterbi),
+            Accelerator(Viterbi),
+            Cpu,
+            Memory,
+            // row 2
+            Accelerator(Fft),
+            Accelerator(Fft),
+            UnmanagedAccelerator(Fft), // the FFT No-PM baseline tile
+            Scratchpad,
+            Cpu,
+            Memory,
+            // row 3
+            UnmanagedAccelerator(Gemm),
+            UnmanagedAccelerator(Conv2d),
+            UnmanagedAccelerator(Vision),
+            Scratchpad,
+            Cpu,
+            Memory,
+            // row 4
+            UnmanagedAccelerator(Gemm),
+            UnmanagedAccelerator(Conv2d),
+            UnmanagedAccelerator(Vision),
+            Scratchpad,
+            Io,
+            Empty,
+            // row 5
+            UnmanagedAccelerator(Gemm),
+            UnmanagedAccelerator(Conv2d),
+            Scratchpad,
+            Empty,
+            Empty,
+            Empty,
+        ],
+    )
+}
+
+/// A synthetic `d` x `d` SoC for scaling studies: one CPU, memory and IO
+/// tile, every remaining slot a managed accelerator cycling through the
+/// six characterized classes. Used to validate response-time scaling
+/// directly in the full-SoC engine (beyond the paper's 13-tile designs).
+///
+/// # Panics
+/// Panics if `d < 2` (no room for infrastructure plus an accelerator).
+pub fn synthetic(d: usize) -> SocConfig {
+    use AcceleratorClass::*;
+    assert!(d >= 2, "synthetic SoC needs at least a 2x2 grid");
+    let classes = [Fft, Viterbi, Nvdla, Gemm, Conv2d, Vision];
+    let n = d * d;
+    let tiles: Vec<TileKind> = (0..n)
+        .map(|i| match i {
+            0 => TileKind::Cpu,
+            1 => TileKind::Memory,
+            2 if n > 4 => TileKind::Io,
+            _ => TileKind::Accelerator(classes[i % classes.len()]),
+        })
+        .collect();
+    SocConfig::new(format!("synthetic-{d}x{d}"), Topology::mesh(d, d), tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_3x3_matches_paper_inventory() {
+        let soc = soc_3x3();
+        let counts = count_accels(&soc);
+        assert_eq!(counts(AcceleratorClass::Fft), 3);
+        assert_eq!(counts(AcceleratorClass::Viterbi), 2);
+        assert_eq!(counts(AcceleratorClass::Nvdla), 1);
+        assert_eq!(soc.n_managed(), 6);
+        assert!((soc.total_p_max() - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn soc_4x4_matches_paper_inventory() {
+        let soc = soc_4x4();
+        let counts = count_accels(&soc);
+        assert_eq!(counts(AcceleratorClass::Gemm), 4);
+        assert_eq!(counts(AcceleratorClass::Conv2d), 5);
+        assert_eq!(counts(AcceleratorClass::Vision), 4);
+        assert_eq!(soc.n_managed(), 13);
+        assert!((soc.total_p_max() - 1350.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn soc_6x6_has_pm_cluster_of_10() {
+        let soc = soc_6x6();
+        assert_eq!(soc.n_managed(), 10);
+        // includes the No-PM FFT baseline as an unmanaged accelerator
+        let unmanaged = soc
+            .tiles
+            .iter()
+            .filter(|t| matches!(t, TileKind::UnmanagedAccelerator(_)))
+            .count();
+        assert!(unmanaged >= 1);
+        assert_eq!(soc.topology.len(), 36);
+    }
+
+    #[test]
+    fn tile_queries() {
+        let soc = soc_3x3();
+        assert_eq!(soc.cpu_tile().index(), 3);
+        assert_eq!(soc.controller_tile(), soc.cpu_tile());
+        assert_eq!(soc.managed_tiles().len(), 6);
+        assert!(soc.power_model(TileId(4)).is_some()); // NVDLA
+        assert!(soc.power_model(TileId(3)).is_none()); // CPU
+    }
+
+    #[test]
+    fn managed_flag() {
+        assert!(TileKind::Accelerator(AcceleratorClass::Fft).is_managed());
+        assert!(!TileKind::UnmanagedAccelerator(AcceleratorClass::Fft).is_managed());
+        assert!(!TileKind::Cpu.is_managed());
+        assert_eq!(
+            TileKind::UnmanagedAccelerator(AcceleratorClass::Fft).accel_class(),
+            Some(AcceleratorClass::Fft)
+        );
+    }
+
+    #[test]
+    fn synthetic_floorplans_scale() {
+        for d in [2usize, 4, 8] {
+            let soc = synthetic(d);
+            assert_eq!(soc.topology.len(), d * d);
+            assert!(soc.n_managed() >= d * d - 3);
+            assert!(soc.total_p_max() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU tile")]
+    fn soc_without_cpu_rejected() {
+        SocConfig::new(
+            "bad",
+            Topology::mesh(1, 2),
+            vec![
+                TileKind::Accelerator(AcceleratorClass::Fft),
+                TileKind::Memory,
+            ],
+        );
+    }
+
+    fn count_accels(soc: &SocConfig) -> impl Fn(AcceleratorClass) -> usize + '_ {
+        move |class| {
+            soc.tiles
+                .iter()
+                .filter(|t| matches!(t, TileKind::Accelerator(c) if *c == class))
+                .count()
+        }
+    }
+}

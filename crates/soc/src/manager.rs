@@ -1,0 +1,109 @@
+//! Power-manager configurations.
+//!
+//! The engine plugs in one of four managers (Section V-C):
+//!
+//! | Manager | Control | Allocation | Response scaling |
+//! |---|---|---|---|
+//! | `BlitzCoin` | decentralized HW FSMs | proportional (coin exchange) | O(√N) |
+//! | `BcCentralized` | central HW unit | proportional (computed centrally) | O(N) |
+//! | `CentralizedRoundRobin` | central FW controller | greedy max/min rotation | O(N) |
+//! | `Static` | none | fixed equal shares | — |
+//!
+//! The timing constants below are the DESIGN.md §5 calibration: they are
+//! chosen once so the simulated N=7 response times land near the
+//! silicon-measured 15.3 µs (C-RR) and 1.4 µs (BC-C) of Fig 20, and are
+//! then *validated* against the independent Fig 17/18 ratios rather than
+//! re-tuned.
+
+use serde::{Deserialize, Serialize};
+
+/// Which power manager governs the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ManagerKind {
+    /// Decentralized BlitzCoin coin exchange (the paper's design).
+    BlitzCoin,
+    /// BlitzCoin's allocation with a centralized controller (BC-C).
+    BcCentralized,
+    /// Centralized round-robin max/min rotation (C-RR).
+    CentralizedRoundRobin,
+    /// Fixed equal power shares (the Fig 19 silicon baseline).
+    Static,
+}
+
+impl ManagerKind {
+    /// All managers, in the order the paper's figures list them.
+    pub const ALL: [ManagerKind; 4] = [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+        ManagerKind::Static,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ManagerKind::BlitzCoin => "BC",
+            ManagerKind::BcCentralized => "BC-C",
+            ManagerKind::CentralizedRoundRobin => "C-RR",
+            ManagerKind::Static => "Static",
+        }
+    }
+}
+
+impl std::fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Manager timing constants (NoC cycles at 800 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagerTiming {
+    /// C-RR: firmware service time per tile during a sweep (poll the
+    /// tile, run the policy step, write the DVFS register). 1750 cycles x
+    /// 1.25 ns x 7 tiles ≈ 15.3 µs, the Fig 20 silicon measurement.
+    pub crr_service_cycles: u64,
+    /// C-RR: interval between fairness-rotation sweeps.
+    pub crr_rotation_cycles: u64,
+    /// BC-C: central hardware FSM service time per tile during an update
+    /// sweep. 160 cycles x 1.25 ns x 7 ≈ 1.4 µs (Fig 20).
+    pub bcc_service_cycles: u64,
+    /// UVFR actuation delay from a frequency-target write to the tile
+    /// clock settling (LDO slew + TDC windows); constant and parallel
+    /// across tiles.
+    pub actuation_cycles: u64,
+}
+
+impl Default for ManagerTiming {
+    fn default() -> Self {
+        ManagerTiming {
+            crr_service_cycles: 1750,
+            crr_rotation_cycles: 16_384, // ~20.5 us between rotations
+            bcc_service_cycles: 160,
+            actuation_cycles: 128, // ~160 ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(ManagerKind::BlitzCoin.to_string(), "BC");
+        assert_eq!(ManagerKind::BcCentralized.to_string(), "BC-C");
+        assert_eq!(ManagerKind::CentralizedRoundRobin.to_string(), "C-RR");
+        assert_eq!(ManagerKind::Static.to_string(), "Static");
+    }
+
+    #[test]
+    fn calibration_matches_fig20_targets() {
+        let t = ManagerTiming::default();
+        // 7 active accelerators, as in the silicon workload
+        let crr_us = 7.0 * t.crr_service_cycles as f64 * 1.25e-3;
+        let bcc_us = 7.0 * t.bcc_service_cycles as f64 * 1.25e-3;
+        assert!((crr_us - 15.3).abs() < 1.0, "C-RR calibration: {crr_us}");
+        assert!((bcc_us - 1.4).abs() < 0.2, "BC-C calibration: {bcc_us}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Run reports and derived metrics.
+//!
+//! A [`SimReport`] carries everything the paper's SoC-level figures are
+//! built from: execution time (Figs 17-18 left), response times per
+//! activity change (Figs 17-18 right, Fig 20), per-tile and total power
+//! traces (Figs 16, 19), coin traces (Figs 19-20), budget-utilization and
+//! enforcement statistics (Fig 19), and NoC traffic accounting.
+
+use blitzcoin_noc::TrafficStats;
+use blitzcoin_sim::{SimTime, StepTrace};
+use serde::{Deserialize, Serialize};
+
+/// One measured power-management response: an activity change at `at_us`
+/// took `response_us` until the new allocation was in force.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseSample {
+    /// When the activity change occurred (µs).
+    pub at_us: f64,
+    /// How long the manager took to re-converge (µs).
+    pub response_us: f64,
+}
+
+/// A tile's activity transition (task stream starting or ending).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityChange {
+    /// The tile whose activity changed.
+    pub tile: usize,
+    /// When (µs).
+    pub at_us: f64,
+    /// `true` = became active, `false` = went idle.
+    pub active: bool,
+}
+
+/// The result of one full-SoC simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Whether every task of the workload completed within the horizon.
+    pub finished: bool,
+    /// Time of the last task completion.
+    pub exec_time: SimTime,
+    /// Power-management response of each activity change (time from a
+    /// tile's activity changing until the new allocation is in force on
+    /// every tile).
+    pub responses: Vec<ResponseSample>,
+    /// Every activity transition of the run, in time order.
+    pub activity_changes: Vec<ActivityChange>,
+    /// Total managed-accelerator power over time (mW).
+    pub power: StepTrace,
+    /// Per-managed-tile power traces (mW), index-aligned with
+    /// `managed_tiles`.
+    pub tile_power: Vec<StepTrace>,
+    /// Per-managed-tile coin-count traces.
+    pub coin_traces: Vec<StepTrace>,
+    /// Per-managed-tile frequency traces (MHz).
+    pub freq_traces: Vec<StepTrace>,
+    /// Tile ids of the managed tiles, aligning the trace vectors.
+    pub managed_tiles: Vec<usize>,
+    /// The enforced budget (mW).
+    pub budget_mw: f64,
+    /// NoC traffic over the run.
+    pub noc: TrafficStats,
+    /// Number of simulation events processed.
+    pub events: u64,
+}
+
+impl SimReport {
+    /// Execution time in microseconds.
+    pub fn exec_time_us(&self) -> f64 {
+        self.exec_time.as_us_f64()
+    }
+
+    /// All response times, in µs.
+    pub fn responses_us(&self) -> Vec<f64> {
+        self.responses.iter().map(|r| r.response_us).collect()
+    }
+
+    /// Mean power-management response time (µs), if any change occurred.
+    pub fn mean_response_us(&self) -> Option<f64> {
+        if self.responses.is_empty() {
+            None
+        } else {
+            Some(
+                self.responses.iter().map(|r| r.response_us).sum::<f64>()
+                    / self.responses.len() as f64,
+            )
+        }
+    }
+
+    /// Mean over *non-trivial* responses (those above `min_us`): for
+    /// BlitzCoin, many transitions need no coin movement at all (the
+    /// distribution already satisfies the new targets) and drain in ~0 µs;
+    /// the paper's response figures measure transitions that actually
+    /// reallocate.
+    pub fn mean_nontrivial_response_us(&self, min_us: f64) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .responses
+            .iter()
+            .map(|r| r.response_us)
+            .filter(|&x| x > min_us)
+            .collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+
+    /// The response to the first activity change at or after `at_us`
+    /// (e.g. Fig 20's NVDLA-completion transition).
+    pub fn response_at(&self, at_us: f64) -> Option<f64> {
+        self.responses
+            .iter()
+            .filter(|r| r.at_us >= at_us - 1e-9)
+            .min_by(|a, b| a.at_us.partial_cmp(&b.at_us).unwrap())
+            .map(|r| r.response_us)
+    }
+
+    /// Worst-case response time (µs).
+    pub fn max_response_us(&self) -> Option<f64> {
+        self.responses
+            .iter()
+            .map(|r| r.response_us)
+            .fold(None, |m, x| Some(m.map_or(x, |m: f64| m.max(x))))
+    }
+
+    /// Average managed power over the execution window (mW).
+    pub fn avg_power_mw(&self) -> f64 {
+        if self.exec_time == SimTime::ZERO {
+            return 0.0;
+        }
+        self.power.average(SimTime::ZERO, self.exec_time)
+    }
+
+    /// Budget utilization `P_avg / P_budget` over the execution window
+    /// (the Fig 19 metric; the silicon measures 97%).
+    pub fn utilization(&self) -> f64 {
+        if self.budget_mw == 0.0 {
+            return 0.0;
+        }
+        self.avg_power_mw() / self.budget_mw
+    }
+
+    /// Energy consumed by the managed accelerators over the execution
+    /// window, in µJ (mW · s · 1e3).
+    pub fn energy_uj(&self) -> f64 {
+        self.power.integral(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1))) * 1e3
+    }
+
+    /// Energy-delay product in µJ·ms — the figure of merit that penalizes
+    /// both wasted power and lost throughput.
+    pub fn energy_delay_uj_ms(&self) -> f64 {
+        self.energy_uj() * self.exec_time.as_ms_f64()
+    }
+
+    /// Per-managed-tile energies (µJ), aligned with `managed_tiles`.
+    pub fn tile_energies_uj(&self) -> Vec<f64> {
+        let end = self.exec_time.max(SimTime::from_ns(1));
+        self.tile_power
+            .iter()
+            .map(|t| t.integral(SimTime::ZERO, end) * 1e3)
+            .collect()
+    }
+
+    /// Peak managed power over the execution window (mW).
+    pub fn peak_power_mw(&self) -> f64 {
+        self.power.max_in(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1)))
+    }
+
+    /// How far the peak exceeded the budget, in mW (0 when enforced).
+    /// Small transient overshoot during actuation is physical; sustained
+    /// overshoot is an enforcement bug.
+    pub fn peak_overshoot_mw(&self) -> f64 {
+        (self.peak_power_mw() - self.budget_mw).max(0.0)
+    }
+
+    /// Throughput relative to another run of the same workload
+    /// (`other_time / self_time`; >1 means this run is faster).
+    pub fn speedup_vs(&self, other: &SimReport) -> f64 {
+        other.exec_time_us() / self.exec_time_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(exec_us: u64, budget: f64) -> SimReport {
+        let mut power = StepTrace::new("p");
+        power.record(SimTime::ZERO, budget * 0.9);
+        SimReport {
+            finished: true,
+            exec_time: SimTime::from_us(exec_us),
+            responses: vec![
+                ResponseSample { at_us: 0.0, response_us: 1.0 },
+                ResponseSample { at_us: 50.0, response_us: 3.0 },
+            ],
+            activity_changes: vec![],
+            power,
+            tile_power: vec![],
+            coin_traces: vec![],
+            freq_traces: vec![],
+            managed_tiles: vec![],
+            budget_mw: budget,
+            noc: TrafficStats::default(),
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = dummy(100, 120.0);
+        assert_eq!(r.exec_time_us(), 100.0);
+        assert_eq!(r.mean_response_us(), Some(2.0));
+        assert_eq!(r.max_response_us(), Some(3.0));
+        assert!((r.avg_power_mw() - 108.0).abs() < 1e-9);
+        assert!((r.utilization() - 0.9).abs() < 1e-9);
+        assert_eq!(r.peak_overshoot_mw(), 0.0);
+    }
+
+    #[test]
+    fn energy_metrics() {
+        let r = dummy(100, 120.0);
+        // 108 mW for 100 us = 10.8 uJ
+        assert!((r.energy_uj() - 10.8).abs() < 1e-9);
+        assert!((r.energy_delay_uj_ms() - 10.8 * 0.1).abs() < 1e-9);
+        assert!(r.tile_energies_uj().is_empty());
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = dummy(100, 120.0);
+        let slow = dummy(150, 120.0);
+        assert!((fast.speedup_vs(&slow) - 1.5).abs() < 1e-9);
+        assert!(slow.speedup_vs(&fast) < 1.0);
+    }
+
+    #[test]
+    fn empty_responses() {
+        let mut r = dummy(10, 60.0);
+        r.responses.clear();
+        assert_eq!(r.mean_response_us(), None);
+        assert_eq!(r.max_response_us(), None);
+        assert_eq!(r.mean_nontrivial_response_us(0.05), None);
+    }
+
+    #[test]
+    fn response_selection() {
+        let r = dummy(100, 120.0);
+        assert_eq!(r.response_at(10.0), Some(3.0));
+        assert_eq!(r.response_at(0.0), Some(1.0));
+        assert_eq!(r.response_at(60.0), None);
+        assert_eq!(r.mean_nontrivial_response_us(2.0), Some(3.0));
+        assert_eq!(r.responses_us(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn overshoot_detected() {
+        let mut r = dummy(10, 100.0);
+        r.power.record(SimTime::from_us(5), 130.0);
+        assert!((r.peak_overshoot_mw() - 30.0).abs() < 1e-9);
+    }
+}

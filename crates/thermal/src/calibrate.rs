@@ -1,0 +1,102 @@
+//! Calibrating BlitzCoin's hotspot cap against a junction limit.
+//!
+//! The paper's local thermal policy is a *coin-domain* rule: reject a
+//! transfer when the tile-plus-neighbors allocation would exceed a
+//! threshold. That threshold must come from thermal physics: this module
+//! inverts the steady-state RC network to find the largest neighborhood
+//! power (and hence coin count) that keeps the center tile's junction
+//! temperature at or below the limit.
+
+use crate::model::{ThermalConfig, ThermalModel};
+use blitzcoin_noc::Topology;
+
+/// Computes the neighborhood coin cap enforcing `limit_c` on any tile.
+///
+/// Conservative worst case: the whole neighborhood allocation concentrates
+/// on the center tile (the neighbors' own dissipation would raise the
+/// center further, but their coins would then not be on the center; the
+/// concentrated case dominates for `g_lateral <= g_vertical`).
+///
+/// Returns the cap in coins for the given coin value, floored at 1.
+///
+/// # Panics
+/// Panics if the limit is at or below ambient or the coin value is
+/// non-positive.
+pub fn coin_cap_for_limit(
+    topo: Topology,
+    config: ThermalConfig,
+    limit_c: f64,
+    coin_value_mw: f64,
+) -> i64 {
+    assert!(
+        limit_c > config.ambient_c,
+        "junction limit must exceed ambient"
+    );
+    assert!(coin_value_mw > 0.0, "coin value must be positive");
+    let model = ThermalModel::new(topo, config);
+    // invert steady_self_heating: T = amb + P/g_eff  =>  P = (T-amb)*g_eff
+    let g_series = config.g_lateral * config.g_vertical / (config.g_lateral + config.g_vertical);
+    let g_eff = config.g_vertical + 4.0 * g_series;
+    let p_max_mw = (limit_c - config.ambient_c) * g_eff;
+    debug_assert!((model.steady_self_heating(p_max_mw) - limit_c).abs() < 1e-6);
+    ((p_max_mw / coin_value_mw).floor() as i64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blitzcoin_sim::{SimTime, StepTrace};
+
+    #[test]
+    fn cap_keeps_concentrated_power_under_limit() {
+        let topo = Topology::mesh(5, 5);
+        let cfg = ThermalConfig::default();
+        let limit = 85.0;
+        let coin_value = 1.9;
+        let cap = coin_cap_for_limit(topo, cfg, limit, coin_value);
+        assert!(cap > 0);
+        // place exactly the capped power on one tile and check the limit
+        let p = cap as f64 * coin_value;
+        let model = ThermalModel::new(topo, cfg);
+        let powers: Vec<StepTrace> = (0..25)
+            .map(|i| {
+                let mut t = StepTrace::new(format!("p{i}"));
+                t.record(SimTime::ZERO, if i == 12 { p } else { 0.0 });
+                t
+            })
+            .collect();
+        let report = model.simulate(&powers, SimTime::from_ms(5));
+        assert!(
+            report.max_celsius() <= limit + 0.5,
+            "cap {cap} coins -> {:.1} C vs limit {limit}",
+            report.max_celsius()
+        );
+        // one more coin would eventually breach it (steady state)
+        let over = model.steady_self_heating((cap + 2) as f64 * coin_value);
+        assert!(over > limit);
+    }
+
+    #[test]
+    fn tighter_limits_give_smaller_caps() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = ThermalConfig::default();
+        let hot = coin_cap_for_limit(topo, cfg, 105.0, 2.0);
+        let cool = coin_cap_for_limit(topo, cfg, 70.0, 2.0);
+        assert!(cool < hot);
+    }
+
+    #[test]
+    fn cap_scales_inversely_with_coin_value() {
+        let topo = Topology::mesh(4, 4);
+        let cfg = ThermalConfig::default();
+        let fine = coin_cap_for_limit(topo, cfg, 85.0, 1.0);
+        let coarse = coin_cap_for_limit(topo, cfg, 85.0, 4.0);
+        assert!((fine as f64 / coarse as f64 - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed ambient")]
+    fn limit_below_ambient_rejected() {
+        coin_cap_for_limit(Topology::mesh(2, 2), ThermalConfig::default(), 20.0, 1.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Chart builders: multi-series line charts, grouped bars, and heatmaps.
+
+use crate::scale::{tick_label, Scale};
+use crate::svg::{Anchor, Svg};
+use crate::PALETTE;
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+/// A multi-series line chart with optional log axes.
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_viz::chart::LineChart;
+///
+/// let svg = LineChart::new("t", "x", "y")
+///     .log_y()
+///     .series("a", vec![(1.0, 10.0), (2.0, 100.0)])
+///     .render();
+/// assert!(svg.contains("polyline"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses a log10 x axis (points with non-positive x are dropped).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a log10 y axis (points with non-positive y are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    /// Panics if no series has at least one drawable point.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .filter(|&(x, y)| {
+                x.is_finite() && y.is_finite() && (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0)
+            })
+            .collect();
+        assert!(!pts.is_empty(), "line chart needs at least one finite point");
+        let (x_lo, x_hi) = pad_range(min_of(&pts, 0), max_of(&pts, 0), self.log_x);
+        let (y_lo, y_hi) = pad_range(min_of(&pts, 1), max_of(&pts, 1), self.log_y);
+        let xs = if self.log_x {
+            Scale::log(x_lo, x_hi, ML, W - MR)
+        } else {
+            Scale::linear(x_lo, x_hi, ML, W - MR)
+        };
+        let ys = if self.log_y {
+            Scale::log(y_lo, y_hi, H - MB, MT)
+        } else {
+            Scale::linear(y_lo, y_hi, H - MB, MT)
+        };
+
+        let mut svg = Svg::new(W, H);
+        frame(&mut svg, &xs, &ys, &self.title, &self.x_label, &self.y_label);
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let px: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|&&(x, y)| {
+                    x.is_finite()
+                        && y.is_finite()
+                        && (!self.log_x || x > 0.0)
+                        && (!self.log_y || y > 0.0)
+                })
+                .map(|&(x, y)| (xs.px(x), ys.px(y)))
+                .collect();
+            svg.polyline(&px, color, 2.0);
+            for &(cx, cy) in &px {
+                svg.circle(cx, cy, 2.5, color);
+            }
+            // legend entry
+            let ly = MT + 4.0 + i as f64 * 16.0;
+            svg.line(W - MR - 120.0, ly, W - MR - 100.0, ly, color, 2.0);
+            svg.text(W - MR - 94.0, ly + 4.0, name, 11.0, Anchor::Start);
+        }
+        svg.finish()
+    }
+}
+
+/// A grouped bar chart over categorical x labels.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// Creates a chart over the given x categories.
+    pub fn new(
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+        categories: Vec<String>,
+    ) -> Self {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds a named group with one value per category.
+    ///
+    /// # Panics
+    /// Panics if the value count differs from the category count.
+    pub fn group(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), self.categories.len(), "one value per category");
+        self.groups.push((name.into(), values));
+        self
+    }
+
+    /// Renders to an SVG string.
+    ///
+    /// # Panics
+    /// Panics without groups or categories.
+    pub fn render(&self) -> String {
+        assert!(!self.categories.is_empty() && !self.groups.is_empty());
+        let y_hi = self
+            .groups
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-9)
+            * 1.08;
+        let ys = Scale::linear(0.0, y_hi, H - MB, MT);
+        let xs = Scale::linear(0.0, self.categories.len() as f64, ML, W - MR);
+        let mut svg = Svg::new(W, H);
+        frame(&mut svg, &xs, &ys, &self.title, "", &self.y_label);
+
+        let slot = (W - ML - MR) / self.categories.len() as f64;
+        let bar = slot * 0.8 / self.groups.len() as f64;
+        for (g, (name, values)) in self.groups.iter().enumerate() {
+            let color = PALETTE[g % PALETTE.len()];
+            for (c, &v) in values.iter().enumerate() {
+                let x = ML + c as f64 * slot + slot * 0.1 + g as f64 * bar;
+                let y = ys.px(v);
+                svg.rect(x, y, bar * 0.92, (H - MB) - y, color);
+            }
+            let ly = MT + 4.0 + g as f64 * 16.0;
+            svg.rect(W - MR - 120.0, ly - 6.0, 12.0, 12.0, color);
+            svg.text(W - MR - 102.0, ly + 4.0, name, 11.0, Anchor::Start);
+        }
+        for (c, label) in self.categories.iter().enumerate() {
+            let x = ML + (c as f64 + 0.5) * slot;
+            svg.text(x, H - MB + 18.0, label, 11.0, Anchor::Middle);
+        }
+        svg.finish()
+    }
+}
+
+/// A grid heatmap (e.g. per-tile coins or temperatures on the die).
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    title: String,
+    width: usize,
+    values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap of `values` laid out row-major `width` wide.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or not a multiple of `width`.
+    pub fn new(title: impl Into<String>, width: usize, values: Vec<f64>) -> Self {
+        assert!(width > 0 && !values.is_empty(), "heatmap needs cells");
+        assert_eq!(values.len() % width, 0, "values must fill whole rows");
+        Heatmap {
+            title: title.into(),
+            width,
+            values,
+        }
+    }
+
+    /// Renders to an SVG string with a white→red ramp and value labels.
+    pub fn render(&self) -> String {
+        let rows = self.values.len() / self.width;
+        let cell = 56.0;
+        let w = self.width as f64 * cell + 40.0;
+        let h = rows as f64 * cell + 60.0;
+        let mut svg = Svg::new(w, h);
+        svg.text(w / 2.0, 24.0, &self.title, 14.0, Anchor::Middle);
+        let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (i, &v) in self.values.iter().enumerate() {
+            let x = 20.0 + (i % self.width) as f64 * cell;
+            let y = 40.0 + (i / self.width) as f64 * cell;
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+            let r = 255;
+            let gb = (235.0 * (1.0 - t)) as u8;
+            svg.rect(x, y, cell - 2.0, cell - 2.0, &format!("rgb({r},{gb},{gb})"));
+            svg.text(
+                x + cell / 2.0 - 1.0,
+                y + cell / 2.0 + 4.0,
+                &tick_label(v),
+                11.0,
+                Anchor::Middle,
+            );
+        }
+        svg.finish()
+    }
+}
+
+fn frame(svg: &mut Svg, xs: &Scale, ys: &Scale, title: &str, x_label: &str, y_label: &str) {
+    // axes
+    svg.line(ML, H - MB, W - MR, H - MB, "#333", 1.2);
+    svg.line(ML, MT, ML, H - MB, "#333", 1.2);
+    svg.text(W / 2.0, 22.0, title, 14.0, Anchor::Middle);
+    if !x_label.is_empty() {
+        svg.text(W / 2.0, H - 14.0, x_label, 12.0, Anchor::Middle);
+    }
+    if !y_label.is_empty() {
+        svg.vertical_text(18.0, H / 2.0, y_label, 12.0);
+    }
+    for t in xs.ticks(6) {
+        let x = xs.px(t);
+        svg.line(x, H - MB, x, H - MB + 4.0, "#333", 1.0);
+        svg.dashed_line(x, MT, x, H - MB, "#ddd", 0.6);
+        svg.text(x, H - MB + 16.0, &tick_label(t), 10.0, Anchor::Middle);
+    }
+    for t in ys.ticks(6) {
+        let y = ys.px(t);
+        svg.line(ML - 4.0, y, ML, y, "#333", 1.0);
+        svg.dashed_line(ML, y, W - MR, y, "#ddd", 0.6);
+        svg.text(ML - 7.0, y + 3.5, &tick_label(t), 10.0, Anchor::End);
+    }
+}
+
+fn min_of(pts: &[(f64, f64)], axis: usize) -> f64 {
+    pts.iter()
+        .map(|p| if axis == 0 { p.0 } else { p.1 })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn max_of(pts: &[(f64, f64)], axis: usize) -> f64 {
+    pts.iter()
+        .map(|p| if axis == 0 { p.0 } else { p.1 })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn pad_range(lo: f64, hi: f64, log: bool) -> (f64, f64) {
+    if log {
+        (lo / 1.3, hi * 1.3)
+    } else if hi > lo {
+        let pad = (hi - lo) * 0.05;
+        ((lo - pad).min(0.0).max(lo - pad), hi + pad)
+    } else {
+        (lo - 1.0, hi + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let svg = LineChart::new("T", "x", "y")
+            .series("alpha", vec![(0.0, 1.0), (1.0, 2.0)])
+            .series("beta", vec![(0.0, 3.0), (1.0, 1.0)])
+            .render();
+        assert!(svg.contains("alpha") && svg.contains("beta"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn log_chart_drops_nonpositive_points() {
+        let svg = LineChart::new("T", "x", "y")
+            .log_y()
+            .series("s", vec![(1.0, 0.0), (2.0, 10.0), (3.0, 100.0)])
+            .render();
+        // only two drawable points -> a polyline with 2 coordinates
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn bar_chart_bars_count() {
+        let svg = BarChart::new("B", "v", vec!["a".into(), "b".into(), "c".into()])
+            .group("g1", vec![1.0, 2.0, 3.0])
+            .group("g2", vec![3.0, 2.0, 1.0])
+            .render();
+        // background + 6 bars + 2 legend swatches = 9 rects
+        assert_eq!(svg.matches("<rect").count(), 9);
+    }
+
+    #[test]
+    fn heatmap_layout() {
+        let svg = Heatmap::new("H", 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).render();
+        // background + 6 cells
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains(">6<"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite point")]
+    fn empty_line_chart_panics() {
+        LineChart::new("T", "x", "y").render();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_heatmap_panics() {
+        Heatmap::new("H", 4, vec![1.0; 6]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Reading the experiment harness's CSV files back for plotting.
+//!
+//! The harness writes simple numeric CSVs (no embedded commas except in
+//! quoted string cells, which plotting treats as labels), so a small
+//! purpose-built reader suffices.
+
+use std::path::Path;
+
+/// A loaded CSV: header plus rows of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows (cells as written).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Parses CSV text.
+    ///
+    /// # Panics
+    /// Panics on an empty document or a row with the wrong width.
+    pub fn parse(text: &str) -> Self {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let columns: Vec<String> = split_row(lines.next().expect("CSV needs a header"));
+        let rows: Vec<Vec<String>> = lines
+            .map(|l| {
+                let cells = split_row(l);
+                assert_eq!(cells.len(), columns.len(), "ragged CSV row: {l}");
+                cells
+            })
+            .collect();
+        Table { columns, rows }
+    }
+
+    /// Loads and parses a CSV file.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O error when the file cannot be read.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Table::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Index of a named column.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in {:?}", self.columns))
+    }
+
+    /// A column's values parsed as f64 (non-numeric cells become NaN).
+    pub fn numbers(&self, name: &str) -> Vec<f64> {
+        let i = self.col(name);
+        self.rows
+            .iter()
+            .map(|r| r[i].parse::<f64>().unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// `(x, y)` pairs from two named columns, skipping non-numeric rows.
+    pub fn xy(&self, x: &str, y: &str) -> Vec<(f64, f64)> {
+        let xs = self.numbers(x);
+        let ys = self.numbers(y);
+        xs.into_iter()
+            .zip(ys)
+            .filter(|(a, b)| a.is_finite() && b.is_finite())
+            .collect()
+    }
+
+    /// `(x, y)` pairs from rows where `filter_col == filter_val`.
+    pub fn xy_where(&self, x: &str, y: &str, filter_col: &str, filter_val: &str) -> Vec<(f64, f64)> {
+        let (xi, yi, fi) = (self.col(x), self.col(y), self.col(filter_col));
+        self.rows
+            .iter()
+            .filter(|r| r[fi] == filter_val)
+            .filter_map(|r| {
+                let a = r[xi].parse::<f64>().ok()?;
+                let b = r[yi].parse::<f64>().ok()?;
+                Some((a, b))
+            })
+            .collect()
+    }
+
+    /// Distinct values of a column, in first-appearance order.
+    pub fn distinct(&self, name: &str) -> Vec<String> {
+        let i = self.col(name);
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r[i]) {
+                seen.push(r[i].clone());
+            }
+        }
+        seen
+    }
+}
+
+fn split_row(line: &str) -> Vec<String> {
+    // handles the harness's quoting (quotes only around cells that contain
+    // commas); good enough for reading back our own output
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "d,cycles,label\n2,100,small\n4,250,\"big, really\"\n";
+
+    #[test]
+    fn parse_and_access() {
+        let t = Table::parse(SAMPLE);
+        assert_eq!(t.columns, ["d", "cycles", "label"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.numbers("d"), vec![2.0, 4.0]);
+        assert_eq!(t.xy("d", "cycles"), vec![(2.0, 100.0), (4.0, 250.0)]);
+        assert_eq!(t.rows[1][2], "big, really");
+    }
+
+    #[test]
+    fn filtered_xy_and_distinct() {
+        let t = Table::parse("x,y,who\n1,10,a\n2,20,b\n3,30,a\n");
+        assert_eq!(t.xy_where("x", "y", "who", "a"), vec![(1.0, 10.0), (3.0, 30.0)]);
+        assert_eq!(t.distinct("who"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn non_numeric_cells_skip_in_xy() {
+        let t = Table::parse("x,y\n1,2\nfoo,3\n4,5\n");
+        assert_eq!(t.xy("x", "y"), vec![(1.0, 2.0), (4.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Table::parse("a,b\n1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        Table::parse("a\n1\n").col("b");
+    }
+}

@@ -1,0 +1,42 @@
+//! # blitzcoin-viz
+//!
+//! SVG figure rendering for the BlitzCoin experiment results — the
+//! counterpart of the paper artifact's "post-processing scripts for
+//! figure generation". The experiment harness emits CSV series; this
+//! crate turns them into standalone SVG files:
+//!
+//! - [`svg`]: a minimal, dependency-free SVG document builder;
+//! - [`scale`]: linear/log axis scales with "nice" tick generation;
+//! - [`chart`]: line charts (multi-series, optional log axes), grouped
+//!   bar charts, and grid heatmaps;
+//! - [`csv`]: a reader for the harness's numeric CSV files;
+//! - [`figures`]: per-figure renderers mapping `results/*.csv` onto
+//!   charts, and [`figures::render_results_dir`] to render everything at
+//!   once (the `blitzcoin-exp plots` subcommand).
+//!
+//! # Example
+//!
+//! ```
+//! use blitzcoin_viz::chart::LineChart;
+//!
+//! let svg = LineChart::new("Convergence vs d", "d", "NoC cycles")
+//!     .series("1-way", vec![(2.0, 100.0), (10.0, 480.0), (20.0, 900.0)])
+//!     .series("4-way", vec![(2.0, 60.0), (10.0, 300.0), (20.0, 620.0)])
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("1-way"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod csv;
+pub mod figures;
+pub mod scale;
+pub mod svg;
+
+/// The categorical color palette (hex), shared by every chart.
+pub const PALETTE: [&str; 8] = [
+    "#3b6fb6", "#c84b41", "#3d9970", "#8e5aa3", "#d88a2d", "#57737a", "#b0486f", "#6b8e23",
+];

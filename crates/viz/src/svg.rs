@@ -1,0 +1,231 @@
+//! A minimal SVG document builder.
+//!
+//! Only what the charts need: lines, polylines, rectangles, circles and
+//! text, with XML-escaped content and fixed-precision coordinates (so
+//! output is byte-stable across runs).
+
+use std::fmt::Write as _;
+
+/// Text anchor positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned.
+    Start,
+    /// Centered.
+    Middle,
+    /// Right-aligned.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// Creates a document of the given pixel size.
+    ///
+    /// # Panics
+    /// Panics on non-positive dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "SVG size must be positive");
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{stroke}" stroke-width="{width}"/>"#,
+            fmt(x1),
+            fmt(y1),
+            fmt(x2),
+            fmt(y2),
+        );
+    }
+
+    /// A dashed straight line.
+    pub fn dashed_line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{stroke}" stroke-width="{width}" stroke-dasharray="5,4"/>"#,
+            fmt(x1),
+            fmt(y1),
+            fmt(x2),
+            fmt(y2),
+        );
+    }
+
+    /// A polyline through `points`.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt(x), fmt(y)))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            pts.join(" "),
+        );
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{fill}"/>"#,
+            fmt(x),
+            fmt(y),
+            fmt(w.max(0.0)),
+            fmt(h.max(0.0)),
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{fill}"/>"#,
+            fmt(cx),
+            fmt(cy),
+            fmt(r),
+        );
+    }
+
+    /// Text at `(x, y)` with the given anchor and size.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: Anchor) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{size}" font-family="sans-serif" text-anchor="{}">{}</text>"#,
+            fmt(x),
+            fmt(y),
+            anchor.as_str(),
+            escape(content),
+        );
+    }
+
+    /// Text rotated 90° counter-clockwise around its anchor (y-axis labels).
+    pub fn vertical_text(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{size}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {} {})">{}</text>"#,
+            fmt(x),
+            fmt(y),
+            fmt(x),
+            fmt(y),
+            escape(content),
+        );
+    }
+
+    /// Finalizes into a standalone SVG string.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n\
+             <rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"white\"/>\n{}</svg>\n",
+            fmt(self.width),
+            fmt(self.height),
+            fmt(self.width),
+            fmt(self.height),
+            fmt(self.width),
+            fmt(self.height),
+            self.body
+        )
+    }
+}
+
+fn fmt(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        let out = svg.finish();
+        assert!(out.starts_with("<svg xmlns"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("width=\"100\""));
+        assert!(out.contains("<line"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.text(1.0, 1.0, "a < b & c", 10.0, Anchor::Start);
+        let out = svg.finish();
+        assert!(out.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn short_polyline_is_skipped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        assert!(!svg.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn coordinates_are_stable() {
+        let mut a = Svg::new(10.0, 10.0);
+        a.circle(1.23456, 2.0, 0.5, "#111");
+        let mut b = Svg::new(10.0, 10.0);
+        b.circle(1.23456, 2.0, 0.5, "#111");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn negative_rect_sizes_clamped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.rect(0.0, 0.0, -5.0, 3.0, "#222");
+        assert!(svg.finish().contains("width=\"0\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        Svg::new(0.0, 10.0);
+    }
+}

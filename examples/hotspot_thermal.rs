@@ -1,0 +1,75 @@
+//! Thermal extension demo: calibrate a hotspot coin cap from a junction
+//! limit and watch it bound the die temperature when one greedy tile
+//! tries to concentrate the whole budget.
+//!
+//! ```sh
+//! cargo run --release -p blitzcoin-exp --example hotspot_thermal
+//! ```
+
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig};
+use blitzcoin_core::HotspotCap;
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::{SimRng, SimTime, StepTrace};
+use blitzcoin_thermal::{coin_cap_for_limit, ThermalConfig, ThermalModel};
+
+const COIN_VALUE_MW: f64 = 2.0;
+const POOL: u64 = 200; // 400 mW worth of coins
+const LIMIT_C: f64 = 80.0;
+
+fn main() {
+    let topo = Topology::torus(5, 5);
+    let thermal = ThermalConfig::default();
+    let cap = coin_cap_for_limit(topo, thermal, LIMIT_C, COIN_VALUE_MW);
+    println!(
+        "junction limit {LIMIT_C} C at {COIN_VALUE_MW} mW/coin -> neighborhood cap of {cap} coins\n"
+    );
+
+    for (label, hotspot) in [("UNCAPPED", None), ("CAPPED", Some(HotspotCap::new(cap)))] {
+        // only the center tile is active: the exchange wants to hand it
+        // the entire pool
+        let center = topo.tile(2, 2).index();
+        let max: Vec<u64> = (0..25).map(|i| if i == center { 63 } else { 0 }).collect();
+        let cfg = EmulatorConfig {
+            hotspot_cap: hotspot,
+            err_threshold: 0.25,
+            stop_at_convergence: false,
+            max_cycles: 400_000,
+            quiescence_exchanges: 800,
+            ..EmulatorConfig::default()
+        };
+        let mut emu = Emulator::new(topo, max, cfg);
+        let mut rng = SimRng::seed(1);
+        emu.init_random(&mut rng, POOL);
+        emu.run(&mut rng);
+
+        let powers: Vec<StepTrace> = emu
+            .tiles()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut tr = StepTrace::new(format!("p{i}"));
+                tr.record(SimTime::ZERO, t.has.max(0) as f64 * COIN_VALUE_MW);
+                tr
+            })
+            .collect();
+        let report = ThermalModel::new(topo, thermal).simulate(&powers, SimTime::from_ms(5));
+
+        println!("{label}: center holds {} coins", emu.tiles()[center].has);
+        println!("die temperatures (C):");
+        for y in 0..5 {
+            let row: Vec<String> = (0..5)
+                .map(|x| format!("{:5.1}", report.peak_celsius(topo.tile(x, y).index())))
+                .collect();
+            println!("  {}", row.join(" "));
+        }
+        let status = if report.max_celsius() <= LIMIT_C + 0.5 {
+            "within limit"
+        } else {
+            "LIMIT EXCEEDED"
+        };
+        println!(
+            "peak {:.1} C vs limit {LIMIT_C} C -> {status}\n",
+            report.max_celsius()
+        );
+    }
+}

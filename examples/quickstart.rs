@@ -1,0 +1,50 @@
+//! Quickstart: run the BlitzCoin coin-exchange algorithm on a 4x4 grid
+//! and watch it converge.
+//!
+//! ```sh
+//! cargo run --release -p blitzcoin-exp --example quickstart
+//! ```
+
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig};
+use blitzcoin_core::metrics::ConvergenceRatio;
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::SimRng;
+
+fn main() {
+    // A 4x4 SoC with wrap-around neighbor links. Three tiles are inactive
+    // (max = 0); the rest want budget proportional to their max targets.
+    let topo = Topology::torus(4, 4);
+    let max: Vec<u64> = vec![32, 16, 0, 32, 8, 32, 16, 0, 32, 8, 16, 32, 0, 16, 32, 8];
+
+    let mut emu = Emulator::new(topo, max, EmulatorConfig::default());
+    let mut rng = SimRng::seed(7);
+    emu.init_uniform_random(&mut rng);
+
+    println!("initial coin distribution:");
+    print_grid(&emu);
+
+    let result = emu.run(&mut rng);
+
+    println!("\nconverged: {} in {} NoC cycles ({} coin packets)", result.converged, result.cycles, result.packets);
+    println!("global error: {:.2} -> {:.2} coins/tile\n", result.start_error, result.final_error);
+    println!("final coin distribution (target ratio alpha applied to each tile's max):");
+    print_grid(&emu);
+
+    let ratio = ConvergenceRatio::of(emu.tiles());
+    if let Some(alpha) = ratio.alpha {
+        println!("\nalpha = {alpha:.3}: every active tile holds ~alpha x max coins");
+    }
+}
+
+fn print_grid(emu: &Emulator) {
+    let topo = emu.topology();
+    for y in 0..topo.height() {
+        let row: Vec<String> = (0..topo.width())
+            .map(|x| {
+                let t = emu.tiles()[topo.tile(x, y).index()];
+                format!("{:>2}/{:<2}", t.has, t.max)
+            })
+            .collect();
+        println!("  {}", row.join("  "));
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration tests spanning all crates: the experiment
+//! harness, the full-SoC simulator, the behavioural emulator and the
+//! analytical model working together.
+
+use blitzcoin_exp::{run_experiment, Ctx, ALL_EXPERIMENTS};
+use blitzcoin_soc::prelude::*;
+
+fn ctx() -> Ctx {
+    let dir = std::env::temp_dir().join(format!("blitzcoin_it_{}", std::process::id()));
+    Ctx::quick_into(dir)
+}
+
+#[test]
+fn every_experiment_runs_in_quick_mode() {
+    // The cheap experiments run here; the heavy SoC ones have their own
+    // dedicated tests below so failures localize.
+    let ctx = ctx();
+    for id in ["fig1", "fig2", "fig5", "fig13"] {
+        let r = run_experiment(id, &ctx);
+        assert!(!r.claims.is_empty(), "{id} produced no claims");
+        assert!(!r.outputs.is_empty() || id == "fig1", "{id} wrote no data");
+    }
+}
+
+#[test]
+fn experiment_catalogue_dispatches() {
+    // Every catalogued id must dispatch without panicking on the *name*
+    // (run only the cheapest to keep CI fast; the full set runs in the
+    // harness binary).
+    assert_eq!(ALL_EXPERIMENTS.len(), 23);
+    let ctx = ctx();
+    let r = run_experiment("fig2", &ctx);
+    assert_eq!(r.id, "fig2");
+}
+
+#[test]
+fn emulator_claims_hold_in_quick_mode() {
+    let ctx = ctx();
+    for id in ["fig3", "fig6"] {
+        let r = run_experiment(id, &ctx);
+        assert!(
+            r.all_hold(),
+            "{id} claims failed:\n{}",
+            r.render()
+        );
+    }
+}
+
+#[test]
+fn soc_figure_17_claims_hold_in_quick_mode() {
+    let ctx = ctx();
+    let r = run_experiment("fig17", &ctx);
+    assert!(r.all_hold(), "fig17 claims failed:\n{}", r.render());
+}
+
+#[test]
+fn full_soc_managers_agree_on_work_done() {
+    // Every manager must execute the same workload to completion; only
+    // the timing differs. This exercises floorplan + workload + engine +
+    // power + noc together.
+    let soc = floorplan::soc_3x3();
+    let mut times = Vec::new();
+    for m in ManagerKind::ALL {
+        let wl = workload::av_dependent(&soc, 2);
+        let r = Simulation::new(soc.clone(), wl, SimConfig::new(m, 120.0)).run(3);
+        assert!(r.finished, "{m} did not finish");
+        times.push((m, r.exec_time_us()));
+    }
+    // decentralized BC must be the fastest or tied within 1%
+    let bc = times[0].1;
+    for &(m, t) in &times[1..] {
+        assert!(bc <= t * 1.01, "BC ({bc}) slower than {m} ({t})");
+    }
+}
+
+#[test]
+fn scaling_model_consumes_simulation_measurements() {
+    use blitzcoin_scaling::{Strategy, TauFit};
+    // measure BC response at two SoC sizes, then fit and extrapolate
+    let mut points = Vec::new();
+    for (soc, n) in [(floorplan::soc_3x3(), 6usize), (floorplan::soc_4x4(), 13)] {
+        let wl = if n == 6 {
+            workload::av_parallel(&soc, 2)
+        } else {
+            workload::vision_parallel(&soc, 2)
+        };
+        let budget = soc.total_p_max() * 0.3;
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, budget)).run(9);
+        let resp = r
+            .mean_nontrivial_response_us(0.05)
+            .expect("responses measured");
+        points.push((n, resp));
+    }
+    let fit = TauFit::fit(Strategy::BlitzCoin, &points);
+    assert!(fit.tau_us > 0.0);
+    // the fitted model must support hundreds of accelerators at ms scale
+    assert!(fit.n_max(10_000.0) > 100.0, "tau={}", fit.tau_us);
+}
+
+#[test]
+fn random_dag_stress_runs_to_completion() {
+    // a tangled 60-task random DAG on the 4x4 SoC must complete under
+    // every manager, with the budget still enforced
+    let soc = floorplan::soc_4x4();
+    let wl = workload::random_dag(&soc, 60, 99);
+    for m in [ManagerKind::BlitzCoin, ManagerKind::CentralizedRoundRobin] {
+        let r = Simulation::new(soc.clone(), wl.clone(), SimConfig::new(m, 450.0)).run(1);
+        assert!(r.finished, "{m} did not finish the random DAG");
+        assert!(
+            r.peak_overshoot_mw() <= 0.15 * r.budget_mw,
+            "{m} violated the cap by {:.1} mW",
+            r.peak_overshoot_mw()
+        );
+    }
+}
+
+#[test]
+fn mini_era_runs_under_blitzcoin() {
+    let soc = floorplan::soc_3x3();
+    let wl = workload::mini_era(&soc, 3, 7);
+    let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 90.0)).run(4);
+    assert!(r.finished);
+    // jittered sensor frames keep perturbing the allocation
+    assert!(r.responses.len() >= 4, "expected many transitions, got {}", r.responses.len());
+    assert!(r.utilization() > 0.3);
+}
+
+#[test]
+fn thermal_envelope_of_paper_workloads() {
+    use blitzcoin_thermal::ThermalConfig;
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, 2);
+    let r = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0)).run(2);
+    let t = thermal::analyze(&soc, &r, ThermalConfig::default());
+    assert!(t.max_celsius() < 105.0);
+    assert!(t.hotspots(105.0).is_empty());
+}
+
+#[test]
+fn deterministic_experiment_outputs() {
+    let dir_a = std::env::temp_dir().join(format!("blitzcoin_det_a_{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("blitzcoin_det_b_{}", std::process::id()));
+    let a = run_experiment("fig2", &Ctx::quick_into(&dir_a));
+    let b = run_experiment("fig2", &Ctx::quick_into(&dir_b));
+    let read = |dir: &std::path::Path| {
+        std::fs::read_to_string(dir.join("fig02_exchange_step.csv")).expect("csv written")
+    };
+    assert_eq!(read(&dir_a), read(&dir_b));
+    assert_eq!(a.claims.len(), b.claims.len());
+}

@@ -1,0 +1,110 @@
+//! Serde round-trip tests for the public data structures (C-SERDE):
+//! every type a downstream user might persist — configurations, reports,
+//! traces, results — must survive JSON serialization unchanged.
+
+use blitzcoin_core::emulator::{ConvergenceResult, EmulatorConfig};
+use blitzcoin_core::{AllocationPolicy, DynamicTiming, PairingMode, TileState};
+use blitzcoin_noc::{NetworkConfig, Packet, PacketKind, Plane, TileId, Topology};
+use blitzcoin_power::{AcceleratorClass, PowerModel, UvfrConfig};
+use blitzcoin_sim::{SimTime, StepTrace};
+use blitzcoin_soc::prelude::*;
+use blitzcoin_thermal::ThermalConfig;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn core_types_round_trip() {
+    let tile = TileState::new(-3, 17);
+    assert_eq!(round_trip(&tile), tile);
+    let cfg = EmulatorConfig::default();
+    assert_eq!(round_trip(&cfg), cfg);
+    let dt = DynamicTiming::default();
+    assert_eq!(round_trip(&dt), dt);
+    let pm = PairingMode::ShiftRegister { period: 8 };
+    assert_eq!(round_trip(&pm), pm);
+    let pol = AllocationPolicy::RelativeProportional;
+    assert_eq!(round_trip(&pol), pol);
+    let result = ConvergenceResult {
+        converged: true,
+        cycles: 123,
+        packets: 456,
+        exchanges: 78,
+        start_error: 3.5,
+        final_error: 0.5,
+        worst_error: 1.25,
+        total_cycles: 200,
+        total_packets: 500,
+    };
+    assert_eq!(round_trip(&result), result);
+}
+
+#[test]
+fn noc_types_round_trip() {
+    let topo = Topology::torus(5, 4);
+    assert_eq!(round_trip(&topo), topo);
+    let pkt = Packet::new(
+        TileId(3),
+        TileId(9),
+        Plane::MmioIrq,
+        PacketKind::CoinStatus { has: -2, max: 40 },
+    );
+    assert_eq!(round_trip(&pkt), pkt);
+    let nc = NetworkConfig::default();
+    assert_eq!(round_trip(&nc), nc);
+}
+
+#[test]
+fn power_types_round_trip() {
+    for class in AcceleratorClass::ALL {
+        let model = PowerModel::of(class);
+        let back = round_trip(&model);
+        assert_eq!(back, model);
+        // behavioural equality too, not just structural
+        assert_eq!(back.power_at(400.0), model.power_at(400.0));
+    }
+    let uv = UvfrConfig::default();
+    assert_eq!(round_trip(&uv), uv);
+}
+
+#[test]
+fn trace_round_trip_preserves_semantics() {
+    let mut tr = StepTrace::new("p");
+    tr.record(SimTime::ZERO, 10.0);
+    tr.record(SimTime::from_us(3), 25.0);
+    let back: StepTrace = round_trip(&tr);
+    assert_eq!(back.value_at(SimTime::from_us(1)), 10.0);
+    assert_eq!(back.value_at(SimTime::from_us(5)), 25.0);
+    assert_eq!(
+        back.average(SimTime::ZERO, SimTime::from_us(6)),
+        tr.average(SimTime::ZERO, SimTime::from_us(6))
+    );
+}
+
+#[test]
+fn soc_config_and_report_round_trip() {
+    let soc = floorplan::soc_3x3();
+    assert_eq!(round_trip(&soc), soc);
+    let cfg = SimConfig::new(ManagerKind::BlitzCoin, 120.0);
+    assert_eq!(round_trip(&cfg), cfg);
+    let th = ThermalConfig::default();
+    assert_eq!(round_trip(&th), th);
+
+    // a full report survives persistence: rerunning analysis on the
+    // deserialized report gives identical numbers
+    let wl = workload::av_parallel(&soc, 1);
+    assert_eq!(round_trip(&wl), wl);
+    let report = Simulation::new(soc.clone(), wl, cfg).run(5);
+    let back: SimReport = round_trip(&report);
+    assert_eq!(back.exec_time, report.exec_time);
+    assert_eq!(back.responses, report.responses);
+    assert_eq!(back.utilization(), report.utilization());
+    let t1 = thermal::analyze(&soc, &report, ThermalConfig::default());
+    let t2 = thermal::analyze(&soc, &back, ThermalConfig::default());
+    assert_eq!(t1.peak, t2.peak);
+}
