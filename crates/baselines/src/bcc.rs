@@ -10,8 +10,6 @@
 //! notified and to sequentially push updated settings to all tiles —
 //! O(N) response (Equation 5.2).
 
-use serde::{Deserialize, Serialize};
-
 /// The BC-C central allocation engine.
 ///
 /// # Example
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(alloc, vec![160, 320, 160]);
 /// assert_eq!(alloc.iter().sum::<i64>(), 640);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BccController {
     pool: u64,
 }

@@ -11,10 +11,8 @@
 //! both its response time to an activity change and each rotation step
 //! scale O(N) (Equations 5.1, Fig 20).
 
-use serde::{Deserialize, Serialize};
-
 /// The two discrete operating points C-RR assigns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrrLevel {
     /// Maximum (V, F).
     Max,
@@ -38,7 +36,7 @@ pub enum CrrLevel {
 /// let at_max = grant.iter().filter(|&&l| l == CrrLevel::Max).count();
 /// assert_eq!(at_max, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrrController {
     p_max: Vec<f64>,
     p_min: Vec<f64>,
@@ -52,7 +50,11 @@ impl CrrController {
     /// # Panics
     /// Panics if the vectors disagree in length or the budget is negative.
     pub fn new(p_max: Vec<f64>, p_min: Vec<f64>, budget_mw: f64) -> Self {
-        assert_eq!(p_max.len(), p_min.len(), "per-tile power vectors must align");
+        assert_eq!(
+            p_max.len(),
+            p_min.len(),
+            "per-tile power vectors must align"
+        );
         assert!(budget_mw >= 0.0, "budget must be non-negative");
         assert!(
             p_max

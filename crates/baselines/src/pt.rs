@@ -10,10 +10,8 @@
 //! both the original software numbers and a hypothetical hardware
 //! implementation scaled by 2.5 orders of magnitude (Section VI-D).
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one market-clearing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PtOutcome {
     /// The cleared price (budget-normalized).
     pub price: f64,
@@ -47,7 +45,7 @@ pub struct PtOutcome {
 /// let total: f64 = out.grants.iter().sum();
 /// assert!((total - 300.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PriceTheory {
     weights: Vec<f64>,
     p_min: Vec<f64>,

@@ -13,11 +13,10 @@
 
 use blitzcoin_core::metrics::{global_error, worst_case_error};
 use blitzcoin_core::TileState;
-use blitzcoin_sim::SimRng;
-use serde::{Deserialize, Serialize};
+use blitzcoin_sim::{FaultPlan, SimRng};
 
 /// TokenSmart configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsConfig {
     /// NoC cycles for the pool to hop to the next ring stop and be
     /// processed (the serpentine ring maps to 1 mesh hop, plus the take /
@@ -34,6 +33,14 @@ pub struct TsConfig {
     pub max_cycles: u64,
 }
 
+blitzcoin_sim::json_fields!(TsConfig {
+    visit_cycles,
+    starvation_visits,
+    fair_hold_visits,
+    err_threshold,
+    max_cycles
+});
+
 impl Default for TsConfig {
     fn default() -> Self {
         TsConfig {
@@ -47,7 +54,7 @@ impl Default for TsConfig {
 }
 
 /// Outcome of a TokenSmart run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TsResult {
     /// Whether the error crossed the threshold.
     pub converged: bool,
@@ -57,6 +64,9 @@ pub struct TsResult {
     pub packets: u64,
     /// Number of greedy→fair mode switches observed.
     pub mode_switches: u64,
+    /// Whether the pool landed on a dead ring stop and circulation halted
+    /// (see [`TokenSmart::fail_tile_at`]).
+    pub ring_broken: bool,
     /// Global error at the end.
     pub final_error: f64,
     /// Worst per-tile error at the end.
@@ -81,6 +91,9 @@ pub struct TokenSmart {
     fair_remaining: u64,
     cursor: usize,
     mode_switches: u64,
+    /// A planned tile death on the ring: `(tile, at_cycle)`.
+    fault: Option<(usize, u64)>,
+    ring_broken: bool,
 }
 
 impl TokenSmart {
@@ -98,7 +111,40 @@ impl TokenSmart {
             fair_remaining: 0,
             cursor: 0,
             mode_switches: 0,
+            fault: None,
+            ring_broken: false,
         }
+    }
+
+    /// Schedules tile `tile` to die at `at_cycle` (NoC cycles). The pool
+    /// is passed sequentially, so when it next reaches the dead stop,
+    /// circulation halts and every token still in transit is trapped with
+    /// the corpse: the ring itself is TokenSmart's single point of
+    /// failure, unlike BlitzCoin's all-pairs gossip where any live
+    /// neighbor can route around a death.
+    pub fn fail_tile_at(&mut self, tile: usize, at_cycle: u64) {
+        assert!(tile < self.tiles.len(), "tile {tile} outside the ring");
+        self.fault = Some((tile, at_cycle));
+    }
+
+    /// Applies a [`FaultPlan`]'s tile faults: the earliest planned fault
+    /// inside the ring breaks it. Both kinds kill circulation — a
+    /// fail-stopped stop forwards nothing, and a stuck one forwards
+    /// nothing either.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let first = plan
+            .tile_faults
+            .iter()
+            .filter(|f| f.tile < self.tiles.len())
+            .min_by_key(|f| (f.at_cycle, f.tile));
+        if let Some(f) = first {
+            self.fail_tile_at(f.tile, f.at_cycle);
+        }
+    }
+
+    /// Whether the pool reached a dead ring stop and circulation halted.
+    pub fn ring_broken(&self) -> bool {
+        self.ring_broken
     }
 
     /// Scatters existing holdings across tiles (pool keeps the remainder
@@ -195,9 +241,7 @@ impl TokenSmart {
 
     fn fair_hold(&self) -> u64 {
         // hold fair mode for at least one full ring revolution
-        self.config
-            .fair_hold_visits
-            .max(self.tiles.len() as u64)
+        self.config.fair_hold_visits.max(self.tiles.len() as u64)
     }
 
     /// Runs until the proportional-allocation error crosses the threshold
@@ -209,6 +253,15 @@ impl TokenSmart {
         let mut packets: u64 = 0;
         let mut converged = false;
         while cycles < self.config.max_cycles {
+            if let Some((ft, at)) = self.fault {
+                if cycles >= at && self.cursor == ft {
+                    // the pool lands on the corpse and never leaves: burn
+                    // the remaining horizon without converging
+                    self.ring_broken = true;
+                    cycles = self.config.max_cycles;
+                    break;
+                }
+            }
             self.visit();
             cycles += self.config.visit_cycles;
             packets += 1;
@@ -226,6 +279,7 @@ impl TokenSmart {
             cycles,
             packets,
             mode_switches: self.mode_switches,
+            ring_broken: self.ring_broken,
             final_error: self.error(),
             worst_error: self.worst_error(),
         }
@@ -273,7 +327,10 @@ mod tests {
         // late-ring tiles until the watchdog flips to fair.
         let mut ts = TokenSmart::new(vec![32; 10], 100, TsConfig::default());
         let r = ts.run(&mut SimRng::seed(3));
-        assert!(r.mode_switches >= 1, "starvation must trigger fair mode: {r:?}");
+        assert!(
+            r.mode_switches >= 1,
+            "starvation must trigger fair mode: {r:?}"
+        );
         // fair mode spreads the 100 tokens evenly (10 each)
         let spread: Vec<i64> = ts.tiles().iter().map(|t| t.has).collect();
         let min = spread.iter().min().unwrap();
@@ -327,6 +384,34 @@ mod tests {
         let r = ts.run(&mut SimRng::seed(5));
         assert!(!r.converged);
         assert!(r.cycles >= 1_000);
+    }
+
+    #[test]
+    fn broken_ring_halts_circulation_but_conserves() {
+        let mut ts = TokenSmart::new(vec![32; 10], 320, TsConfig::default());
+        let before = ts.total_tokens();
+        ts.fail_tile_at(4, 12);
+        let r = ts.run(&mut SimRng::seed(6));
+        assert!(r.ring_broken, "{r:?}");
+        assert!(!r.converged, "a broken ring cannot converge: {r:?}");
+        assert_eq!(r.cycles, TsConfig::default().max_cycles);
+        assert_eq!(ts.total_tokens(), before, "trapped tokens still exist");
+        assert!(ts.pool() > 0, "the pool should be trapped with the corpse");
+    }
+
+    #[test]
+    fn fault_plan_maps_onto_the_ring() {
+        use blitzcoin_sim::{TileFault, TileFaultKind};
+        let mut plan = FaultPlan::none();
+        plan.tile_faults.push(TileFault {
+            tile: 3,
+            at_cycle: 0,
+            kind: TileFaultKind::Stuck,
+        });
+        let mut ts = TokenSmart::new(vec![32; 8], 256, TsConfig::default());
+        ts.apply_fault_plan(&plan);
+        let r = ts.run(&mut SimRng::seed(7));
+        assert!(r.ring_broken && !r.converged, "{r:?}");
     }
 
     #[test]

@@ -3,12 +3,13 @@
 //! timed (the corresponding *quality* numbers — cycles/packets — come from
 //! `blitzcoin-exp` and `examples/design_space.rs`).
 
+use blitzcoin_bench::harness::{BenchmarkId, Criterion};
 use blitzcoin_bench::run_emulator_once;
+use blitzcoin_bench::{criterion_group, criterion_main};
 use blitzcoin_core::emulator::{Emulator, EmulatorConfig, ExchangeMode};
 use blitzcoin_core::{DynamicTiming, HotspotCap, PairingMode};
 use blitzcoin_noc::Topology;
 use blitzcoin_sim::SimRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const D: usize = 10;
@@ -16,7 +17,10 @@ const D: usize = 10;
 fn ablation_exchange_mode(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_exchange_mode");
     g.sample_size(10);
-    for (label, mode) in [("one_way", ExchangeMode::OneWay), ("four_way", ExchangeMode::FourWay)] {
+    for (label, mode) in [
+        ("one_way", ExchangeMode::OneWay),
+        ("four_way", ExchangeMode::FourWay),
+    ] {
         let cfg = EmulatorConfig {
             mode,
             ..EmulatorConfig::default()
@@ -108,11 +112,8 @@ fn ablation_coin_precision(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let topo = Topology::torus(D, D);
-                let mut emu = Emulator::new(
-                    topo,
-                    vec![max_per_tile; D * D],
-                    EmulatorConfig::default(),
-                );
+                let mut emu =
+                    Emulator::new(topo, vec![max_per_tile; D * D], EmulatorConfig::default());
                 let mut rng = SimRng::seed(seed);
                 emu.init_uniform_random(&mut rng);
                 black_box(emu.run(&mut rng).cycles)

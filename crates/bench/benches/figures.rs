@@ -2,13 +2,14 @@
 //! path that regenerates that figure's data (with reduced trial counts;
 //! the data itself comes from `blitzcoin-exp`).
 
-use blitzcoin_bench::{run_emulator_once, run_soc_3x3, run_soc_4x4, run_soc_6x6};
 use blitzcoin_baselines::tokensmart::{TokenSmart, TsConfig};
+use blitzcoin_bench::harness::{BenchmarkId, Criterion};
+use blitzcoin_bench::{criterion_group, criterion_main};
+use blitzcoin_bench::{run_emulator_once, run_soc_3x3, run_soc_4x4, run_soc_6x6};
 use blitzcoin_core::emulator::EmulatorConfig;
 use blitzcoin_scaling::paper;
 use blitzcoin_sim::SimRng;
 use blitzcoin_soc::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn fig01_scaling(c: &mut Criterion) {

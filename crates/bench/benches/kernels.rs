@@ -1,12 +1,13 @@
 //! Microbenchmarks of the simulator kernels: the hot inner operations
 //! every figure's regeneration spends its time in.
 
+use blitzcoin_bench::harness::Criterion;
+use blitzcoin_bench::{criterion_group, criterion_main};
 use blitzcoin_core::exchange::{four_way_allocation, pairwise_exchange_stochastic};
 use blitzcoin_core::{global_error, pairwise_exchange, DynamicTiming, TileState};
 use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, RoundRobinArbiter, Topology};
 use blitzcoin_power::{AcceleratorClass, CoinLut, PowerModel, Uvfr, UvfrConfig};
 use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn exchange_kernels(c: &mut Criterion) {
@@ -17,7 +18,13 @@ fn exchange_kernels(c: &mut Criterion) {
     });
     let mut rng = SimRng::seed(5);
     c.bench_function("kernel/pairwise_exchange_stochastic", |b| {
-        b.iter(|| black_box(pairwise_exchange_stochastic(black_box(a), black_box(b_), &mut rng)))
+        b.iter(|| {
+            black_box(pairwise_exchange_stochastic(
+                black_box(a),
+                black_box(b_),
+                &mut rng,
+            ))
+        })
     });
     let group = [
         TileState::new(3, 8),
@@ -114,5 +121,11 @@ fn sim_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(kernels, exchange_kernels, noc_kernels, power_kernels, sim_kernels);
+criterion_group!(
+    kernels,
+    exchange_kernels,
+    noc_kernels,
+    power_kernels,
+    sim_kernels
+);
 criterion_main!(kernels);

@@ -1,0 +1,268 @@
+//! A minimal wall-clock benchmark harness with a Criterion-shaped API.
+//!
+//! The bench targets (`benches/*.rs`, `harness = false`) drive this via
+//! [`crate::criterion_group!`]/[`crate::criterion_main!`], so a bench
+//! function written for Criterion needs only its import line changed.
+//! Measurement is deliberately simple: warm up by doubling the iteration
+//! count until the batch takes long enough to time reliably, then run one
+//! scaled measurement batch and report mean time per iteration.
+//!
+//! CLI: a bare argument filters benchmarks by substring; `--test` runs
+//! each benchmark body once without timing (smoke mode, what
+//! `cargo test --benches` passes); `--bench` is accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// Warmup batch must take at least this long before we trust the timing.
+const WARMUP_FLOOR: Duration = Duration::from_millis(5);
+/// Target duration of the measurement batch.
+const MEASURE_TARGET: Duration = Duration::from_millis(25);
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter_ns: f64,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time per call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= WARMUP_FLOOR || n >= 1 << 24 {
+                let scale = MEASURE_TARGET.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64;
+                let m = ((n as f64 * scale).ceil() as u64).clamp(1, 1 << 26);
+                let t1 = Instant::now();
+                for _ in 0..m {
+                    std::hint::black_box(f());
+                }
+                self.per_iter_ns = t1.elapsed().as_nanos() as f64 / m as f64;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+/// The top-level harness: registers and runs benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" | "--verbose" | "--quiet" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            smoke,
+            ran: 0,
+        }
+    }
+
+    /// Runs (or skips, if filtered out) one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            per_iter_ns: 0.0,
+            smoke: self.smoke,
+        };
+        f(&mut b);
+        self.ran += 1;
+        if self.smoke {
+            println!("{name:<48} ok (smoke)");
+        } else {
+            println!("{name:<48} {:>14}/iter", format_ns(b.per_iter_ns));
+        }
+    }
+
+    /// Opens a named benchmark group (names become `group/bench`).
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> Group<'_> {
+        Group {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Prints the run summary.
+    pub fn summary(&self) {
+        println!(
+            "\n{} benchmark{} run{}",
+            self.ran,
+            if self.ran == 1 { "" } else { "s" },
+            if self.smoke { " (smoke mode)" } else { "" }
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct Group<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Accepted for Criterion compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        self.c.bench_function(full, f);
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op, for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with an attached parameter, rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A name/parameter pair.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// A bare parameter used as the whole name.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles bench functions into a single group runner, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $($group(&mut c);)+
+            c.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            per_iter_ns: 0.0,
+            smoke: false,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.per_iter_ns > 0.0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            per_iter_ns: 0.0,
+            smoke: true,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.per_iter_ns, 0.0);
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2.0e9).contains(" s"));
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("conv", 12).to_string(), "conv/12");
+        assert_eq!(BenchmarkId::from_parameter(2.5).to_string(), "2.5");
+    }
+}

@@ -8,14 +8,12 @@
 //! concrete exchange obeys its case's bound, which is the strongest
 //! regression guard we can put around the exchange arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::exchange::pairwise_exchange;
 use crate::metrics::ConvergenceRatio;
 use crate::tile::TileState;
 
 /// The four cases of Section III-E, ordered as in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExchangeCase {
     /// `β_i ≥ β' ≥ β_j ≥ α`: both tiles hold too many coins before and
     /// after; the total error is constant (coins just relabel).
@@ -35,7 +33,7 @@ pub enum ExchangeCase {
 }
 
 /// The classification plus the measured error movement of one exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExchangeAnalysis {
     /// Which of the paper's cases this exchange falls into.
     pub case: ExchangeCase,

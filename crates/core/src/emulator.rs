@@ -12,8 +12,7 @@
 //! 6 (dynamic timing), 7 (random pairing) and 8 (heterogeneity).
 
 use blitzcoin_noc::{TileId, Topology};
-use blitzcoin_sim::{EventQueue, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
+use blitzcoin_sim::{EventQueue, FaultPlan, SimRng, SimTime, TileFaultKind};
 
 use crate::exchange::{four_way_allocation, pairwise_exchange_stochastic};
 use crate::metrics::{global_error, worst_case_error, ConvergenceRatio};
@@ -23,7 +22,7 @@ use crate::tile::TileState;
 use crate::timing::DynamicTiming;
 
 /// Which exchange technique the emulator runs (Fig 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExchangeMode {
     /// Pairwise exchange with one neighbor at a time (Algorithm 2).
     OneWay,
@@ -31,8 +30,10 @@ pub enum ExchangeMode {
     FourWay,
 }
 
+blitzcoin_sim::json_unit_enum!(ExchangeMode { OneWay, FourWay });
+
 /// Emulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmulatorConfig {
     /// Exchange technique.
     pub mode: ExchangeMode,
@@ -54,12 +55,28 @@ pub struct EmulatorConfig {
     pub quiescence_exchanges: u64,
     /// Optional local thermal cap (1-way only).
     pub hotspot_cap: Option<HotspotCap>,
-    /// Failure-injection knob: each coin message suffers up to this many
-    /// extra cycles of random delay (congestion bursts, synchronizer
-    /// retries). 0 disables. Exchanges stay atomic — the NoC is lossless —
-    /// so conservation is unaffected; only timing degrades.
+    /// Deprecated failure-injection knob: each coin message suffers up to
+    /// `2 * latency_jitter_cycles` extra cycles of random delay. 0
+    /// disables. This is now a special case of [`FaultPlan`] message
+    /// jitter — [`Emulator::new`] folds it into the plan via
+    /// [`FaultPlan::from_jitter`], and [`Emulator::set_fault_plan`] is the
+    /// one fault-injection surface going forward. The field keeps working
+    /// so existing configs (and their JSON) stay valid.
     pub latency_jitter_cycles: u64,
 }
+
+blitzcoin_sim::json_fields!(EmulatorConfig {
+    mode,
+    refresh_cycles,
+    dynamic_timing,
+    pairing,
+    err_threshold,
+    max_cycles,
+    stop_at_convergence,
+    quiescence_exchanges,
+    hotspot_cap,
+    latency_jitter_cycles
+});
 
 impl Default for EmulatorConfig {
     /// The optimized BlitzCoin configuration: 1-way exchange, dynamic
@@ -101,7 +118,7 @@ impl EmulatorConfig {
 }
 
 /// The outcome of one emulator run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergenceResult {
     /// Whether the global error crossed the threshold.
     pub converged: bool,
@@ -124,6 +141,18 @@ pub struct ConvergenceResult {
     /// stops at convergence).
     pub total_packets: u64,
 }
+
+blitzcoin_sim::json_fields!(ConvergenceResult {
+    converged,
+    cycles,
+    packets,
+    exchanges,
+    start_error,
+    final_error,
+    worst_error,
+    total_cycles,
+    total_packets
+});
 
 #[derive(Debug, Clone)]
 struct TileRuntime {
@@ -167,6 +196,9 @@ pub struct Emulator {
     tiles: Vec<TileState>,
     config: EmulatorConfig,
     runtime: Vec<TileRuntime>,
+    fault: FaultPlan,
+    /// Per-tile fault state, populated as planned faults fire during a run.
+    faulted: Vec<Option<TileFaultKind>>,
 }
 
 impl Emulator {
@@ -192,17 +224,52 @@ impl Emulator {
                 next_fire: 0,
             })
             .collect();
+        // The deprecated jitter knob becomes a degenerate fault plan: the
+        // old draw was uniform over [0, 2*jitter], which from_jitter's
+        // half-open [0, n) reproduces with n = 2*jitter + 1.
+        let fault = if config.latency_jitter_cycles > 0 {
+            FaultPlan::from_jitter(2 * config.latency_jitter_cycles + 1)
+        } else {
+            FaultPlan::none()
+        };
+        let faulted = vec![None; tiles.len()];
         Emulator {
             topo,
             tiles,
             config,
             runtime,
+            fault,
+            faulted,
         }
     }
 
     /// The grid topology.
     pub fn topology(&self) -> Topology {
         self.topo
+    }
+
+    /// Installs a fault plan for subsequent runs. Replaces the plan the
+    /// constructor derived from the deprecated `latency_jitter_cycles`
+    /// knob — to combine both, fold the jitter into `plan` with
+    /// [`FaultPlan::from_jitter`] semantics (`msg_jitter_cycles`).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Builder-style [`Emulator::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Per-tile fault state after a run (`None` = still healthy).
+    pub fn faulted(&self) -> &[Option<TileFaultKind>] {
+        &self.faulted
     }
 
     /// Current tile states.
@@ -273,8 +340,31 @@ impl Emulator {
     /// a random phase within one refresh interval, then fire on their own
     /// (possibly dynamically scaled) schedules.
     pub fn run(&mut self, rng: &mut SimRng) -> ConvergenceResult {
+        // Planned tile faults, earliest-per-tile, in firing order. Faults
+        // activate lazily as simulated time passes them.
+        self.faulted = vec![None; self.tiles.len()];
+        let mut planned: Vec<(u64, usize, TileFaultKind)> = self
+            .fault
+            .tile_faults
+            .iter()
+            .filter(|f| f.tile < self.tiles.len())
+            .map(|f| (f.at_cycle, f.tile, f.kind))
+            .collect();
+        planned.sort_unstable_by_key(|&(at, t, _)| (at, t));
+        let mut struck = vec![false; self.tiles.len()];
+        planned.retain(|&(_, t, _)| !std::mem::replace(&mut struck[t], true));
+        let mut next_fault = 0usize;
+        while next_fault < planned.len() && planned[next_fault].0 == 0 {
+            let (_, t, kind) = planned[next_fault];
+            next_fault += 1;
+            self.faulted[t] = Some(kind);
+            if kind == TileFaultKind::FailStop {
+                self.tiles[t].max = 0;
+            }
+        }
+
         let ratio = ConvergenceRatio::of(&self.tiles);
-        let targets: Vec<f64> = self.tiles.iter().map(|t| ratio.target(t)).collect();
+        let mut targets: Vec<f64> = self.tiles.iter().map(|t| ratio.target(t)).collect();
         let n = self.tiles.len() as f64;
         let mut err_sum: f64 = self
             .tiles
@@ -312,8 +402,31 @@ impl Emulator {
                 break;
             }
             let (i, gen) = ev.payload;
+            // Activate every planned fault whose time has come. A
+            // fail-stopped tile's target drops to zero (its coins are
+            // drainable by neighbors), so the error ledger is rebuilt
+            // against the survivors' new fair share. Stuck tiles keep
+            // their max and their coins: the quarantined budget shows up
+            // as residual error, which is the point.
+            while next_fault < planned.len() && planned[next_fault].0 <= now {
+                let (_, t, kind) = planned[next_fault];
+                next_fault += 1;
+                self.faulted[t] = Some(kind);
+                if kind == TileFaultKind::FailStop {
+                    self.tiles[t].max = 0;
+                    let ratio = ConvergenceRatio::of(&self.tiles);
+                    err_sum = 0.0;
+                    for (k, tg) in targets.iter_mut().enumerate() {
+                        *tg = ratio.target(&self.tiles[k]);
+                        err_sum += (self.tiles[k].has as f64 - *tg).abs();
+                    }
+                }
+            }
             if gen != self.runtime[i].gen {
                 continue; // superseded by a wake-up reschedule
+            }
+            if self.faulted[i].is_some() {
+                continue; // a faulted tile initiates nothing, ever again
             }
             end_cycles = now;
             self.runtime[i].exchange_count += 1;
@@ -357,7 +470,7 @@ impl Emulator {
                     if !significant {
                         rt.zero_rotation += 1;
                         let rotation = rt.neighbors.len().max(1) as u32;
-                        if rt.zero_rotation % rotation == 0 {
+                        if rt.zero_rotation.is_multiple_of(rotation) {
                             dt.next_interval(rt.interval, 0)
                         } else {
                             rt.interval
@@ -380,14 +493,17 @@ impl Emulator {
             // would stall the coin wavefront).
             if significant {
                 if let (Some(dt), Some(p)) = (self.config.dynamic_timing, outcome.partner) {
-                    let rp = &mut self.runtime[p];
-                    rp.zero_rotation = 0;
-                    rp.interval = dt.next_interval(rp.interval, outcome.moved);
-                    let candidate = now + outcome.latency + rp.interval;
-                    if candidate < rp.next_fire {
-                        rp.gen += 1;
-                        rp.next_fire = candidate;
-                        queue.schedule(SimTime::from_noc_cycles(candidate), (p, rp.gen));
+                    // (never wake a faulted partner: corpses stay silent)
+                    if self.faulted[p].is_none() {
+                        let rp = &mut self.runtime[p];
+                        rp.zero_rotation = 0;
+                        rp.interval = dt.next_interval(rp.interval, outcome.moved);
+                        let candidate = now + outcome.latency + rp.interval;
+                        if candidate < rp.next_fire {
+                            rp.gen += 1;
+                            rp.next_fire = candidate;
+                            queue.schedule(SimTime::from_noc_cycles(candidate), (p, rp.gen));
+                        }
                     }
                 }
             }
@@ -446,6 +562,20 @@ impl Emulator {
         };
 
         let j = partner.index();
+        if self.faulted[j] == Some(TileFaultKind::Stuck) {
+            // A wedged partner holds its coins and never answers: the
+            // status request times out and nothing moves. (A fail-stopped
+            // partner is different — its coin register lives in the
+            // always-on NoC domain, so the normal path below drains it
+            // via the max=0 rule.)
+            let hops = self.topo.hop_distance(tile, partner).max(1) as u64;
+            return StepOutcome {
+                moved: 0,
+                latency: 2 * per_message_latency(hops) + 1,
+                packets: 1,
+                partner: None,
+            };
+        }
         let out = pairwise_exchange_stochastic(self.tiles[i], self.tiles[j], rng);
         let mut moved = out.moved;
         // Local thermal cap: the receiving side may reject the transfer.
@@ -470,11 +600,9 @@ impl Emulator {
         }
         // status + update message round trip, plus one cycle of FSM compute
         let hops = self.topo.hop_distance(tile, partner).max(1) as u64;
-        let jitter = if self.config.latency_jitter_cycles > 0 {
-            rng.range_u64(0..2 * self.config.latency_jitter_cycles + 1)
-        } else {
-            0
-        };
+        // Message jitter now comes from the fault plan (stateless in the
+        // packet identity, so it never perturbs the main RNG stream).
+        let jitter = self.fault.msg_jitter(i, j, now);
         let latency = 2 * per_message_latency(hops) + 1 + jitter;
         StepOutcome {
             moved: moved.abs(),
@@ -484,9 +612,16 @@ impl Emulator {
         }
     }
 
-    /// One 4-way group exchange for tile `i`.
+    /// One 4-way group exchange for tile `i`. Stuck neighbors are skipped
+    /// (they never answer the request); fail-stopped ones participate as
+    /// drainable max=0 registers, same as in the 1-way path.
     fn four_way_step(&mut self, i: usize, targets: &[f64], err_sum: &mut f64) -> StepOutcome {
-        let neighbors = self.runtime[i].neighbors.clone();
+        let neighbors: Vec<TileId> = self.runtime[i]
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|t| self.faulted[t.index()] != Some(TileFaultKind::Stuck))
+            .collect();
         if neighbors.is_empty() {
             return StepOutcome {
                 moved: 0,
@@ -637,7 +772,10 @@ mod tests {
             dc += dynamic.cycles;
             dp += dynamic.packets;
         }
-        assert!(dc * 3 < pc * 2, "convergence should be >1.5x faster: {dc} vs {pc}");
+        assert!(
+            dc * 3 < pc * 2,
+            "convergence should be >1.5x faster: {dc} vs {pc}"
+        );
         // Packets to convergence stay in the same ballpark (quantized
         // diffusion needs a fixed amount of exchange work; the traffic
         // saving shows up in steady state — see the next test).
@@ -701,10 +839,7 @@ mod tests {
         with.init_coins(&has);
         let mut rng = SimRng::seed(7);
         let rw = with.run(&mut rng);
-        assert!(
-            rw.converged,
-            "random pairing must drain the island: {rw:?}"
-        );
+        assert!(rw.converged, "random pairing must drain the island: {rw:?}");
         // ...whereas without random pairing the island deadlocks: only
         // inactive tiles border the coins, so no exchange ever moves them.
         let mut without = Emulator::new(topo, max, build(PairingMode::Disabled));
@@ -747,10 +882,7 @@ mod tests {
             // Initial random placement may violate the cap, but exchanges
             // must not push a compliant neighborhood far beyond it; allow
             // the one-transfer slack inherent to reject-on-receive.
-            assert!(
-                total <= 60 + 16,
-                "neighborhood of {t} holds {total} coins"
-            );
+            assert!(total <= 60 + 16, "neighborhood of {t} holds {total} coins");
         }
     }
 
@@ -770,8 +902,90 @@ mod tests {
         emu.init_uniform_random(&mut rng);
         let jittered = emu.run(&mut rng);
         assert!(jittered.converged, "{jittered:?}");
-        assert_eq!(emu.total_coins(), emu.tiles().iter().map(|t| t.has).sum::<i64>());
-        assert!(jittered.cycles >= clean.cycles, "jitter cannot speed things up");
+        assert_eq!(
+            emu.total_coins(),
+            emu.tiles().iter().map(|t| t.has).sum::<i64>()
+        );
+        assert!(
+            jittered.cycles >= clean.cycles,
+            "jitter cannot speed things up"
+        );
+    }
+
+    #[test]
+    fn jitter_knob_is_a_fault_plan_shim() {
+        // Satellite of the fault subsystem: the deprecated config knob
+        // must map onto FaultPlan::from_jitter with the old [0, 2k] range.
+        let cfg = EmulatorConfig {
+            latency_jitter_cycles: 64,
+            ..EmulatorConfig::default()
+        };
+        let emu = Emulator::new(Topology::mesh(2, 2), vec![8; 4], cfg);
+        assert_eq!(emu.fault_plan().msg_jitter_cycles, 129);
+        let plain = Emulator::new(Topology::mesh(2, 2), vec![8; 4], EmulatorConfig::default());
+        assert!(plain.fault_plan().is_empty());
+    }
+
+    #[test]
+    fn fail_stop_mid_run_is_drained_and_survivors_converge() {
+        use blitzcoin_sim::TileFault;
+        let topo = Topology::torus(6, 6);
+        // Strike mid-diffusion (cycle 500) and keep running past the
+        // convergence instant so the corpse is fully drained, not merely
+        // below the average-error threshold.
+        let cfg = EmulatorConfig {
+            stop_at_convergence: false,
+            max_cycles: 200_000,
+            quiescence_exchanges: 2_000,
+            ..EmulatorConfig::default()
+        };
+        let mut emu = Emulator::new(topo, vec![32; 36], cfg).with_fault_plan(FaultPlan {
+            tile_faults: vec![TileFault {
+                tile: 10,
+                at_cycle: 500,
+                kind: TileFaultKind::FailStop,
+            }],
+            ..FaultPlan::default()
+        });
+        let mut rng = SimRng::seed(31);
+        emu.init_uniform_random(&mut rng);
+        let total = emu.total_coins();
+        let r = emu.run(&mut rng);
+        assert!(r.converged, "{r:?}");
+        assert_eq!(emu.faulted()[10], Some(TileFaultKind::FailStop));
+        assert_eq!(emu.tiles()[10].has, 0, "corpse must be drained");
+        assert_eq!(emu.total_coins(), total, "reclamation conserves coins");
+    }
+
+    #[test]
+    fn stuck_tile_quarantines_its_coins() {
+        use blitzcoin_sim::TileFault;
+        let topo = Topology::torus(5, 5);
+        let cfg = EmulatorConfig {
+            stop_at_convergence: false,
+            max_cycles: 100_000,
+            quiescence_exchanges: 2_000,
+            ..EmulatorConfig::default()
+        };
+        let mut emu = Emulator::new(topo, vec![32; 25], cfg).with_fault_plan(FaultPlan {
+            tile_faults: vec![TileFault {
+                tile: 12,
+                at_cycle: 0,
+                kind: TileFaultKind::Stuck,
+            }],
+            ..FaultPlan::default()
+        });
+        let mut has = vec![16i64; 25];
+        has[12] = 40; // over-provisioned and wedged: coins are trapped
+        emu.init_coins(&has);
+        let total = emu.total_coins();
+        emu.run(&mut rng_for(5));
+        assert_eq!(emu.tiles()[12].has, 40, "stuck tile holds its coins");
+        assert_eq!(emu.total_coins(), total);
+    }
+
+    fn rng_for(seed: u64) -> SimRng {
+        SimRng::seed(seed)
     }
 
     #[test]

@@ -85,33 +85,39 @@ fn pairwise_exchange_inner(
     let new_i = if weight_sum == 0 {
         i.has
     } else {
-        // Fair share of the pair's coins; exact in f64 for any realistic
-        // coin pool (< 2^52).
-        let share = total as f64 * i.max as f64 / weight_sum as f64;
-        let lo = share.floor();
-        if (share - lo - 0.5).abs() < 1e-9 {
+        // Exact integer fair share: total*max_i = q*ws + r with
+        // 0 <= r < ws, so the half-coin case is precisely `2r == ws` —
+        // no epsilon window, for any coin pool the hardware could hold
+        // (i128 cannot overflow from two 64-bit operands).
+        let n = total as i128 * i.max as i128;
+        let ws = weight_sum as i128;
+        let q = n.div_euclid(ws);
+        let r = n.rem_euclid(ws);
+        if 2 * r == ws {
             // Half-coin residual: deterministic variant holds position
             // (no movement); stochastic variant flips a fair coin.
-            let hi = lo + 1.0;
-            let has = i.has as f64;
-            let hold = if (lo - has).abs() <= (hi - has).abs() {
+            let lo = q as i64;
+            let hi = lo + 1;
+            let hold = if (lo - i.has).abs() <= (hi - i.has).abs() {
                 lo
             } else {
                 hi
             };
             match tie_rng {
-                None => hold as i64,
+                None => hold,
                 Some(rng) => {
                     let shed = if hold == lo { hi } else { lo };
                     if rng.chance(0.5) {
-                        hold as i64
+                        hold
                     } else {
-                        shed as i64
+                        shed
                     }
                 }
             }
+        } else if 2 * r > ws {
+            (q + 1) as i64
         } else {
-            share.round() as i64
+            q as i64
         }
     };
     let new_j = total - new_i;
@@ -311,6 +317,33 @@ mod tests {
         let group = [TileState::new(-2, 4), TileState::new(1, 4)];
         let alloc = four_way_allocation(&group);
         assert_eq!(alloc.iter().sum::<i64>(), -1);
+    }
+
+    #[test]
+    fn tie_break_is_exact_beyond_f64_precision() {
+        // total*max exceeds f64's 53-bit mantissa: a float share would
+        // round 2^53+1 down to 2^53 and miss this half-coin tie entirely;
+        // the integer path cannot.
+        let total = (1i64 << 53) + 1;
+        let out = pairwise_exchange(TileState::new(total, 1), TileState::new(0, 1));
+        assert_eq!(out.new_i + out.new_j, total, "conservation");
+        // fair share is 2^52 + 0.5; the deterministic rule holds the side
+        // nearer the current holding, which for i (holding everything) is
+        // the hi side
+        assert_eq!(out.new_i, (1i64 << 52) + 1);
+    }
+
+    #[test]
+    fn half_coin_detection_is_exact_not_epsilon() {
+        // a share of lo + 0.5000000001-ish must NOT trigger the tie path:
+        // 2r == ws is an integer identity, so near-halves round normally
+        let out = pairwise_exchange(
+            TileState::new(7, 1_000_000_001),
+            TileState::new(0, 999_999_999),
+        );
+        // share = 7 * 1000000001 / 2000000000 = 3.5000000035: rounds to 4
+        assert_eq!(out.new_i, 4);
+        assert_eq!(out.new_j, 3);
     }
 
     #[test]

@@ -68,7 +68,10 @@ mod tests {
             distinct.sort_unstable();
             distinct.dedup();
             assert!(distinct.len() <= acc_types as usize);
-            assert!(distinct.len() >= 2, "400 random draws should hit >= 2 types");
+            assert!(
+                distinct.len() >= 2,
+                "400 random draws should hit >= 2 types"
+            );
             assert!(*distinct.first().unwrap() >= 8);
             assert!(*distinct.last().unwrap() <= MAX_COINS_PER_TILE as u64);
         }

@@ -9,12 +9,10 @@
 //! Fig 3, 1.0 for Fig 6); arbitrarily small thresholds cannot be reached
 //! because coins are quantized.
 
-use serde::{Deserialize, Serialize};
-
 use crate::tile::TileState;
 
 /// The global convergence ratio α and the tile targets it induces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergenceRatio {
     /// `Σ has_i / Σ max_i`; `None` when no tile is active.
     pub alpha: Option<f64>,
@@ -65,11 +63,7 @@ pub fn global_error(tiles: &[TileState]) -> f64 {
         return 0.0;
     }
     let ratio = ConvergenceRatio::of(tiles);
-    tiles
-        .iter()
-        .map(|t| per_tile_error(t, &ratio))
-        .sum::<f64>()
-        / tiles.len() as f64
+    tiles.iter().map(|t| per_tile_error(t, &ratio)).sum::<f64>() / tiles.len() as f64
 }
 
 /// Worst-case absolute error across all tiles (Fig 7's metric).
@@ -106,7 +100,11 @@ mod tests {
 
     #[test]
     fn errors_at_equilibrium_are_zero() {
-        let tiles = [TileState::new(4, 8), TileState::new(2, 4), TileState::new(6, 12)];
+        let tiles = [
+            TileState::new(4, 8),
+            TileState::new(2, 4),
+            TileState::new(6, 12),
+        ];
         assert!(global_error(&tiles) < 1e-12);
         assert!(worst_case_error(&tiles) < 1e-12);
     }

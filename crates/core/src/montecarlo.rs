@@ -7,12 +7,11 @@
 
 use blitzcoin_noc::Topology;
 use blitzcoin_sim::{SimRng, Summary};
-use serde::Serialize;
 
 use crate::emulator::{ConvergenceResult, Emulator, EmulatorConfig};
 
 /// Aggregated results of a Monte-Carlo sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrialStats {
     /// Number of trials run.
     pub trials: u32,
@@ -101,7 +100,10 @@ pub fn run_activity_change_trials(
     flip_fraction: f64,
 ) -> TrialStats {
     assert!(trials > 0, "need at least one trial");
-    assert!((0.0..1.0).contains(&flip_fraction), "flip fraction in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&flip_fraction),
+        "flip fraction in [0,1)"
+    );
     let n = topo.len();
     let root = SimRng::seed(root_seed);
     let mut results = Vec::with_capacity(trials as usize);
@@ -141,12 +143,8 @@ mod tests {
 
     #[test]
     fn homogeneous_sweep_converges() {
-        let stats = run_homogeneous_trials(
-            Topology::torus(6, 6),
-            EmulatorConfig::default(),
-            10,
-            42,
-        );
+        let stats =
+            run_homogeneous_trials(Topology::torus(6, 6), EmulatorConfig::default(), 10, 42);
         assert_eq!(stats.trials, 10);
         assert_eq!(stats.converged_fraction, 1.0);
         assert!(stats.mean_cycles > 0.0);
@@ -170,12 +168,8 @@ mod tests {
 
     #[test]
     fn percentiles_and_errors_accessible() {
-        let mut stats = run_homogeneous_trials(
-            Topology::torus(5, 5),
-            EmulatorConfig::default(),
-            8,
-            11,
-        );
+        let mut stats =
+            run_homogeneous_trials(Topology::torus(5, 5), EmulatorConfig::default(), 8, 11);
         let p50 = stats.cycles_percentile(50.0);
         let p100 = stats.cycles_percentile(100.0);
         assert!(p50 <= p100);
@@ -187,13 +181,8 @@ mod tests {
 
     #[test]
     fn activity_change_protocol_measures_reabsorption() {
-        let stats = run_activity_change_trials(
-            Topology::torus(8, 8),
-            EmulatorConfig::default(),
-            8,
-            3,
-            0.1,
-        );
+        let stats =
+            run_activity_change_trials(Topology::torus(8, 8), EmulatorConfig::default(), 8, 3, 0.1);
         assert_eq!(stats.converged_fraction, 1.0);
         // a localized change resolves much faster than a full random init
         let full = run_homogeneous_trials(Topology::torus(8, 8), EmulatorConfig::default(), 8, 3);

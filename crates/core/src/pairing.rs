@@ -11,10 +11,9 @@
 
 use blitzcoin_noc::{TileId, Topology};
 use blitzcoin_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Random-pairing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PairingMode {
     /// Never pair with non-neighbors (the Fig 7 "without random pairing"
     /// baseline).
@@ -40,14 +39,47 @@ impl Default for PairingMode {
     }
 }
 
+impl blitzcoin_sim::json::ToJson for PairingMode {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        use blitzcoin_sim::json::Json;
+        let (kind, period) = match self {
+            PairingMode::Disabled => ("Disabled", None),
+            PairingMode::Uniform { period } => ("Uniform", Some(*period)),
+            PairingMode::ShiftRegister { period } => ("ShiftRegister", Some(*period)),
+        };
+        let mut pairs = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+        if let Some(p) = period {
+            pairs.push(("period".to_string(), Json::Num(f64::from(p))));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for PairingMode {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        use blitzcoin_sim::json::JsonError;
+        let kind: String = v.field("kind")?;
+        match kind.as_str() {
+            "Disabled" => Ok(PairingMode::Disabled),
+            "Uniform" => Ok(PairingMode::Uniform {
+                period: v.field("period")?,
+            }),
+            "ShiftRegister" => Ok(PairingMode::ShiftRegister {
+                period: v.field("period")?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown PairingMode variant `{other}`"
+            ))),
+        }
+    }
+}
+
 impl PairingMode {
     /// The pairing period, or `None` when disabled.
     pub fn period(&self) -> Option<u32> {
         match *self {
             PairingMode::Disabled => None,
-            PairingMode::Uniform { period } | PairingMode::ShiftRegister { period } => {
-                Some(period)
-            }
+            PairingMode::Uniform { period } | PairingMode::ShiftRegister { period } => Some(period),
         }
     }
 
@@ -55,14 +87,14 @@ impl PairingMode {
     /// random pairing instead of a neighbor exchange.
     pub fn is_pairing_turn(&self, count: u64) -> bool {
         match self.period() {
-            Some(p) if p > 0 => count % p as u64 == 0,
+            Some(p) if p > 0 => count.is_multiple_of(p as u64),
             _ => false,
         }
     }
 }
 
 /// Per-tile partner-selection state for random pairing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairingState {
     /// Rotating offset of the shift-register variant (starts at 2 so the
     /// first candidate is not the east neighbor).
@@ -121,7 +153,11 @@ impl PairingState {
                 // Advance the rotating offset past self and neighbors.
                 for _ in 0..n {
                     let cand = TileId((tile.index() + self.offset) % n);
-                    self.offset = if self.offset + 1 >= n { 1 } else { self.offset + 1 };
+                    self.offset = if self.offset + 1 >= n {
+                        1
+                    } else {
+                        self.offset + 1
+                    };
                     if cand != tile && !topo.are_neighbors(tile, cand) {
                         return Some(cand);
                     }

@@ -10,16 +10,19 @@
 //!   workload-aware strategy that the evaluation shows is 3.0-4.1% faster
 //!   because no low-power tile is forced to an inefficient high-V point.
 
-use serde::{Deserialize, Serialize};
-
 /// The target-allocation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllocationPolicy {
     /// Equal absolute power target for every active tile.
     AbsoluteProportional,
     /// Power target proportional to each tile's power at F_max.
     RelativeProportional,
 }
+
+blitzcoin_sim::json_unit_enum!(AllocationPolicy {
+    AbsoluteProportional,
+    RelativeProportional
+});
 
 impl AllocationPolicy {
     /// Computes integer `max` coin targets for a set of tiles.

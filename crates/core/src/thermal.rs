@@ -10,16 +10,17 @@
 //!   tile and its neighbors would exceed a threshold.
 
 use blitzcoin_noc::{TileId, Topology};
-use serde::{Deserialize, Serialize};
 
 use crate::tile::TileState;
 
 /// A local hotspot cap on the coins held by a tile plus its neighborhood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HotspotCap {
     /// Maximum coins allowed in any tile-plus-neighbors group.
     pub neighborhood_coins: i64,
 }
+
+blitzcoin_sim::json_fields!(HotspotCap { neighborhood_coins });
 
 impl HotspotCap {
     /// Creates a cap.

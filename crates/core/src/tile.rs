@@ -6,8 +6,6 @@
 //! coins away, transiently driving the count negative. Steady-state counts
 //! are always non-negative.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of magnitude bits in the hardware coin register.
 pub const COIN_BITS: u32 = 6;
 
@@ -27,13 +25,15 @@ pub const MAX_COINS_PER_TILE: i64 = (1 << COIN_BITS) - 1;
 /// assert_eq!(idle.ratio(), None);
 /// assert!(!idle.is_active());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TileState {
     /// Coins currently held. May be transiently negative (sign bit).
     pub has: i64,
     /// Target coin count; 0 while the tile is inactive.
     pub max: u64,
 }
+
+blitzcoin_sim::json_fields!(TileState { has, max });
 
 impl TileState {
     /// Creates a tile state.

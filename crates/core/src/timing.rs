@@ -7,8 +7,6 @@
 //! provides faster convergence during sudden activity changes without
 //! causing unnecessary NoC traffic in the steady state."
 
-use serde::{Deserialize, Serialize};
-
 /// Dynamic-timing parameters and the per-tile interval update rule.
 ///
 /// # Example
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// interval = dt.next_interval(interval, 3);  // ...below the conventional
 /// assert!(interval < dt.base_cycles);        //    refresh interval
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicTiming {
     /// Conventional refresh interval tiles start from, in NoC cycles.
     pub base_cycles: u64,
@@ -44,6 +42,15 @@ pub struct DynamicTiming {
     /// tiles at the fast refresh rate forever.
     pub deadband_coins: u64,
 }
+
+blitzcoin_sim::json_fields!(DynamicTiming {
+    base_cycles,
+    min_cycles,
+    lambda,
+    k_cycles,
+    max_cycles,
+    deadband_coins
+});
 
 impl Default for DynamicTiming {
     /// The DESIGN.md §5 defaults: base 64, floor 8, λ=2.0, k=256, cap 1024.
@@ -83,7 +90,9 @@ impl DynamicTiming {
                 .max(self.min_cycles.max(1))
                 .min(self.max_cycles)
         } else {
-            current.saturating_sub(self.k_cycles).max(self.min_cycles.max(1))
+            current
+                .saturating_sub(self.k_cycles)
+                .max(self.min_cycles.max(1))
         }
     }
 

@@ -52,7 +52,12 @@ pub fn fig1(ctx: &Ctx) -> FigResult {
     let hw = paper::crr();
     let bc = paper::bc();
     let mut csv = CsvTable::new([
-        "n", "sw_central_us", "hw_central_us", "decentralized_us", "tw1ms_over_n", "tw5ms_over_n",
+        "n",
+        "sw_central_us",
+        "hw_central_us",
+        "decentralized_us",
+        "tw1ms_over_n",
+        "tw5ms_over_n",
         "tw20ms_over_n",
     ]);
     let ns: Vec<usize> = (0..=30).map(|i| 1 << (i / 3)).chain([1000]).collect();
@@ -108,8 +113,8 @@ fn fit_taus(ctx: &Ctx) -> Vec<(Strategy, TauFit, TauFit)> {
         .iter()
         .enumerate()
         {
-            let r = Simulation::new(soc.clone(), wl.clone(), SimConfig::new(*m, budget))
-                .run(ctx.seed);
+            let r =
+                Simulation::new(soc.clone(), wl.clone(), SimConfig::new(*m, budget)).run(ctx.seed);
             if let Some(resp) = r.mean_nontrivial_response_us(0.05) {
                 meas[slot].1.push((n, resp));
             }
@@ -212,21 +217,23 @@ pub fn fig21(ctx: &Ctx) -> FigResult {
         format!("fitted tau_BC = {tau_bc:.2} us"),
         tau_bc > 0.02 && tau_bc < 1.0,
     );
-    for tw_us in [1_000.0f64] {
-        let r_crr = fits[0].1.n_max(tw_us) / fits[2].1.n_max(tw_us);
-        let r_bcc = fits[0].1.n_max(tw_us) / fits[1].1.n_max(tw_us);
-        fig.claim(
-            "nmax-ratios",
-            "BlitzCoin supports 5.7-13.3x more accelerators than BC-C and C-RR",
-            format!("at T_w=1ms: {r_bcc:.1}x vs BC-C, {r_crr:.1}x vs C-RR"),
-            r_bcc > 2.0 && r_crr > 3.0,
-        );
-    }
+    let tw_us = 1_000.0f64;
+    let r_crr = fits[0].1.n_max(tw_us) / fits[2].1.n_max(tw_us);
+    let r_bcc = fits[0].1.n_max(tw_us) / fits[1].1.n_max(tw_us);
+    fig.claim(
+        "nmax-ratios",
+        "BlitzCoin supports 5.7-13.3x more accelerators than BC-C and C-RR",
+        format!("at T_w=1ms: {r_bcc:.1}x vs BC-C, {r_crr:.1}x vs C-RR"),
+        r_bcc > 2.0 && r_crr > 3.0,
+    );
     let r_ts = fits[0].1.n_max(1_000.0) / ts.n_max(1_000.0);
     fig.claim(
         "nmax-vs-ts",
         "BlitzCoin supports 3.2-6.2x more accelerators than TokenSmart",
-        format!("at T_w=1ms: {r_ts:.1}x vs TS (fitted tau_TS = {:.2} us)", ts.tau_us),
+        format!(
+            "at T_w=1ms: {r_ts:.1}x vs TS (fitted tau_TS = {:.2} us)",
+            ts.tau_us
+        ),
         r_ts > 1.5,
     );
     let f_bc = fits[0].1.pm_time_fraction(100, 10_000.0);
@@ -243,14 +250,25 @@ pub fn fig21(ctx: &Ctx) -> FigResult {
 /// Table I: the cross-design comparison, with our measured rows for
 /// BC/BC-C/C-RR/TS and the literature rows as reported constants.
 pub fn table1(ctx: &Ctx) -> FigResult {
-    let mut fig = FigResult::new("table1", "Comparison with implemented state-of-the-art designs");
+    let mut fig = FigResult::new(
+        "table1",
+        "Comparison with implemented state-of-the-art designs",
+    );
     let fits = fit_taus(ctx);
     let mut csv = CsvTable::new([
-        "strategy", "control", "power_cap", "dvfs_levels", "response_at_n13_us", "scaling",
+        "strategy",
+        "control",
+        "power_cap",
+        "dvfs_levels",
+        "response_at_n13_us",
+        "scaling",
     ]);
-    let scaling_of = |s: Strategy| match s.exponent() {
-        e if e == 0.5 => "O(sqrt(N))",
-        _ => "O(N)",
+    let scaling_of = |s: Strategy| {
+        if s.exponent() == 0.5 {
+            "O(sqrt(N))"
+        } else {
+            "O(N)"
+        }
     };
     for (s, fitted, _) in &fits {
         let control = match s {
@@ -268,11 +286,46 @@ pub fn table1(ctx: &Ctx) -> FigResult {
     }
     // literature rows (reported values, for context)
     for (name, control, cap, levels, resp, scaling) in [
-        ("TS [43] (software)", "Decentralized", "Yes", "4", "4000@N=12", "O(N)"),
-        ("Round-robin [42]", "Centralized", "Yes", "4", "1000@N=12", "O(N)"),
-        ("Price theory [81]", "Hierarchical", "Yes", "8", "6620-11400@N=256", "sub-linear"),
-        ("Voting [49]", "Decentralized", "No", "3", "8.19@N=16", "O(1)"),
-        ("Token [50]", "Centralized", "Yes", "2-5", "0.0124@N=16", "O(N)"),
+        (
+            "TS [43] (software)",
+            "Decentralized",
+            "Yes",
+            "4",
+            "4000@N=12",
+            "O(N)",
+        ),
+        (
+            "Round-robin [42]",
+            "Centralized",
+            "Yes",
+            "4",
+            "1000@N=12",
+            "O(N)",
+        ),
+        (
+            "Price theory [81]",
+            "Hierarchical",
+            "Yes",
+            "8",
+            "6620-11400@N=256",
+            "sub-linear",
+        ),
+        (
+            "Voting [49]",
+            "Decentralized",
+            "No",
+            "3",
+            "8.19@N=16",
+            "O(1)",
+        ),
+        (
+            "Token [50]",
+            "Centralized",
+            "Yes",
+            "2-5",
+            "0.0124@N=16",
+            "O(N)",
+        ),
     ] {
         csv.row([name, control, cap, levels, resp, scaling]);
     }

@@ -1,12 +1,12 @@
 //! Emulator-level experiments: Figs 2-8.
 
+use blitzcoin_baselines::tokensmart::{TokenSmart, TsConfig};
 use blitzcoin_core::emulator::{ConvergenceResult, Emulator, EmulatorConfig, ExchangeMode};
 use blitzcoin_core::hetero::heterogeneous_max;
 use blitzcoin_core::montecarlo::{run_homogeneous_trials, run_trials, TrialStats};
 use blitzcoin_core::{
     four_way_allocation, global_error, pairwise_exchange, PairingMode, TileState,
 };
-use blitzcoin_baselines::tokensmart::{TokenSmart, TsConfig};
 use blitzcoin_noc::Topology;
 use blitzcoin_sim::csv::CsvTable;
 use blitzcoin_sim::{Histogram, SimRng, Summary};
@@ -106,8 +106,14 @@ pub fn fig3(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig3", "Convergence of 1-way vs 4-way exchange vs d");
     let trials = ctx.trials(100, 15);
     let mut csv = CsvTable::new([
-        "d", "n", "oneway_cycles", "oneway_packets", "fourway_cycles", "fourway_packets",
-        "oneway_conv", "fourway_conv",
+        "d",
+        "n",
+        "oneway_cycles",
+        "oneway_packets",
+        "fourway_cycles",
+        "fourway_packets",
+        "oneway_conv",
+        "fourway_conv",
     ]);
     let mut rows = Vec::new();
     for d in d_sweep(ctx) {
@@ -189,7 +195,12 @@ pub fn fig4(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig4", "BlitzCoin vs TokenSmart convergence");
     let trials = ctx.trials(1000, 25);
     let mut csv = CsvTable::new([
-        "d", "n", "bc_mean_cycles", "bc_p99_cycles", "ts_mean_cycles", "ts_p99_cycles",
+        "d",
+        "n",
+        "bc_mean_cycles",
+        "bc_p99_cycles",
+        "ts_mean_cycles",
+        "ts_p99_cycles",
     ]);
     let mut results = Vec::new();
     for d in d_sweep(ctx) {
@@ -220,14 +231,7 @@ pub fn fig4(ctx: &Ctx) -> FigResult {
         let bc_p99 = bc.cycles_percentile(99.0);
         let ts_mean = ts_sum.mean();
         let ts_p99 = ts_sum.percentile(99.0);
-        csv.row_values([
-            d as f64,
-            n as f64,
-            bc.mean_cycles,
-            bc_p99,
-            ts_mean,
-            ts_p99,
-        ]);
+        csv.row_values([d as f64, n as f64, bc.mean_cycles, bc_p99, ts_mean, ts_p99]);
         results.push((d, bc.mean_cycles, ts_mean, bc_p99, ts_p99));
     }
     let path = ctx.path("fig04_bc_vs_ts.csv");
@@ -275,7 +279,10 @@ pub fn fig5(ctx: &Ctx) -> FigResult {
     fig.claim(
         "wraparound",
         "corner tile 0 of a 3x3 wrap-around grid neighbors tiles 1, 2, 3 and 6",
-        format!("{wrapped:?} (plain mesh: {} neighbors)", mesh.neighbors(mesh.tile_by_id(0)).len()),
+        format!(
+            "{wrapped:?} (plain mesh: {} neighbors)",
+            mesh.neighbors(mesh.tile_by_id(0)).len()
+        ),
         wrapped == [1, 2, 3, 6],
     );
 
@@ -315,7 +322,13 @@ pub fn fig5(ctx: &Ctx) -> FigResult {
         rw.converged && !r0.converged,
     );
     let path = ctx.path("fig05_pairing.csv");
-    let mut csv = CsvTable::new(["config", "converged", "final_error", "worst_error", "cycles"]);
+    let mut csv = CsvTable::new([
+        "config",
+        "converged",
+        "final_error",
+        "worst_error",
+        "cycles",
+    ]);
     csv.row([
         "with_pairing",
         &rw.converged.to_string(),
@@ -341,8 +354,12 @@ pub fn fig6(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig6", "Dynamic timing: convergence time and packets");
     let trials = ctx.trials(100, 15);
     let mut csv = CsvTable::new([
-        "d", "conv_cycles_conventional", "conv_packets_conventional", "conv_cycles_dynamic",
-        "conv_packets_dynamic", "steady_pkts_per_kcycle_conventional",
+        "d",
+        "conv_cycles_conventional",
+        "conv_packets_conventional",
+        "conv_cycles_dynamic",
+        "conv_packets_dynamic",
+        "steady_pkts_per_kcycle_conventional",
         "steady_pkts_per_kcycle_dynamic",
     ]);
     let mut agg = Vec::new();
@@ -411,7 +428,10 @@ pub fn fig6(ctx: &Ctx) -> FigResult {
     fig.claim(
         "steady-state-traffic",
         "converged areas send fewer unnecessary messages (lower NoC traffic)",
-        format!("steady-state packet rate cut {steady_cut:.1}x at d={}", last.0),
+        format!(
+            "steady-state packet rate cut {steady_cut:.1}x at d={}",
+            last.0
+        ),
         steady_cut > 2.0,
     );
     // §III-D closing remark: the optimizations do not significantly affect
@@ -521,7 +541,11 @@ pub fn fig8(ctx: &Ctx) -> FigResult {
     let trials = ctx.trials(100, 10);
     let mut csv = CsvTable::new(["d", "acc_types", "mean_cycles", "start_error", "converged"]);
     let mut rows = Vec::new();
-    let ds = if ctx.quick { vec![6, 10] } else { vec![4, 8, 12, 16, 20] };
+    let ds = if ctx.quick {
+        vec![6, 10]
+    } else {
+        vec![4, 8, 12, 16, 20]
+    };
     for d in ds {
         for acc_types in [1u32, 2, 4, 8] {
             let topo = Topology::torus(d, d);
@@ -570,13 +594,19 @@ pub fn fig8(ctx: &Ctx) -> FigResult {
     fig.claim(
         "start-error-grows",
         "higher heterogeneity gives a larger start error",
-        format!("at d={d_big}: start error {:.1} (1 type) vs {:.1} (8 types)", t1.3, t8.3),
+        format!(
+            "at d={d_big}: start error {:.1} (1 type) vs {:.1} (8 types)",
+            t1.3, t8.3
+        ),
         t8.3 > t1.3,
     );
     fig.claim(
         "convergence-slower",
         "higher heterogeneity lengthens convergence",
-        format!("at d={d_big}: {:.0} cycles (1 type) vs {:.0} (8 types)", t1.2, t8.2),
+        format!(
+            "at d={d_big}: {:.0} cycles (1 type) vs {:.0} (8 types)",
+            t1.2, t8.2
+        ),
         t8.2 > t1.2 * 0.9,
     );
     fig

@@ -30,8 +30,12 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
     // 1. A paper workload's thermal envelope.
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, if ctx.quick { 2 } else { 4 });
-    let run = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0))
-        .run(ctx.seed);
+    let run = Simulation::new(
+        soc.clone(),
+        wl,
+        SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+    )
+    .run(ctx.seed);
     let envelope = thermal::analyze(&soc, &run, ThermalConfig::default());
     fig.claim(
         "global-cap-bounds-heat",
@@ -67,7 +71,10 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
         let mut rng = SimRng::seed(ctx.seed);
         emu.init_random(&mut rng, pool);
         emu.run(&mut rng);
-        emu.tiles().iter().map(|t| t.has as f64 * coin_value).collect()
+        emu.tiles()
+            .iter()
+            .map(|t| t.has as f64 * coin_value)
+            .collect()
     };
 
     let peak_of = |powers_mw: &[f64]| -> f64 {
@@ -136,7 +143,12 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
         &[(1.0, 4), (0.25, 16), (0.0625, 64), (0.015625, 256)]
     };
     let mut csv = CsvTable::new([
-        "work_scale", "frames", "bc_exec_us", "bcc_exec_us", "bcc_penalty_pct", "crr_penalty_pct",
+        "work_scale",
+        "frames",
+        "bc_exec_us",
+        "bcc_exec_us",
+        "bcc_penalty_pct",
+        "crr_penalty_pct",
     ]);
     let mut penalties = Vec::new();
     for &(scale, frames) in sweep {
@@ -194,15 +206,30 @@ pub fn cpu_proxy(ctx: &Ctx) -> FigResult {
         ("idle", ActivityCounters::default()),
         (
             "pointer-chasing",
-            ActivityCounters { dispatch: 0.35, cache_access: 0.9, fpu: 0.0, lsu: 0.8 },
+            ActivityCounters {
+                dispatch: 0.35,
+                cache_access: 0.9,
+                fpu: 0.0,
+                lsu: 0.8,
+            },
         ),
         (
             "fp-kernel",
-            ActivityCounters { dispatch: 0.95, cache_access: 0.3, fpu: 0.9, lsu: 0.3 },
+            ActivityCounters {
+                dispatch: 0.95,
+                cache_access: 0.3,
+                fpu: 0.9,
+                lsu: 0.3,
+            },
         ),
         (
             "max-activity",
-            ActivityCounters { dispatch: 1.0, cache_access: 1.0, fpu: 1.0, lsu: 1.0 },
+            ActivityCounters {
+                dispatch: 1.0,
+                cache_access: 1.0,
+                fpu: 1.0,
+                lsu: 1.0,
+            },
         ),
     ];
     let mut csv = CsvTable::new(["phase", "p_800mhz_mw", "f_at_8_coins_mhz"]);
@@ -261,7 +288,12 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
     for _ in 0..if ctx.quick { 10 } else { 50 } {
         let a = TileId(rng.range_usize(0..64));
         let b = TileId(rng.range_usize(0..64));
-        let p = Packet::new(a, b, Plane::MmioIrq, PacketKind::CoinStatus { has: 1, max: 2 });
+        let p = Packet::new(
+            a,
+            b,
+            Plane::MmioIrq,
+            PacketKind::CoinStatus { has: 1, max: 2 },
+        );
         let t_a = analytic.latency_bound(a, b).as_noc_cycles();
         let mut wh = WormholeNetwork::new(topo, WormholeConfig::default());
         wh.inject(p);
@@ -276,7 +308,11 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
     );
 
     // burst load sweep: mean latency of k simultaneous coin messages
-    let mut csv = CsvTable::new(["burst_packets", "analytic_mean_cycles", "wormhole_mean_cycles"]);
+    let mut csv = CsvTable::new([
+        "burst_packets",
+        "analytic_mean_cycles",
+        "wormhole_mean_cycles",
+    ]);
     let mut ratios = Vec::new();
     for k in [8usize, 32, 64, 128] {
         let pkts: Vec<Packet> = (0..k)
@@ -286,14 +322,19 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
                 if a == b {
                     b = TileId((a.index() + 1) % 64);
                 }
-                Packet::new(a, b, Plane::MmioIrq, PacketKind::CoinStatus { has: 3, max: 8 })
+                Packet::new(
+                    a,
+                    b,
+                    Plane::MmioIrq,
+                    PacketKind::CoinStatus { has: 3, max: 8 },
+                )
             })
             .collect();
         let mut net = Network::new(topo, NetworkConfig::default());
         let t0 = SimTime::ZERO;
         let mean_analytic = pkts
             .iter()
-            .map(|p| net.send(t0, p).as_noc_cycles() as f64)
+            .map(|p| net.send(t0, p).expect_delivered().as_noc_cycles() as f64)
             .sum::<f64>()
             / k as f64;
         let mut wh = WormholeNetwork::new(topo, WormholeConfig::default());
@@ -309,7 +350,10 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
     csv.write_to(&path).expect("write noc validation csv");
     fig.output(&path);
 
-    let worst = ratios.iter().cloned().fold(0.0f64, |m, r| m.max(r.max(1.0 / r)));
+    let worst = ratios
+        .iter()
+        .cloned()
+        .fold(0.0f64, |m, r| m.max(r.max(1.0 / r)));
     fig.claim(
         "loaded-agreement",
         "under coin-traffic bursts the analytic latencies stay within ~2x of the router's",
@@ -356,11 +400,7 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
             let mut prev = None;
             for _ in 0..2 {
                 let deps = prev.map(|p| vec![p]).unwrap_or_default();
-                prev = Some(b.task(
-                    blitzcoin_noc::TileId(t),
-                    workload::frame_work(class),
-                    deps,
-                ));
+                prev = Some(b.task(blitzcoin_noc::TileId(t), workload::frame_work(class), deps));
             }
         }
         b.build("imbalanced", &soc)
@@ -368,8 +408,7 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
 
     let cfg = SimConfig::for_large_soc(ManagerKind::BlitzCoin, budget, n);
     let global = Simulation::new(soc.clone(), wl.clone(), cfg).run(ctx.seed);
-    let clustered =
-        Simulation::with_clusters(soc.clone(), wl, cfg, quads.clone()).run(ctx.seed);
+    let clustered = Simulation::with_clusters(soc.clone(), wl, cfg, quads.clone()).run(ctx.seed);
 
     let mut csv = CsvTable::new(["config", "exec_us", "mean_response_us", "utilization"]);
     for (name, r) in [("global", &global), ("clustered", &clustered)] {
@@ -385,7 +424,9 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
     fig.output(&path);
 
     let resp_g = global.mean_nontrivial_response_us(0.05).unwrap_or(f64::NAN);
-    let resp_c = clustered.mean_nontrivial_response_us(0.05).unwrap_or(f64::NAN);
+    let resp_c = clustered
+        .mean_nontrivial_response_us(0.05)
+        .unwrap_or(f64::NAN);
     fig.claim(
         "clusters-respond-faster",
         "smaller exchange domains re-converge faster after a transition",
@@ -460,7 +501,9 @@ pub fn scaling_sim(ctx: &Ctx) -> FigResult {
         emu_rows.push((d, stats.mean_cycles));
     }
     let path_emu = ctx.path("scaling_emulator_response.csv");
-    emu_csv.write_to(&path_emu).expect("write emulator scaling csv");
+    emu_csv
+        .write_to(&path_emu)
+        .expect("write emulator scaling csv");
     fig.output(&path_emu);
     let (d0, t0) = emu_rows[0];
     let (d1, t1) = *emu_rows.last().expect("rows");
@@ -501,7 +544,10 @@ pub fn scaling_sim(ctx: &Ctx) -> FigResult {
     fig.claim(
         "advantage-grows",
         "BlitzCoin's response advantage widens as SoCs grow",
-        format!("C-RR/BC response ratio: {adv_first:.1}x at N={} -> {adv_last:.1}x at N={}", first.0, last.0),
+        format!(
+            "C-RR/BC response ratio: {adv_first:.1}x at N={} -> {adv_last:.1}x at N={}",
+            first.0, last.0
+        ),
         adv_last > adv_first,
     );
     fig

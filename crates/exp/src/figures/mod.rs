@@ -4,4 +4,5 @@ pub mod analytical;
 pub mod behavioural;
 pub mod extensions;
 pub mod power;
+pub mod resilience;
 pub mod socs;

@@ -32,7 +32,10 @@ pub fn fig13(ctx: &Ctx) -> FigResult {
     fig.claim(
         "3x3-budget-anchors",
         "evaluated 120/60 mW budgets are 30%/15% of the 3x3 accelerators' max power",
-        format!("sum P_max = {total_3x3:.0} mW (120 mW = {:.0}%)", 100.0 * 120.0 / total_3x3),
+        format!(
+            "sum P_max = {total_3x3:.0} mW (120 mW = {:.0}%)",
+            100.0 * 120.0 / total_3x3
+        ),
         (total_3x3 - 400.0).abs() < 1.0,
     );
     let total_4x4 = 4.0 * PowerModel::of(AcceleratorClass::Gemm).p_max()

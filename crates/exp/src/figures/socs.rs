@@ -134,6 +134,7 @@ pub fn fig16(ctx: &Ctx) -> FigResult {
 
 /// The Fig 17/18 grid: per-(budget, dataflow) execution and response for
 /// all three managers, with the paper's aggregate ratios.
+#[allow(clippy::too_many_arguments)]
 fn soc_grid(
     fig: &mut FigResult,
     ctx: &Ctx,
@@ -276,10 +277,14 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
 
     // 7-accelerator run: utilization + coin allocation before/after
     let wl = workload::pm_cluster(&soc, f, 7);
-    let sim = Simulation::new(soc.clone(), wl.clone(), SimConfig::new(ManagerKind::BlitzCoin, budget));
+    let sim = Simulation::new(
+        soc.clone(),
+        wl.clone(),
+        SimConfig::new(ManagerKind::BlitzCoin, budget),
+    );
     let bc = sim.run(ctx.seed);
-    let stat = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::Static, budget))
-        .run(ctx.seed);
+    let stat =
+        Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::Static, budget)).run(ctx.seed);
 
     let mut csv = CsvTable::new(["tile", "coins_at_boot", "coins_after_convergence"]);
     let t_conv = bc
@@ -312,17 +317,30 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
     fig.claim(
         "throughput-vs-static",
         "BlitzCoin achieves 27% throughput improvement vs static allocation (7 accels)",
-        format!("+{speedup7:.0}% (BC {:.0} us vs static {:.0} us)", bc.exec_time_us(), stat.exec_time_us()),
+        format!(
+            "+{speedup7:.0}% (BC {:.0} us vs static {:.0} us)",
+            bc.exec_time_us(),
+            stat.exec_time_us()
+        ),
         speedup7 > 10.0,
     );
 
     // 5/4/3-accelerator variants
-    let mut csv2 = CsvTable::new(["n_accels", "bc_exec_us", "static_exec_us", "improvement_pct"]);
+    let mut csv2 = CsvTable::new([
+        "n_accels",
+        "bc_exec_us",
+        "static_exec_us",
+        "improvement_pct",
+    ]);
     let mut all_positive = true;
     for n in [5usize, 4, 3] {
         let wl = workload::pm_cluster(&soc, f, n);
-        let b = Simulation::new(soc.clone(), wl.clone(), SimConfig::new(ManagerKind::BlitzCoin, budget))
-            .run(ctx.seed);
+        let b = Simulation::new(
+            soc.clone(),
+            wl.clone(),
+            SimConfig::new(ManagerKind::BlitzCoin, budget),
+        )
+        .run(ctx.seed);
         let s = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::Static, budget))
             .run(ctx.seed);
         let imp = (s.exec_time_us() / b.exec_time_us() - 1.0) * 100.0;
@@ -398,11 +416,7 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
     let to = SimTime::from_us_f64(t_end + 6.0);
     for (slot, trace) in bc.coin_traces.iter().enumerate() {
         for p in trace.resample(from, to, SimTime::from_ns(100)) {
-            csv.row_values([
-                p.time.as_us_f64(),
-                bc.managed_tiles[slot] as f64,
-                p.value,
-            ]);
+            csv.row_values([p.time.as_us_f64(), bc.managed_tiles[slot] as f64, p.value]);
         }
     }
     let path = ctx.path("fig20_coin_trace.csv");

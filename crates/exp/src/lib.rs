@@ -20,8 +20,6 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
-
 pub mod figures;
 
 /// Shared context for all experiment runners.
@@ -71,7 +69,7 @@ impl Ctx {
 }
 
 /// One paper claim checked against a measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Claim {
     /// Short identifier ("fig4.speedup@d20").
     pub id: String,
@@ -82,6 +80,13 @@ pub struct Claim {
     /// Whether the claim's shape/direction holds here.
     pub holds: bool,
 }
+
+blitzcoin_sim::json_fields!(Claim {
+    id,
+    paper,
+    measured,
+    holds
+});
 
 impl Claim {
     /// Builds a claim.
@@ -101,7 +106,7 @@ impl Claim {
 }
 
 /// The outcome of one experiment runner.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigResult {
     /// Experiment id ("fig17").
     pub id: String,
@@ -112,6 +117,13 @@ pub struct FigResult {
     /// CSV files written.
     pub outputs: Vec<String>,
 }
+
+blitzcoin_sim::json_fields!(FigResult {
+    id,
+    title,
+    claims,
+    outputs
+});
 
 impl FigResult {
     /// Creates an empty result.
@@ -166,10 +178,31 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig13", "fig16", "fig17",
-    "fig18", "fig19", "fig20", "fig21", "table1", "ap-vs-rp", "thermal-ext", "scaling-sim",
-    "granularity", "clusters", "noc-validation", "cpu-proxy",
+pub const ALL_EXPERIMENTS: [&str; 24] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig13",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "table1",
+    "ap-vs-rp",
+    "thermal-ext",
+    "scaling-sim",
+    "granularity",
+    "clusters",
+    "noc-validation",
+    "cpu-proxy",
+    "resilience",
 ];
 
 /// Runs the experiment with the given id.
@@ -201,6 +234,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "clusters" => figures::extensions::clusters(ctx),
         "noc-validation" => figures::extensions::noc_validation(ctx),
         "cpu-proxy" => figures::extensions::cpu_proxy(ctx),
+        "resilience" => figures::resilience::resilience(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

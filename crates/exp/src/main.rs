@@ -49,8 +49,8 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "plots" => {
-                let written = blitzcoin_viz::figures::render_results_dir(&ctx.out_dir)
-                    .expect("render plots");
+                let written =
+                    blitzcoin_viz::figures::render_results_dir(&ctx.out_dir).expect("render plots");
                 for p in &written {
                     println!("{}", p.display());
                 }
@@ -90,7 +90,7 @@ fn main() -> ExitCode {
         .count();
     println!("\n{held}/{total} claims hold.");
 
-    let manifest = serde_json::to_string_pretty(&results).expect("serialize manifest");
+    let manifest = blitzcoin_sim::json::ToJson::to_json(&results).to_string_pretty();
     let manifest_path = ctx.out_dir.join("manifest.json");
     std::fs::write(&manifest_path, manifest).expect("write manifest");
     println!("manifest: {}", manifest_path.display());

@@ -6,8 +6,6 @@
 //! interface in the tile itself at any time" (Section IV-B). The same
 //! primitive arbitrates the centralized controllers' service loops.
 
-use serde::{Deserialize, Serialize};
-
 /// A work-conserving round-robin arbiter over `n` requesters.
 ///
 /// Each call to [`RoundRobinArbiter::grant`] inspects the request vector
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(arb.grant(&[true, true, true]), Some(0));
 /// assert_eq!(arb.grant(&[false, false, false]), None);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoundRobinArbiter {
     n: usize,
     next: usize,

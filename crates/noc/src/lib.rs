@@ -34,7 +34,7 @@
 //! let mut net = Network::new(topo, NetworkConfig::default());
 //! let pkt = Packet::new(topo.tile(0, 0), topo.tile(3, 3), Plane::MmioIrq,
 //!                       PacketKind::CoinRequest);
-//! let arrival = net.send(SimTime::ZERO, &pkt);
+//! let arrival = net.send(SimTime::ZERO, &pkt).expect_delivered();
 //! // 6 hops plus injection/ejection overhead
 //! assert!(arrival >= SimTime::from_noc_cycles(6));
 //! ```
@@ -49,6 +49,6 @@ pub mod topology;
 pub mod wormhole;
 
 pub use arbiter::RoundRobinArbiter;
-pub use network::{Network, NetworkConfig, TrafficStats};
+pub use network::{Delivery, Network, NetworkConfig, TrafficStats};
 pub use packet::{Packet, PacketKind, Plane};
 pub use topology::{Coord, Direction, TileId, Topology};

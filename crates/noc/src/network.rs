@@ -20,14 +20,53 @@
 
 use std::collections::HashMap;
 
-use blitzcoin_sim::SimTime;
-use serde::{Deserialize, Serialize};
+use blitzcoin_sim::{ConfigError, FaultPlan, SimTime};
 
 use crate::packet::Packet;
 use crate::topology::{TileId, Topology};
 
+/// The outcome of offering a packet to the NoC.
+///
+/// With no fault plan installed every send is [`Delivery::Delivered`];
+/// under fault injection a packet can instead be lost to a random drop or
+/// a link outage. Callers schedule a delivery event only for delivered
+/// packets — a dropped packet simply never arrives, and it is the
+/// *protocol's* job (timeouts, retries) to cope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The packet reaches the destination socket at this time.
+    Delivered(SimTime),
+    /// The packet is lost in flight and never arrives.
+    Dropped,
+}
+
+impl Delivery {
+    /// Delivery time, or `None` for a dropped packet.
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            Delivery::Delivered(t) => Some(t),
+            Delivery::Dropped => None,
+        }
+    }
+
+    /// True when the packet was lost.
+    pub fn is_dropped(self) -> bool {
+        self == Delivery::Dropped
+    }
+
+    /// Unwraps the delivery time; panics on a dropped packet. For call
+    /// sites that run with no fault plan (where drops are impossible).
+    #[track_caller]
+    pub fn expect_delivered(self) -> SimTime {
+        match self {
+            Delivery::Delivered(t) => t,
+            Delivery::Dropped => panic!("packet dropped, but caller assumed fault-free delivery"),
+        }
+    }
+}
+
 /// Timing parameters of the NoC model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
     /// Cycles for a flit to traverse one router-to-router hop.
     pub hop_cycles: u64,
@@ -41,6 +80,24 @@ pub struct NetworkConfig {
     pub contention: bool,
 }
 
+impl NetworkConfig {
+    /// Validates the timing parameters: a router cannot forward a flit in
+    /// zero cycles, and socket interface costs must be non-zero too (the
+    /// calibration of DESIGN.md assumes at least one cycle per stage).
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        for (what, v) in [
+            ("hop_cycles", self.hop_cycles),
+            ("inject_cycles", self.inject_cycles),
+            ("eject_cycles", self.eject_cycles),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::NonPositive { what, value: 0.0 });
+            }
+        }
+        Ok(self)
+    }
+}
+
 impl Default for NetworkConfig {
     fn default() -> Self {
         NetworkConfig {
@@ -52,8 +109,15 @@ impl Default for NetworkConfig {
     }
 }
 
+blitzcoin_sim::json_fields!(NetworkConfig {
+    hop_cycles,
+    inject_cycles,
+    eject_cycles,
+    contention
+});
+
 /// Per-plane traffic accounting.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
     /// Packets sent per plane (indexed by `Plane::index`).
     pub packets: [u64; 6],
@@ -65,6 +129,8 @@ pub struct TrafficStats {
     pub coin_packets: u64,
     /// Cumulative queueing delay (contention) suffered, in cycles.
     pub contention_cycles: u64,
+    /// Packets lost per plane (fault injection: drops and link outages).
+    pub dropped: [u64; 6],
 }
 
 impl TrafficStats {
@@ -76,6 +142,11 @@ impl TrafficStats {
     /// Total flits across all planes.
     pub fn total_flits(&self) -> u64 {
         self.flits.iter().sum()
+    }
+
+    /// Total packets lost across all planes.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
     }
 }
 
@@ -92,7 +163,7 @@ impl TrafficStats {
 /// let a = topo.tile(0, 0);
 /// let b = topo.tile(1, 0);
 /// let pkt = Packet::coin(a, b, PacketKind::CoinStatus { has: 3, max: 8 });
-/// let t1 = net.send(SimTime::ZERO, &pkt);
+/// let t1 = net.send(SimTime::ZERO, &pkt).expect_delivered();
 /// // 1 inject + 1 hop + 1 eject = 3 cycles zero-load
 /// assert_eq!(t1, SimTime::from_noc_cycles(3));
 /// ```
@@ -103,17 +174,31 @@ pub struct Network {
     /// `(from, to, plane) -> earliest time the link is free`.
     link_free: HashMap<(TileId, TileId, usize), SimTime>,
     stats: TrafficStats,
+    fault: FaultPlan,
 }
 
 impl Network {
-    /// Creates a network over `topo` with the given timing parameters.
+    /// Creates a network over `topo` with the given timing parameters and
+    /// no fault injection.
     pub fn new(topo: Topology, config: NetworkConfig) -> Self {
         Network {
             topo,
             config,
             link_free: HashMap::new(),
             stats: TrafficStats::default(),
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault plan; subsequent sends are subject to its drops,
+    /// outages, and delays.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The underlying topology.
@@ -136,12 +221,22 @@ impl Network {
         self.stats = TrafficStats::default();
     }
 
-    /// Sends `packet` at time `now`; returns its delivery time at the
-    /// destination socket and accounts traffic.
+    /// Sends `packet` at time `now`; returns its [`Delivery`] outcome and
+    /// accounts traffic.
     ///
     /// A packet to the sending tile itself (loopback, e.g. a CSR access
     /// from the local BlitzCoin unit) costs injection + ejection only.
-    pub fn send(&mut self, now: SimTime, packet: &Packet) -> SimTime {
+    ///
+    /// Fault injection, when a plan is installed:
+    /// - a packet crossing a link inside an outage window is lost *at that
+    ///   link* (upstream links were still occupied);
+    /// - a per-plane random drop loses the packet at the destination
+    ///   socket (a corrupted tail flit), so it consumes bandwidth along
+    ///   its whole route — other packets' timing is unaffected by whether
+    ///   this one ultimately survives;
+    /// - extra per-hop delay and per-message jitter stretch the delivery
+    ///   time without changing link reservations.
+    pub fn send(&mut self, now: SimTime, packet: &Packet) -> Delivery {
         let plane = packet.plane.index();
         let flits = packet.flits() as u64;
         self.stats.packets[plane] += 1;
@@ -152,6 +247,7 @@ impl Network {
 
         let route = self.topo.xy_route(packet.src, packet.dst);
         self.stats.hops += route.len() as u64;
+        let faults = !self.fault.is_empty();
 
         let mut cursor = now + SimTime::from_noc_cycles(self.config.inject_cycles);
         if self.config.contention {
@@ -160,6 +256,10 @@ impl Network {
                 let key = (prev, next, plane);
                 let free_at = self.link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
                 let depart = cursor.max(free_at);
+                if faults && self.fault.link_down(prev.0, next.0, depart.as_noc_cycles()) {
+                    self.stats.dropped[plane] += 1;
+                    return Delivery::Dropped;
+                }
                 self.stats.contention_cycles += (depart - cursor).as_noc_cycles();
                 self.link_free
                     .insert(key, depart + SimTime::from_noc_cycles(flits));
@@ -167,9 +267,32 @@ impl Network {
                 prev = next;
             }
         } else {
+            if faults {
+                let mut prev = packet.src;
+                for &next in &route {
+                    if self.fault.link_down(prev.0, next.0, cursor.as_noc_cycles()) {
+                        self.stats.dropped[plane] += 1;
+                        return Delivery::Dropped;
+                    }
+                    prev = next;
+                }
+            }
             cursor += SimTime::from_noc_cycles(self.config.hop_cycles * route.len() as u64);
         }
-        cursor + SimTime::from_noc_cycles(self.config.eject_cycles)
+        if faults {
+            let cycle = now.as_noc_cycles();
+            let (src, dst) = (packet.src.0, packet.dst.0);
+            if self.fault.drops_packet(plane, src, dst, cycle) {
+                self.stats.dropped[plane] += 1;
+                return Delivery::Dropped;
+            }
+            let extra = self
+                .fault
+                .extra_hop_delay_cycles(src, dst, cycle, route.len() as u64)
+                + self.fault.msg_jitter(src, dst, cycle);
+            cursor += SimTime::from_noc_cycles(extra);
+        }
+        Delivery::Delivered(cursor + SimTime::from_noc_cycles(self.config.eject_cycles))
     }
 
     /// Zero-load latency bound for a packet from `src` to `dst` (no
@@ -200,7 +323,7 @@ mod tests {
         let topo = Topology::mesh(5, 5);
         let mut net = Network::new(topo, NetworkConfig::default());
         let pkt = coin_pkt(&topo, (0, 0), (4, 4));
-        let t = net.send(SimTime::ZERO, &pkt);
+        let t = net.send(SimTime::ZERO, &pkt).expect_delivered();
         assert_eq!(t, net.latency_bound(pkt.src, pkt.dst));
         assert_eq!(t, SimTime::from_noc_cycles(1 + 8 + 1));
     }
@@ -211,7 +334,10 @@ mod tests {
         let mut net = Network::new(topo, NetworkConfig::default());
         let a = topo.tile(1, 1);
         let pkt = Packet::new(a, a, Plane::MmioIrq, PacketKind::RegRead);
-        assert_eq!(net.send(SimTime::ZERO, &pkt), SimTime::from_noc_cycles(2));
+        assert_eq!(
+            net.send(SimTime::ZERO, &pkt),
+            Delivery::Delivered(SimTime::from_noc_cycles(2))
+        );
     }
 
     #[test]
@@ -219,8 +345,8 @@ mod tests {
         let topo = Topology::mesh(3, 1);
         let mut net = Network::new(topo, NetworkConfig::default());
         let pkt = coin_pkt(&topo, (0, 0), (2, 0));
-        let t1 = net.send(SimTime::ZERO, &pkt);
-        let t2 = net.send(SimTime::ZERO, &pkt); // same instant, same links
+        let t1 = net.send(SimTime::ZERO, &pkt).expect_delivered();
+        let t2 = net.send(SimTime::ZERO, &pkt).expect_delivered(); // same instant, same links
         assert!(t2 > t1, "second packet must queue behind the first");
         assert!(net.stats().contention_cycles > 0);
     }
@@ -234,7 +360,7 @@ mod tests {
         let p5 = Packet::new(a, b, Plane::MmioIrq, PacketKind::RegRead);
         let dma = Packet::new(a, b, Plane::Dma1, PacketKind::DmaBurst { flits: 16 });
         net.send(SimTime::ZERO, &dma);
-        let t_p5 = net.send(SimTime::ZERO, &p5);
+        let t_p5 = net.send(SimTime::ZERO, &p5).expect_delivered();
         // plane-5 packet must not queue behind the DMA burst on another plane
         assert_eq!(t_p5, net.latency_bound(a, b));
         assert_eq!(net.stats().contention_cycles, 0);
@@ -257,6 +383,7 @@ mod tests {
         let t1 = net.send(SimTime::ZERO, &pkt);
         let t2 = net.send(SimTime::ZERO, &pkt);
         assert_eq!(t1, t2);
+        assert!(!t1.is_dropped());
         assert_eq!(net.stats().contention_cycles, 0);
     }
 
@@ -266,12 +393,15 @@ mod tests {
         let mut net = Network::new(topo, NetworkConfig::default());
         let pkt = coin_pkt(&topo, (0, 0), (2, 0));
         net.send(SimTime::ZERO, &pkt);
-        net.send(SimTime::ZERO, &Packet::new(
-            topo.tile(0, 0),
-            topo.tile(0, 2),
-            Plane::MmioIrq,
-            PacketKind::RegWrite { value: 7 },
-        ));
+        net.send(
+            SimTime::ZERO,
+            &Packet::new(
+                topo.tile(0, 0),
+                topo.tile(0, 2),
+                Plane::MmioIrq,
+                PacketKind::RegWrite { value: 7 },
+            ),
+        );
         let s = net.stats();
         assert_eq!(s.total_packets(), 2);
         assert_eq!(s.coin_packets, 1);
@@ -291,5 +421,96 @@ mod tests {
         let before = net.stats().contention_cycles;
         net.send(SimTime::from_noc_cycles(100), &pkt);
         assert_eq!(net.stats().contention_cycles, before);
+    }
+
+    #[test]
+    fn link_outage_drops_packets_only_inside_window() {
+        let topo = Topology::mesh(3, 1);
+        let mut net = Network::new(topo, NetworkConfig::default());
+        let a = topo.tile(1, 0).0;
+        let b = topo.tile(2, 0).0;
+        net.set_fault_plan(FaultPlan {
+            outages: vec![blitzcoin_sim::LinkOutage {
+                a,
+                b,
+                from_cycle: 100,
+                until_cycle: 200,
+            }],
+            ..FaultPlan::default()
+        });
+        let pkt = coin_pkt(&topo, (0, 0), (2, 0));
+        assert!(!net.send(SimTime::ZERO, &pkt).is_dropped());
+        assert!(net.send(SimTime::from_noc_cycles(150), &pkt).is_dropped());
+        assert!(!net.send(SimTime::from_noc_cycles(300), &pkt).is_dropped());
+        assert_eq!(net.stats().total_dropped(), 1);
+        // A packet not crossing the dead link is unaffected mid-window.
+        let short = coin_pkt(&topo, (0, 0), (1, 0));
+        assert!(!net.send(SimTime::from_noc_cycles(150), &short).is_dropped());
+    }
+
+    #[test]
+    fn random_drops_are_deterministic_and_roughly_calibrated() {
+        let topo = Topology::mesh(4, 4);
+        let run = |seed: u64| {
+            let mut net = Network::new(topo, NetworkConfig::default());
+            net.set_fault_plan(FaultPlan {
+                seed,
+                drop_prob: vec![0.2],
+                ..FaultPlan::default()
+            });
+            let pkt = coin_pkt(&topo, (0, 0), (3, 3));
+            let outcomes: Vec<bool> = (0..2_000u64)
+                .map(|i| {
+                    net.send(SimTime::from_noc_cycles(i * 10), &pkt)
+                        .is_dropped()
+                })
+                .collect();
+            (outcomes, net.stats().total_dropped())
+        };
+        let (o1, d1) = run(7);
+        let (o2, d2) = run(7);
+        assert_eq!(o1, o2, "same plan seed must reproduce the same drops");
+        assert_eq!(d1, d2);
+        let rate = d1 as f64 / 2_000.0;
+        assert!((rate - 0.2).abs() < 0.05, "drop rate {rate} far from 0.2");
+        let (o3, _) = run(8);
+        assert_ne!(o1, o3, "different plan seed should differ somewhere");
+    }
+
+    #[test]
+    fn extra_hop_delay_stretches_latency_within_bound() {
+        let topo = Topology::mesh(4, 1);
+        let mut plain = Network::new(topo, NetworkConfig::default());
+        let mut faulty = Network::new(topo, NetworkConfig::default());
+        faulty.set_fault_plan(FaultPlan {
+            seed: 3,
+            extra_hop_delay_max_cycles: 5,
+            ..FaultPlan::default()
+        });
+        let pkt = coin_pkt(&topo, (0, 0), (3, 0));
+        let mut widened = false;
+        for i in 0..64u64 {
+            let t = SimTime::from_noc_cycles(i * 100);
+            let base = plain.send(t, &pkt).expect_delivered();
+            let slow = faulty.send(t, &pkt).expect_delivered();
+            assert!(slow >= base);
+            assert!(slow - base <= SimTime::from_noc_cycles(3 * 5));
+            widened |= slow > base;
+        }
+        assert!(widened, "extra hop delay never materialized");
+    }
+
+    #[test]
+    fn empty_plan_is_free_of_fault_effects() {
+        let topo = Topology::mesh(3, 3);
+        let mut plain = Network::new(topo, NetworkConfig::default());
+        let mut with_plan = Network::new(topo, NetworkConfig::default());
+        with_plan.set_fault_plan(FaultPlan::none());
+        let pkt = coin_pkt(&topo, (0, 0), (2, 2));
+        for i in 0..16u64 {
+            let t = SimTime::from_noc_cycles(i * 7);
+            assert_eq!(plain.send(t, &pkt), with_plan.send(t, &pkt));
+        }
+        assert_eq!(with_plan.stats().total_dropped(), 0);
     }
 }

@@ -7,12 +7,10 @@
 //! (Section IV-B); all power-management traffic in this reproduction
 //! travels on [`Plane::MmioIrq`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::TileId;
 
 /// One of the six ESP NoC planes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Plane {
     /// Coherence request plane.
     Coherence1,
@@ -60,7 +58,7 @@ impl Plane {
 /// number of coins transferred (positive: sender of the update gives coins;
 /// negative: it takes them). The 4-way variant (Algorithm 1) additionally
 /// uses `CoinRequest` to solicit statuses from all four neighbors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// 4-way exchange: solicit a status from a neighbor.
     CoinRequest,
@@ -130,7 +128,7 @@ impl PacketKind {
 }
 
 /// A packet in flight on the NoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Source tile.
     pub src: TileId,

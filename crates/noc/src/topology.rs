@@ -6,15 +6,12 @@
 //! the neighbor definition to the opposite edge so corner and edge tiles
 //! keep four partners. Both variants are provided here.
 
+use blitzcoin_sim::ConfigError;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a tile within a topology: `id = y * width + x`, matching
 /// the row-major numbering of Fig 5.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TileId(pub usize);
 
 impl TileId {
@@ -36,8 +33,22 @@ impl From<usize> for TileId {
     }
 }
 
+impl blitzcoin_sim::json::ToJson for TileId {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::ToJson::to_json(&self.0)
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for TileId {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        Ok(TileId(<usize as blitzcoin_sim::json::FromJson>::from_json(
+            v,
+        )?))
+    }
+}
+
 /// A grid coordinate (column `x`, row `y`), origin at the north-west corner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column, `0..width`.
     pub x: usize,
@@ -52,7 +63,7 @@ impl fmt::Display for Coord {
 }
 
 /// The four mesh directions used by the coin exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Towards row 0.
     North,
@@ -104,11 +115,40 @@ impl Direction {
 /// assert_eq!(m.neighbors(m.tile_by_id(0)).len(), 2);
 /// assert_eq!(m.neighbor(m.tile_by_id(0), Direction::North), None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     width: usize,
     height: usize,
     wraparound: bool,
+}
+
+impl blitzcoin_sim::json::ToJson for Topology {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::Json::Obj(vec![
+            (
+                "width".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.width),
+            ),
+            (
+                "height".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.height),
+            ),
+            (
+                "wraparound".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.wraparound),
+            ),
+        ])
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for Topology {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        Ok(Topology {
+            width: v.field("width")?,
+            height: v.field("height")?,
+            wraparound: v.field("wraparound")?,
+        })
+    }
 }
 
 impl Topology {
@@ -117,12 +157,20 @@ impl Topology {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn mesh(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "topology dimensions must be positive");
-        Topology {
+        Self::try_mesh(width, height).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Topology::mesh`]: returns an error instead of panicking
+    /// on zero dimensions.
+    pub fn try_mesh(width: usize, height: usize) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension { width, height });
+        }
+        Ok(Topology {
             width,
             height,
             wraparound: false,
-        }
+        })
     }
 
     /// Creates a torus (mesh with wrap-around neighbor links, Fig 5 left).
@@ -136,12 +184,20 @@ impl Topology {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn torus(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "topology dimensions must be positive");
-        Topology {
+        Self::try_torus(width, height).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Topology::torus`]: returns an error instead of panicking
+    /// on zero dimensions.
+    pub fn try_torus(width: usize, height: usize) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension { width, height });
+        }
+        Ok(Topology {
             width,
             height,
             wraparound: true,
-        }
+        })
     }
 
     /// Creates a square topology of dimension `d`; wrap-around per flag.
@@ -347,7 +403,11 @@ mod tests {
     fn torus_fig5_example() {
         // Fig 5 (left): tile 0 of a wrap-around 3x3 grid neighbors 1,2,3,6.
         let t = Topology::torus(3, 3);
-        let mut n: Vec<usize> = t.neighbors(t.tile_by_id(0)).iter().map(|x| x.index()).collect();
+        let mut n: Vec<usize> = t
+            .neighbors(t.tile_by_id(0))
+            .iter()
+            .map(|x| x.index())
+            .collect();
         n.sort_unstable();
         assert_eq!(n, [1, 2, 3, 6]);
         // every tile of a torus has exactly 4 neighbors when d >= 3

@@ -16,13 +16,11 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::Packet;
 use crate::topology::{TileId, Topology};
 
 /// Wormhole network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WormholeConfig {
     /// Flit slots per input buffer.
     pub buffer_flits: usize,
@@ -183,14 +181,12 @@ impl WormholeNetwork {
                     Some(inp) => Some(inp),
                     None => {
                         let start = self.routers[r].rr[out];
-                        (0..PORTS)
-                            .map(|k| (start + k) % PORTS)
-                            .find(|&inp| {
-                                self.routers[r].inputs[inp]
-                                    .front()
-                                    .map(|f| self.route_port(r, f.flight) == out)
-                                    .unwrap_or(false)
-                            })
+                        (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
+                            self.routers[r].inputs[inp]
+                                .front()
+                                .map(|f| self.route_port(r, f.flight) == out)
+                                .unwrap_or(false)
+                        })
                     }
                 };
                 let Some(inp) = owner else { continue };
@@ -242,7 +238,9 @@ impl WormholeNetwork {
                 continue;
             };
             let local_free = self.config.buffer_flits
-                - self.routers[src].inputs[LOCAL].len().min(self.config.buffer_flits);
+                - self.routers[src].inputs[LOCAL]
+                    .len()
+                    .min(self.config.buffer_flits);
             if local_free == 0 {
                 continue;
             }
@@ -355,7 +353,11 @@ mod tests {
     #[test]
     fn zero_load_latency_tracks_hop_count() {
         let topo = Topology::mesh(6, 6);
-        for (a, b, hops) in [((0, 0), (5, 0), 5), ((0, 0), (0, 5), 5), ((1, 1), (4, 3), 5)] {
+        for (a, b, hops) in [
+            ((0, 0), (5, 0), 5),
+            ((0, 0), (0, 5), 5),
+            ((1, 1), (4, 3), 5),
+        ] {
             let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
             net.inject(pkt(&topo, a, b));
             let d = net.run_until_idle(1_000);
@@ -387,7 +389,12 @@ mod tests {
         // all-to-one hotspot: the worst congestion pattern
         for i in 1..25 {
             let src = topo.tile_by_id(i);
-            net.inject(Packet::new(src, topo.tile_by_id(0), Plane::MmioIrq, PacketKind::CoinRequest));
+            net.inject(Packet::new(
+                src,
+                topo.tile_by_id(0),
+                Plane::MmioIrq,
+                PacketKind::CoinRequest,
+            ));
         }
         let d = net.run_until_idle(10_000);
         assert_eq!(d.len(), 24, "every packet must be delivered");

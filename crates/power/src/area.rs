@@ -7,10 +7,8 @@
 //! 1.4%/4.5% for prior digital LDOs. This module encodes that cost model
 //! so design-space studies can weigh overhead against response time.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-component area overheads, as fractions of a reference tile area.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     /// Reference tile area, mm².
     pub tile_mm2: f64,
@@ -71,7 +69,11 @@ mod tests {
     #[test]
     fn total_is_under_one_percent() {
         let a = AreaModel::default();
-        assert!(a.total_frac() < 0.01, "paper claims <1%: {}", a.total_frac());
+        assert!(
+            a.total_frac() < 0.01,
+            "paper claims <1%: {}",
+            a.total_frac()
+        );
         assert!(a.total_frac() > 0.004);
     }
 

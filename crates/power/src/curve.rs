@@ -7,8 +7,6 @@
 //! produces (approximately) the tile's F_max at that voltage, and the
 //! control loop can regulate frequency by moving voltage alone.
 
-use serde::{Deserialize, Serialize};
-
 /// A strictly monotone piecewise-linear voltage↔frequency curve.
 ///
 /// Units: volts and megahertz.
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.freq_at(2.0), 800.0);
 /// assert_eq!(c.voltage_for(0.0), 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VfCurve {
     /// `(voltage, frequency)` corners, strictly increasing in both fields.
     points: Vec<(f64, f64)>,

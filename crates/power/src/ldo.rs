@@ -5,10 +5,8 @@
 //! setting the tile voltage between V_min and V_max; the LDO controller is
 //! a PID loop comparing the frequency target against the TDC readout.
 
-use serde::{Deserialize, Serialize};
-
 /// PID controller gains (in LDO codes per TDC count of error).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PidGains {
     /// Proportional gain.
     pub kp: f64,
@@ -43,7 +41,7 @@ impl Default for PidGains {
 /// ldo.set_code(255);
 /// assert_eq!(ldo.voltage(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ldo {
     v_min: f64,
     v_max: f64,
@@ -117,7 +115,10 @@ impl Ldo {
         self.integral += error;
         // Anti-windup: keep the integral within what the actuator can act on.
         let span = self.max_code as f64;
-        self.integral = self.integral.clamp(-span / self.gains.ki.max(1e-9), span / self.gains.ki.max(1e-9));
+        self.integral = self.integral.clamp(
+            -span / self.gains.ki.max(1e-9),
+            span / self.gains.ki.max(1e-9),
+        );
         let derivative = error - self.prev_error;
         self.prev_error = error;
         let delta =

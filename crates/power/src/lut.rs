@@ -6,8 +6,6 @@
 //! tile". The coin counter is 6 bits, yielding 64 power levels per tile —
 //! much finer than the 2-5 levels of prior designs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::PowerModel;
 
 /// A per-tile lookup table mapping coin counts to frequency targets.
@@ -29,7 +27,7 @@ use crate::model::PowerModel;
 /// // 0 coins -> idle
 /// assert_eq!(lut.f_target(0), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoinLut {
     entries: Vec<f64>,
     coin_value_mw: f64,
@@ -86,10 +84,7 @@ impl CoinLut {
     /// The smallest coin count whose entry is non-idle (runs the tile at
     /// F_min or above), or `None` if no entry is non-idle.
     pub fn min_active_coins(&self) -> Option<u32> {
-        self.entries
-            .iter()
-            .position(|&f| f > 0.0)
-            .map(|i| i as u32)
+        self.entries.iter().position(|&f| f > 0.0).map(|i| i as u32)
     }
 
     /// The smallest coin count mapping to the tile's F_max (saturation

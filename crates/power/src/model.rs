@@ -21,12 +21,10 @@
 //! scaled far below F_min, producing a 7.5x power reduction for idle
 //! tiles; [`PowerModel::idle_power`] reproduces that.
 
-use serde::{Deserialize, Serialize};
-
 use crate::curve::VfCurve;
 
 /// The accelerator classes evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorClass {
     /// Fast Fourier Transform (depth estimation; 3x3 SoC, 3 instances).
     Fft,
@@ -106,7 +104,7 @@ impl std::fmt::Display for AcceleratorClass {
 /// let f = fft.freq_for_power(20.0);
 /// assert!((fft.power_at(f) - 20.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     class: AcceleratorClass,
     curve: VfCurve,
@@ -123,7 +121,10 @@ impl PowerModel {
         let curve = VfCurve::linear(v_min, v_max, f_min, f_max);
         // Solve  l0·v_min + c·f_min·v_min² = p_min
         //        l0·v_max + c·f_max·v_max² = p_max
-        let a = [[v_min, f_min * v_min * v_min], [v_max, f_max * v_max * v_max]];
+        let a = [
+            [v_min, f_min * v_min * v_min],
+            [v_max, f_max * v_max * v_max],
+        ];
         let b = [p_min, p_max];
         let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
         assert!(det.abs() > 1e-12, "degenerate calibration corners");
@@ -147,7 +148,10 @@ impl PowerModel {
     pub fn custom(class: AcceleratorClass, curve: VfCurve, p_min: f64, p_max: f64) -> Self {
         let (v_min, v_max) = (curve.v_min(), curve.v_max());
         let (f_min, f_max) = (curve.f_min(), curve.f_max());
-        let a = [[v_min, f_min * v_min * v_min], [v_max, f_max * v_max * v_max]];
+        let a = [
+            [v_min, f_min * v_min * v_min],
+            [v_max, f_max * v_max * v_max],
+        ];
         let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
         assert!(det.abs() > 1e-12, "degenerate calibration corners");
         let l0 = (p_min * a[1][1] - a[0][1] * p_max) / det;
@@ -249,8 +253,8 @@ impl PowerModel {
         assert!(samples >= 2, "need at least two samples");
         (0..samples)
             .map(|i| {
-                let f = self.f_min()
-                    + (self.f_max() - self.f_min()) * i as f64 / (samples - 1) as f64;
+                let f =
+                    self.f_min() + (self.f_max() - self.f_min()) * i as f64 / (samples - 1) as f64;
                 (f, self.power_at(f))
             })
             .collect()
@@ -373,9 +377,12 @@ mod tests {
             .iter()
             .map(|&c| PowerModel::of(c).p_max())
             .collect();
-        let ratio = p.iter().cloned().fold(f64::MIN, f64::max)
-            / p.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(ratio > 5.0, "expected a wide heterogeneous range, got {ratio}");
+        let ratio =
+            p.iter().cloned().fold(f64::MIN, f64::max) / p.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            ratio > 5.0,
+            "expected a wide heterogeneous range, got {ratio}"
+        );
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! the logic, a voltage droop automatically stretches the next clock edge —
 //! the self-timing property the UVFR scheme relies on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::curve::VfCurve;
 
 /// A critical-path-replica ring oscillator.
@@ -27,7 +25,7 @@ use crate::curve::VfCurve;
 /// // at 1.0 V the replica runs at 97% of the 800 MHz critical-path limit
 /// assert!((ro.freq_at(1.0) - 776.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RingOscillator {
     curve: VfCurve,
     margin: f64,

@@ -9,14 +9,12 @@
 //! of Floyd et al. \[18\] and Huang et al. \[75\], plus the dynamic LUT
 //! rescaling it enables.
 
-use serde::{Deserialize, Serialize};
-
 use crate::lut::CoinLut;
 use crate::model::PowerModel;
 
 /// One control period's worth of micro-architectural activity counters,
 /// normalized per cycle (0.0 = idle, 1.0 = every-cycle activity).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ActivityCounters {
     /// Instructions dispatched per cycle (0..~1 for a single-issue CVA6).
     pub dispatch: f64,
@@ -61,7 +59,7 @@ impl ActivityCounters {
 /// let idle = ActivityCounters::default();
 /// assert!(proxy.estimate_mw(800.0, busy) > 2.0 * proxy.estimate_mw(800.0, idle));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerProxy {
     f_max_mhz: f64,
     p_idle_mw: f64,
@@ -139,12 +137,15 @@ impl PowerProxy {
         coin_value_mw: f64,
         levels: u32,
     ) -> CoinLut {
-        let full = self.estimate_mw(self.f_max_mhz, ActivityCounters {
-            dispatch: 1.0,
-            cache_access: 1.0,
-            fpu: 1.0,
-            lsu: 1.0,
-        });
+        let full = self.estimate_mw(
+            self.f_max_mhz,
+            ActivityCounters {
+                dispatch: 1.0,
+                cache_access: 1.0,
+                fpu: 1.0,
+                lsu: 1.0,
+            },
+        );
         let now = self.estimate_mw(self.f_max_mhz, observed);
         assert!(now > 0.0, "observed power estimate must be positive");
         // effective coin value seen by this workload: a workload drawing

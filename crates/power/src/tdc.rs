@@ -6,8 +6,6 @@
 //! oscillator edges within a fixed measurement window clocked by the NoC
 //! domain, producing a digital code proportional to the tile frequency.
 
-use serde::{Deserialize, Serialize};
-
 /// A counter-based TDC.
 ///
 /// # Example
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// // quantization step = 1 count = 12.5 MHz
 /// assert!((tdc.resolution_mhz() - 12.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tdc {
     /// Measurement window length, in NoC cycles (800 MHz).
     window_noc_cycles: u32,

@@ -8,15 +8,13 @@
 //! tile always runs at (approximately) the maximum frequency its current
 //! voltage supports — no transient-IR guardbands, no canary flip-flops.
 
-use serde::{Deserialize, Serialize};
-
 use crate::curve::VfCurve;
 use crate::ldo::{Ldo, PidGains};
 use crate::oscillator::RingOscillator;
 use crate::tdc::Tdc;
 
 /// UVFR configuration knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UvfrConfig {
     /// LDO code resolution (max code; 255 = 8-bit).
     pub ldo_max_code: u32,
@@ -56,7 +54,7 @@ impl Default for UvfrConfig {
 /// for _ in 0..100 { uvfr.step(); }
 /// assert!((uvfr.frequency() - 500.0).abs() < 2.0 * uvfr.tdc().resolution_mhz());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Uvfr {
     ldo: Ldo,
     ro: RingOscillator,
@@ -170,7 +168,10 @@ mod tests {
     use super::*;
 
     fn uvfr() -> Uvfr {
-        Uvfr::new(VfCurve::linear(0.5, 1.0, 200.0, 800.0), UvfrConfig::default())
+        Uvfr::new(
+            VfCurve::linear(0.5, 1.0, 200.0, 800.0),
+            UvfrConfig::default(),
+        )
     }
 
     #[test]

@@ -40,10 +40,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize};
-
 /// The power-management strategies the scaling model covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Decentralized BlitzCoin: `T = √N·τ`.
     BlitzCoin,
@@ -95,7 +93,7 @@ impl std::fmt::Display for Strategy {
 }
 
 /// A fitted response-time model `T(N) = N^e · τ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TauFit {
     /// The strategy (fixes the exponent).
     pub strategy: Strategy,
@@ -210,7 +208,10 @@ mod tests {
             .collect();
         let fit = TauFit::fit(Strategy::BlitzCoin, &pts);
         assert!((fit.tau_us - 0.2).abs() < 1e-12);
-        let lin: Vec<(usize, f64)> = [4usize, 8, 12].iter().map(|&n| (n, 0.96 * n as f64)).collect();
+        let lin: Vec<(usize, f64)> = [4usize, 8, 12]
+            .iter()
+            .map(|&n| (n, 0.96 * n as f64))
+            .collect();
         let fit2 = TauFit::fit(Strategy::CentralizedRoundRobin, &lin);
         assert!((fit2.tau_us - 0.96).abs() < 1e-12);
     }
@@ -233,7 +234,10 @@ mod tests {
         assert!(n_bc >= 900.0, "N_max(7ms) = {n_bc}");
         // "and N ~ 100 for T_w >= 0.2 ms"
         let n_bc_small = paper::bc().n_max(200.0);
-        assert!((80.0..130.0).contains(&n_bc_small), "N_max(0.2ms) = {n_bc_small}");
+        assert!(
+            (80.0..130.0).contains(&n_bc_small),
+            "N_max(0.2ms) = {n_bc_small}"
+        );
         // 5.7-13.3x more accelerators than BC-C and C-RR
         for t_w in [200.0, 1000.0, 7000.0] {
             let r_bcc = paper::bc().n_max(t_w) / paper::bcc().n_max(t_w);

@@ -1,0 +1,106 @@
+//! A seeded property-testing harness.
+//!
+//! Randomized invariant tests (`tests/cross_crate_invariants.rs`, the
+//! fault-resilience suite) run a property over many [`SimRng`]-generated
+//! cases. Unlike a shrinking framework, failures here reproduce exactly:
+//! the panic names the case index, and `forall_seeded` replays any single
+//! case in isolation.
+
+use crate::rng::SimRng;
+
+/// The root seed all `forall` case generators derive from.
+pub const CHECK_SEED: u64 = 0xB117_C01D;
+
+/// Runs `prop` over `cases` independently-seeded RNGs, panicking with the
+/// property name and case index on the first failure.
+///
+/// The property returns `Err(description)` to falsify; the [`crate::ensure!`]
+/// macro is the usual way to produce one.
+pub fn forall<F>(name: &str, cases: u64, prop: F)
+where
+    F: FnMut(&mut SimRng) -> Result<(), String>,
+{
+    forall_seeded(name, CHECK_SEED, 0..cases, prop);
+}
+
+/// Like [`forall`], but with an explicit root seed and case range — use it
+/// to replay one failing case (`failing..failing + 1`).
+///
+/// # Panics
+/// Panics when the property is falsified.
+pub fn forall_seeded<F>(name: &str, seed: u64, cases: std::ops::Range<u64>, mut prop: F)
+where
+    F: FnMut(&mut SimRng) -> Result<(), String>,
+{
+    let root = SimRng::seed(seed);
+    for case in cases.clone() {
+        let mut rng = root.derive(case);
+        if let Err(msg) = prop(&mut rng) {
+            panic!(
+                "property `{name}` falsified at case {case} (seed {seed:#x}): {msg}\n\
+                 replay with forall_seeded(\"{name}\", {seed:#x}, {case}..{})",
+                case + 1
+            );
+        }
+    }
+}
+
+/// Early-returns `Err(format!(...))` from a property when `cond` is false.
+///
+/// With no message, the stringified condition is used.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        forall("draws in range", 50, |rng| {
+            n += 1;
+            let v = rng.range_u64(0..10);
+            ensure!(v < 10, "value {v} out of range");
+            Ok(())
+        });
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always fails` falsified at case 0")]
+    fn failing_property_names_case() {
+        forall("always fails", 10, |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn replay_hits_same_case() {
+        // Find a case whose first draw is even, then replay exactly it.
+        let mut target = None;
+        forall("find even", 20, |rng| {
+            let v = rng.next_u64();
+            if v % 2 == 0 && target.is_none() {
+                target = Some(v);
+            }
+            Ok(())
+        });
+        let target = target.expect("20 draws should contain an even value");
+        let mut seen = Vec::new();
+        forall_seeded("replay", CHECK_SEED, 0..20, |rng| {
+            seen.push(rng.next_u64());
+            Ok(())
+        });
+        assert!(seen.contains(&target));
+    }
+}

@@ -22,6 +22,15 @@
 //! - [`trace`]: time-weighted signal traces (power traces, coin traces,
 //!   frequency traces) with resampling, used by Figs 16, 19 and 20.
 //! - [`csv`]: tiny CSV emission helpers for the experiment harness.
+//! - [`json`]: a dependency-free JSON value type, parser/printer, and
+//!   [`json::ToJson`]/[`json::FromJson`] traits for configs and manifests.
+//! - [`fault`]: the deterministic fault-injection plan ([`FaultPlan`]) and
+//!   coin-conservation auditor ([`CoinAudit`]) threaded through the NoC,
+//!   the emulator, the SoC engine and the centralized baselines.
+//! - [`check`]: a seeded property-testing harness for randomized
+//!   invariant tests.
+//! - [`error`]: typed validation errors ([`ConfigError`]) returned by the
+//!   fallible configuration constructors across the workspace.
 //!
 //! # Example
 //!
@@ -39,14 +48,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod csv;
+pub mod error;
 pub mod event;
+pub mod fault;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use error::ConfigError;
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::{AuditReport, CoinAudit, FaultPlan, LinkOutage, TileFault, TileFaultKind};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::SimTime;

@@ -5,8 +5,6 @@
 //! and outlier-bearing distributions (Fig 4's TokenSmart tail). These types
 //! provide exactly those reductions.
 
-use serde::{Deserialize, Serialize};
-
 /// Numerically stable online mean/variance/min/max accumulator (Welford).
 ///
 /// # Example
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.std_dev() - 2.138089935299395).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -115,7 +113,7 @@ impl OnlineStats {
 ///
 /// Samples outside the range are clamped into the first/last bin so the
 /// total count always equals the number of pushes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -192,7 +190,7 @@ impl Histogram {
 ///
 /// Retains the samples (the evaluation's trial counts are ≤ a few thousand)
 /// and computes exact order statistics by nearest-rank.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     samples: Vec<f64>,
     sorted: bool,

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Picoseconds per NoC clock cycle (800 MHz NoC, as in the fabricated SoC).
 pub const NOC_CYCLE_PS: u64 = 1250;
 
@@ -29,10 +27,22 @@ pub const NOC_CYCLE_PS: u64 = 1250;
 /// assert_eq!(t.as_us_f64(), 1.0);
 /// assert_eq!(t + SimTime::from_ns(500), SimTime::from_us(1) + SimTime::from_ns(500));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+
+impl crate::json::ToJson for SimTime {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::ToJson::to_json(&self.as_ps())
+    }
+}
+
+impl crate::json::FromJson for SimTime {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(SimTime::from_ps(<u64 as crate::json::FromJson>::from_json(
+            v,
+        )?))
+    }
+}
 
 impl SimTime {
     /// Time zero.
@@ -68,7 +78,10 @@ impl SimTime {
     /// Creates a time from fractional microseconds, rounding to the nearest
     /// picosecond. Intended for configuration values, not inner loops.
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "time must be finite and non-negative");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "time must be finite and non-negative"
+        );
         SimTime((us * 1e6).round() as u64)
     }
 

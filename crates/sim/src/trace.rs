@@ -7,18 +7,18 @@
 //! resampling for CSV/plot output, and pointwise combination of multiple
 //! traces (e.g. summing per-tile power into SoC power).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// One change point of a piecewise-constant signal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Time at which the signal takes `value`.
     pub time: SimTime,
     /// The new value, held until the next point.
     pub value: f64,
 }
+
+crate::json_fields!(TracePoint { time, value });
 
 /// A piecewise-constant signal over simulation time.
 ///
@@ -34,10 +34,31 @@ pub struct TracePoint {
 /// // Average over [0, 2us): 1us at 10mW + 1us at 30mW = 20mW
 /// assert_eq!(p.average(SimTime::ZERO, SimTime::from_us(2)), 20.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StepTrace {
     name: String,
     points: Vec<TracePoint>,
+}
+
+impl crate::json::ToJson for StepTrace {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Obj(vec![
+            ("name".to_string(), crate::json::ToJson::to_json(&self.name)),
+            (
+                "points".to_string(),
+                crate::json::ToJson::to_json(&self.points),
+            ),
+        ])
+    }
+}
+
+impl crate::json::FromJson for StepTrace {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(StepTrace {
+            name: v.field("name")?,
+            points: v.field("points")?,
+        })
+    }
 }
 
 impl StepTrace {

@@ -19,12 +19,15 @@
 
 use std::collections::VecDeque;
 
-use blitzcoin_core::exchange::{four_way_allocation, pairwise_exchange_stochastic};
+use blitzcoin_core::exchange::{
+    four_way_allocation, pairwise_exchange, pairwise_exchange_stochastic,
+};
 use blitzcoin_core::{AllocationPolicy, DynamicTiming, ExchangeMode, TileState};
 use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, TileId};
 use blitzcoin_power::{CoinLut, PowerModel};
-use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
+use blitzcoin_sim::{
+    CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TileFaultKind,
+};
 
 use crate::floorplan::SocConfig;
 use crate::manager::{ManagerKind, ManagerTiming};
@@ -33,7 +36,7 @@ use crate::workload::{TaskId, Workload};
 use blitzcoin_baselines::{BccController, CrrController, CrrLevel};
 
 /// Simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// The power manager under test.
     pub manager: ManagerKind,
@@ -76,7 +79,17 @@ impl SimConfig {
     /// Creates a configuration with the paper's defaults for the given
     /// manager and budget.
     pub fn new(manager: ManagerKind, budget_mw: f64) -> Self {
-        assert!(budget_mw > 0.0, "budget must be positive");
+        Self::try_new(manager, budget_mw).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SimConfig::new`]: a non-finite or non-positive budget
+    /// comes back as a [`ConfigError`] instead of a panic.
+    pub fn try_new(manager: ManagerKind, budget_mw: f64) -> Result<Self, ConfigError> {
+        blitzcoin_sim::error::require_positive("budget_mw", budget_mw)?;
+        Ok(Self::with_defaults(manager, budget_mw))
+    }
+
+    fn with_defaults(manager: ManagerKind, budget_mw: f64) -> Self {
         SimConfig {
             manager,
             budget_mw,
@@ -119,15 +132,45 @@ impl SimConfig {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    TaskDone { tile: usize, gen: u64 },
-    CoinFire { tile: usize, gen: u64 },
+    TaskDone {
+        tile: usize,
+        gen: u64,
+    },
+    CoinFire {
+        tile: usize,
+        gen: u64,
+    },
     NotifyArrive,
-    SweepWrite { sweep: u64, step: usize },
-    WriteArrive { tile: usize, freq_centi_mhz: u64, coins: i64, sweep: u64, last: bool },
+    SweepWrite {
+        sweep: u64,
+        step: usize,
+    },
+    WriteArrive {
+        tile: usize,
+        freq_centi_mhz: u64,
+        coins: i64,
+        sweep: u64,
+        last: bool,
+    },
     Rotate,
-    Actuate { tile: usize, gen: u64 },
-    DmaBurst { tile: usize },
+    Actuate {
+        tile: usize,
+        gen: u64,
+    },
+    DmaBurst {
+        tile: usize,
+    },
+    TileFault {
+        tile: usize,
+    },
 }
+
+/// Consecutive failed exchanges with the same ring partner before a tile
+/// concludes the partner is gone and triggers recovery (reclaim the
+/// partner's coins if it fail-stopped, quarantine them if it is stuck).
+/// Random packet drops reset on any success, so only a persistently
+/// silent partner crosses this threshold.
+const HEARTBEAT_TIMEOUTS: u32 = 3;
 
 #[derive(Debug, Clone)]
 struct Running {
@@ -160,6 +203,10 @@ struct TileRt {
     next_pairing: SimTime,
     pair_offset: usize,
     partners: Vec<usize>,
+    /// Consecutive failed exchanges per entry of `partners`.
+    suspect: Vec<u32>,
+    /// Set once the tile's scheduled fault fires.
+    faulted: Option<TileFaultKind>,
 }
 
 /// A configured full-SoC simulation, ready to run.
@@ -176,6 +223,8 @@ pub struct Simulation {
     /// cluster; each cluster owns a slice of the pool proportional to its
     /// accelerators' combined P_max.
     clusters: Option<Vec<Vec<usize>>>,
+    /// Faults injected into the run (empty by default).
+    fault: FaultPlan,
 }
 
 impl Simulation {
@@ -209,7 +258,42 @@ impl Simulation {
             pool,
             top_pmax,
             clusters: None,
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault plan, validated against this SoC's topology.
+    /// Packet drops, link outages, and delays apply to the NoC model;
+    /// tile faults fire as simulation events at their scheduled cycle.
+    pub fn try_with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, ConfigError> {
+        plan.validate()?;
+        let n_tiles = self.soc.topology.len();
+        for f in &plan.tile_faults {
+            if f.tile >= n_tiles {
+                return Err(ConfigError::TileOutOfRange {
+                    tile: f.tile,
+                    n_tiles,
+                });
+            }
+        }
+        for o in &plan.outages {
+            for &t in &[o.a, o.b] {
+                if t >= n_tiles {
+                    return Err(ConfigError::TileOutOfRange { tile: t, n_tiles });
+                }
+            }
+        }
+        self.fault = plan;
+        Ok(self)
+    }
+
+    /// [`Simulation::try_with_fault_plan`], panicking on an invalid plan.
+    ///
+    /// # Panics
+    /// Panics when the plan fails validation or references a tile outside
+    /// the topology.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.try_with_fault_plan(plan).expect("invalid fault plan")
     }
 
     /// Like [`Simulation::new`], with the managed tiles partitioned into
@@ -231,7 +315,10 @@ impl Simulation {
         covered.sort_unstable();
         let mut managed: Vec<usize> = sim.soc.managed_tiles().iter().map(|t| t.index()).collect();
         managed.sort_unstable();
-        assert_eq!(covered, managed, "clusters must partition the managed tiles");
+        assert_eq!(
+            covered, managed,
+            "clusters must partition the managed tiles"
+        );
         sim.clusters = Some(clusters);
         sim
     }
@@ -267,9 +354,20 @@ struct Runner<'a> {
     deps_left: Vec<usize>,
     completed: usize,
     exec_end: SimTime,
+    done_tasks: Vec<bool>,
+    abandoned_tasks: Vec<bool>,
+    abandoned: usize,
+    // fault accounting
+    audit: CoinAudit,
+    fault_at: Option<SimTime>,
+    recovered_at: Option<SimTime>,
     // centralized managers
     sweep_gen: u64,
     sweep_plan: Vec<(usize, u64, i64)>,
+    /// When the most recent sweep started; lets the rotation tell a
+    /// dropped notify IRQ (no sweep since the change) from a sweep that is
+    /// merely still in flight (sweeps outlast a rotation on large SoCs).
+    last_sweep_start: SimTime,
     rotation_step: usize,
     // response measurement
     pending_changes: Vec<SimTime>,
@@ -316,6 +414,8 @@ impl<'a> Runner<'a> {
                     next_pairing: SimTime::ZERO,
                     pair_offset: 2,
                     partners: Vec::new(),
+                    suspect: Vec::new(),
+                    faulted: None,
                 }
             })
             .collect();
@@ -342,6 +442,7 @@ impl<'a> Runner<'a> {
                 .collect();
             peers.sort();
             tiles[ti].partners = peers.into_iter().take(4).map(|(_, tj)| tj).collect();
+            tiles[ti].suspect = vec![0; tiles[ti].partners.len()];
         }
         // initial coins: each cluster owns a pool slice proportional to
         // its accelerators' combined P_max, split equally inside
@@ -354,8 +455,7 @@ impl<'a> Runner<'a> {
                 .iter()
                 .map(|&t| soc.power_model(TileId(t)).expect("managed").p_max())
                 .sum();
-            let cluster_pool =
-                (sim.pool as f64 * cluster_pmax / total_pmax).round() as u64;
+            let cluster_pool = (sim.pool as f64 * cluster_pmax / total_pmax).round() as u64;
             let n = members.len() as u64;
             for (k, &ti) in members.iter().enumerate() {
                 let base = cluster_pool / n;
@@ -381,10 +481,14 @@ impl<'a> Runner<'a> {
             .map(|&ti| StepTrace::new(format!("power_t{ti}")))
             .collect();
         let deps_left = sim.wl.tasks().iter().map(|t| t.deps.len()).collect();
+        let initial_coins: i64 = tiles.iter().map(|t| t.has).sum();
+        let mut net = Network::new(soc.topology, NetworkConfig::default());
+        net.set_fault_plan(sim.fault.clone());
+        let n_tasks = sim.wl.len();
         Runner {
             sim,
             rng,
-            net: Network::new(soc.topology, NetworkConfig::default()),
+            net,
             queue: EventQueue::new(),
             tiles,
             managed,
@@ -394,8 +498,15 @@ impl<'a> Runner<'a> {
             deps_left,
             completed: 0,
             exec_end: SimTime::ZERO,
+            done_tasks: vec![false; n_tasks],
+            abandoned_tasks: vec![false; n_tasks],
+            abandoned: 0,
+            audit: CoinAudit::new(initial_coins),
+            fault_at: None,
+            recovered_at: None,
             sweep_gen: 0,
             sweep_plan: Vec::new(),
+            last_sweep_start: SimTime::ZERO,
             rotation_step: 0,
             pending_changes: Vec::new(),
             responses: Vec::new(),
@@ -423,6 +534,21 @@ impl<'a> Runner<'a> {
 
     // -- helpers ------------------------------------------------------
 
+    fn plan(&self) -> &FaultPlan {
+        &self.sim.fault
+    }
+
+    /// Whether the centralized controller tile has faulted — after which
+    /// no sweep can ever run again (the single point of failure).
+    fn controller_down(&self) -> bool {
+        matches!(
+            self.cfg().manager,
+            ManagerKind::BcCentralized | ManagerKind::CentralizedRoundRobin
+        ) && self.tiles[self.sim.soc.controller_tile().index()]
+            .faulted
+            .is_some()
+    }
+
     /// kcycles of work per microsecond at the tile's current clock.
     fn rate(&self, ti: usize) -> f64 {
         let rt = &self.tiles[ti];
@@ -437,6 +563,9 @@ impl<'a> Runner<'a> {
 
     fn tile_power(&self, ti: usize) -> f64 {
         let rt = &self.tiles[ti];
+        if rt.faulted == Some(TileFaultKind::FailStop) {
+            return 0.0;
+        }
         match (&rt.model, &rt.running) {
             (Some(m), Some(_)) if rt.freq > 0.0 => m.power_at(rt.freq),
             (Some(m), _) => m.idle_power(),
@@ -481,7 +610,11 @@ impl<'a> Runner<'a> {
         } else {
             return;
         };
-        let remaining = self.tiles[ti].running.as_ref().expect("running").remaining_kcycles;
+        let remaining = self.tiles[ti]
+            .running
+            .as_ref()
+            .expect("running")
+            .remaining_kcycles;
         let dur = SimTime::from_us_f64((remaining / rate).max(0.0));
         self.queue
             .schedule(self.now + dur, Ev::TaskDone { tile: ti, gen });
@@ -497,7 +630,8 @@ impl<'a> Runner<'a> {
         self.tiles[ti].actuate_gen += 1;
         let gen = self.tiles[ti].actuate_gen;
         let delay = SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
-        self.queue.schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
+        self.queue
+            .schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
     }
 
     /// The RP/AP `max` target for a managed tile when active: RP scales
@@ -531,8 +665,38 @@ impl<'a> Runner<'a> {
 
     fn enqueue_task(&mut self, task: TaskId) {
         let ti = self.sim.wl.tasks()[task.0].tile.index();
+        if self.tiles[ti].faulted.is_some() {
+            self.abandon_unreachable_tasks();
+            return;
+        }
         self.tiles[ti].queue.push_back(task);
         self.pump(ti);
+    }
+
+    /// Marks every task that can no longer complete — it targets a
+    /// faulted tile, or depends (transitively) on such a task — as
+    /// abandoned, so the run can terminate instead of waiting forever.
+    fn abandon_unreachable_tasks(&mut self) {
+        let n = self.sim.wl.len();
+        loop {
+            let mut changed = false;
+            for k in 0..n {
+                if self.done_tasks[k] || self.abandoned_tasks[k] {
+                    continue;
+                }
+                let t = &self.sim.wl.tasks()[k];
+                let tile_gone = self.tiles[t.tile.index()].faulted.is_some();
+                let dep_gone = t.deps.iter().any(|d| self.abandoned_tasks[d.0]);
+                if tile_gone || dep_gone {
+                    self.abandoned_tasks[k] = true;
+                    self.abandoned += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
     }
 
     fn pump(&mut self, ti: usize) {
@@ -576,12 +740,16 @@ impl<'a> Runner<'a> {
             return;
         }
         self.update_progress(ti);
-        let run = self.tiles[ti].running.take().expect("completion without task");
+        let run = self.tiles[ti]
+            .running
+            .take()
+            .expect("completion without task");
         debug_assert!(run.remaining_kcycles < 1e-6);
         self.completed += 1;
         self.exec_end = self.now;
         // release dependents
         let done_id = run.task;
+        self.done_tasks[done_id.0] = true;
         let ready: Vec<TaskId> = self
             .sim
             .wl
@@ -630,8 +798,11 @@ impl<'a> Runner<'a> {
                     blitzcoin_noc::Plane::MmioIrq,
                     PacketKind::RegWrite { value: ti as u64 },
                 );
-                let arrive = self.net.send(self.now, &pkt);
-                self.queue.schedule(arrive, Ev::NotifyArrive);
+                // a dropped IRQ is a lost notification: no sweep starts
+                // until something else pokes the controller
+                if let Some(arrive) = self.net.send(self.now, &pkt).time() {
+                    self.queue.schedule(arrive, Ev::NotifyArrive);
+                }
             }
             ManagerKind::Static => {
                 // static allocation never responds; don't count a pending
@@ -644,7 +815,7 @@ impl<'a> Runner<'a> {
     // -- BlitzCoin FSM ----------------------------------------------------
 
     fn on_coin_fire(&mut self, ti: usize, gen: u64) {
-        if gen != self.tiles[ti].fire_gen {
+        if gen != self.tiles[ti].fire_gen || self.tiles[ti].faulted.is_some() {
             return;
         }
         if self.cfg().exchange_mode == ExchangeMode::FourWay {
@@ -653,9 +824,8 @@ impl<'a> Runner<'a> {
         }
         let dt = self.cfg().exchange_timing;
         // partner selection: time-based random pairing, else round-robin
-        let pairing_iv = SimTime::from_noc_cycles(
-            self.cfg().pairing_period as u64 * dt.base_cycles,
-        );
+        let pairing_iv =
+            SimTime::from_noc_cycles(self.cfg().pairing_period as u64 * dt.base_cycles);
         let use_pairing = self.cfg().pairing_period > 0
             && self.now >= self.tiles[ti].next_pairing
             && self.managed.len() > 2;
@@ -694,7 +864,14 @@ impl<'a> Runner<'a> {
                 max: self.tiles[ti].max as u32,
             },
         );
-        let t_status = self.net.send(self.now, &status);
+        let d_status = self.net.send(self.now, &status);
+        // A faulted partner never answers and a dropped status is never
+        // seen; either way the initiator times out and backs off.
+        let partner_gone = self.tiles[pj].faulted.is_some();
+        let Some(t_status) = d_status.time().filter(|_| !partner_gone) else {
+            self.on_exchange_timeout(ti, pj);
+            return;
+        };
         let a = TileState::new(self.tiles[ti].has, self.tiles[ti].max);
         let b = TileState::new(self.tiles[pj].has, self.tiles[pj].max);
         let out = pairwise_exchange_stochastic(a, b, &mut self.rng);
@@ -702,10 +879,22 @@ impl<'a> Runner<'a> {
             other,
             me,
             self.coin_plane(),
-            PacketKind::CoinUpdate { delta: out.moved as i32 },
+            PacketKind::CoinUpdate {
+                delta: out.moved as i32,
+            },
         );
-        let t_update = self.net.send(t_status, &update);
+        // The exchange commits only once the update is delivered (the
+        // partner's ledger write is acknowledged at the link layer), so a
+        // dropped update aborts the whole exchange: no coins move on
+        // either side and conservation holds.
+        let Some(t_update) = self.net.send(t_status, &update).time() else {
+            self.on_exchange_timeout(ti, pj);
+            return;
+        };
         let latency = (t_update - self.now) + SimTime::from_noc_cycles(1);
+        if let Some(idx) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
+            self.tiles[ti].suspect[idx] = 0; // partner demonstrably alive
+        }
 
         if out.moved != 0 {
             self.tiles[ti].has = out.new_i;
@@ -726,7 +915,7 @@ impl<'a> Runner<'a> {
             } else {
                 rt.zero_rot += 1;
                 let rot = rt.partners.len().max(1) as u32;
-                if rt.zero_rot % rot == 0 {
+                if rt.zero_rot.is_multiple_of(rot) {
                     dt.next_interval(rt.interval, 0)
                 } else {
                     rt.interval
@@ -750,6 +939,81 @@ impl<'a> Runner<'a> {
         self.check_bc_response();
     }
 
+    /// The initiator waited for a reply that never came. Back off through
+    /// the zero-move dynamic-timing rule (the retry gets cheaper for the
+    /// NoC, not tighter), grow suspicion against ring partners, and after
+    /// [`HEARTBEAT_TIMEOUTS`] consecutive silences run the recovery path.
+    fn on_exchange_timeout(&mut self, ti: usize, pj: usize) {
+        self.note_partner_silent(ti, pj);
+        let dt = self.cfg().exchange_timing;
+        // timeout budget: a zero-load round trip plus a base interval of
+        // slack before the FSM declares the exchange lost
+        let rtt = self.net.latency_bound(TileId(ti), TileId(pj))
+            + self.net.latency_bound(TileId(pj), TileId(ti));
+        let timeout = rtt + SimTime::from_noc_cycles(dt.base_cycles);
+        let rt = &mut self.tiles[ti];
+        rt.zero_rot = 0;
+        rt.interval = dt.next_interval(rt.interval, 0);
+        rt.fire_gen += 1;
+        let gen = rt.fire_gen;
+        let at = self.now + timeout + SimTime::from_noc_cycles(rt.interval);
+        self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+        self.check_bc_response();
+    }
+
+    /// Records one failed exchange with `pj`; crossing the heartbeat
+    /// threshold triggers recovery.
+    fn note_partner_silent(&mut self, ti: usize, pj: usize) {
+        if let Some(idx) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
+            self.tiles[ti].suspect[idx] += 1;
+            if self.tiles[ti].suspect[idx] >= HEARTBEAT_TIMEOUTS {
+                self.give_up_on_partner(ti, pj, idx);
+            }
+        }
+    }
+
+    /// A ring partner has been silent for [`HEARTBEAT_TIMEOUTS`]
+    /// consecutive exchanges. If it fail-stopped, its coins are reclaimed
+    /// through the same drain rule an idle tile uses (`pairwise_exchange`
+    /// against `max == 0` relinquishes everything) and it leaves the
+    /// rotation. A stuck partner also leaves the rotation but keeps its
+    /// coins: they are quarantined — counted, never reallocated — so the
+    /// enforced budget cannot overshoot. A live partner that merely lost
+    /// packets gets its suspicion reset and stays.
+    fn give_up_on_partner(&mut self, ti: usize, pj: usize, idx: usize) {
+        match self.tiles[pj].faulted {
+            Some(TileFaultKind::FailStop) => {
+                let a = TileState::new(self.tiles[ti].has, self.tiles[ti].max);
+                let b = TileState::new(self.tiles[pj].has, 0);
+                let out = pairwise_exchange(a, b);
+                if out.moved == 0 && self.tiles[pj].has > 0 {
+                    // this tile is idle (max 0) and cannot absorb the
+                    // coins; keep polling so an active phase can drain
+                    return;
+                }
+                if out.moved != 0 {
+                    self.audit.record_reclaim(out.moved);
+                    self.tiles[ti].has = out.new_i;
+                    self.tiles[pj].has = out.new_j;
+                    self.record_coins(ti);
+                    self.record_coins(pj);
+                    self.apply_coins(ti);
+                }
+            }
+            Some(TileFaultKind::Stuck) => {}
+            None => {
+                self.tiles[ti].suspect[idx] = 0;
+                return;
+            }
+        }
+        self.tiles[ti].partners.remove(idx);
+        self.tiles[ti].suspect.remove(idx);
+        let n = self.tiles[ti].partners.len();
+        if n > 0 {
+            self.tiles[ti].rr %= n;
+        }
+    }
+
     /// One 4-way group exchange: the tile solicits all partners, applies
     /// the 5-tile fair redistribution, and pushes updates — 12 messages
     /// serialized through its injection port (Algorithm 1).
@@ -760,11 +1024,22 @@ impl<'a> Runner<'a> {
             return;
         }
         let me = TileId(ti);
-        // request + status + update per partner over the NoC
+        // Request + status + update per partner over the NoC. A faulted
+        // partner is skipped (and suspected); any dropped message aborts
+        // the whole group exchange — the redistribution is atomic or it
+        // does not happen, so conservation survives arbitrary drops.
+        let mut live = Vec::with_capacity(partners.len());
         let mut last_arrival = self.now;
         for &pj in &partners {
+            if self.tiles[pj].faulted.is_some() {
+                self.note_partner_silent(ti, pj);
+                continue;
+            }
             let req = Packet::coin(me, TileId(pj), PacketKind::CoinRequest);
-            let t_req = self.net.send(self.now, &req);
+            let Some(t_req) = self.net.send(self.now, &req).time() else {
+                self.on_exchange_timeout(ti, pj);
+                return;
+            };
             let status = Packet::coin(
                 TileId(pj),
                 me,
@@ -773,16 +1048,39 @@ impl<'a> Runner<'a> {
                     max: self.tiles[pj].max as u32,
                 },
             );
-            let t_status = self.net.send(t_req, &status);
+            let Some(t_status) = self.net.send(t_req, &status).time() else {
+                self.on_exchange_timeout(ti, pj);
+                return;
+            };
             let update = Packet::coin(me, TileId(pj), PacketKind::CoinUpdate { delta: 0 });
-            let t_update = self.net.send(t_status, &update);
+            let Some(t_update) = self.net.send(t_status, &update).time() else {
+                self.on_exchange_timeout(ti, pj);
+                return;
+            };
             last_arrival = last_arrival.max(t_update);
+            live.push(pj);
+        }
+        if live.is_empty() {
+            // every partner is gone; keep polling at a backed-off rate in
+            // case a stranded neighbor still needs its coins drained
+            let rt = &mut self.tiles[ti];
+            rt.interval = dt.next_interval(rt.interval, 0);
+            rt.fire_gen += 1;
+            let gen = rt.fire_gen;
+            let at = self.now + SimTime::from_noc_cycles(rt.interval);
+            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
+            return;
+        }
+        for &pj in &live {
+            if let Some(k) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
+                self.tiles[ti].suspect[k] = 0;
+            }
         }
         let latency = (last_arrival - self.now) + SimTime::from_noc_cycles(2);
 
-        let mut idx = Vec::with_capacity(partners.len() + 1);
+        let mut idx = Vec::with_capacity(live.len() + 1);
         idx.push(ti);
-        idx.extend(partners.iter().copied());
+        idx.extend(live.iter().copied());
         let group: Vec<TileState> = idx
             .iter()
             .map(|&k| TileState::new(self.tiles[k].has, self.tiles[k].max))
@@ -805,7 +1103,7 @@ impl<'a> Runner<'a> {
             dt.next_interval(rt.interval, moved_total)
         } else {
             rt.zero_rot += 1;
-            if rt.zero_rot % 4 == 0 {
+            if rt.zero_rot.is_multiple_of(4) {
                 dt.next_interval(rt.interval, 0)
             } else {
                 rt.interval
@@ -816,7 +1114,7 @@ impl<'a> Runner<'a> {
         let at = self.now + latency + SimTime::from_noc_cycles(rt.interval);
         self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
         if significant {
-            for &pj in &partners {
+            for &pj in &live {
                 let rp = &mut self.tiles[pj];
                 rp.zero_rot = 0;
                 rp.interval = dt.next_interval(rp.interval, moved_total);
@@ -834,8 +1132,11 @@ impl<'a> Runner<'a> {
         let n = self.managed.len();
         for _ in 0..n {
             let cand = self.managed[(pos + self.tiles[ti].pair_offset) % n];
-            self.tiles[ti].pair_offset =
-                if self.tiles[ti].pair_offset + 1 >= n { 1 } else { self.tiles[ti].pair_offset + 1 };
+            self.tiles[ti].pair_offset = if self.tiles[ti].pair_offset + 1 >= n {
+                1
+            } else {
+                self.tiles[ti].pair_offset + 1
+            };
             if cand != ti
                 && self.cluster_of[cand] == self.cluster_of[ti]
                 && !self.tiles[ti].partners.contains(&cand)
@@ -847,19 +1148,37 @@ impl<'a> Runner<'a> {
     }
 
     /// Whether the coin distribution matches the current activity's
-    /// proportional targets within tolerance; drains pending responses.
+    /// proportional targets within tolerance; drains pending responses
+    /// and tracks post-fault recovery.
     fn check_bc_response(&mut self) {
+        self.note_recovery();
         if self.pending_changes.is_empty() {
             return;
         }
-        // convergence is per PM cluster: each domain equalizes its own
-        // has/max ratio against its own pool slice
-        let ok = (0..self.n_clusters).all(|ci| {
+        if self.bc_converged() {
+            let now = self.now;
+            for t0 in self.pending_changes.drain(..) {
+                self.responses.push(ResponseSample {
+                    at_us: t0.as_us_f64(),
+                    response_us: (now - t0).as_us_f64(),
+                });
+            }
+        }
+    }
+
+    /// Whether every *live* tile's coin count matches its cluster's
+    /// proportional target within tolerance. Convergence is per PM
+    /// cluster: each domain equalizes its own has/max ratio against its
+    /// own pool slice. Faulted tiles are excluded — a stuck tile's
+    /// quarantined coins shrink the live slice and the survivors
+    /// equalize over what remains.
+    fn bc_converged(&self) -> bool {
+        (0..self.n_clusters).all(|ci| {
             let members: Vec<usize> = self
                 .managed
                 .iter()
                 .copied()
-                .filter(|&t| self.cluster_of[t] == ci)
+                .filter(|&t| self.cluster_of[t] == ci && self.tiles[t].faulted.is_none())
                 .collect();
             let total_max: u64 = members.iter().map(|&t| self.tiles[t].max).sum();
             if total_max == 0 {
@@ -871,21 +1190,73 @@ impl<'a> Runner<'a> {
                 let target = alpha * self.tiles[t].max as f64;
                 (self.tiles[t].has as f64 - target).abs() <= self.cfg().response_tolerance
             })
+        })
+    }
+
+    /// Marks the recovery point: the first instant after a fault at
+    /// which the survivors are converged again and every fail-stopped
+    /// tile has been fully drained by its neighbors.
+    fn note_recovery(&mut self) {
+        if self.fault_at.is_none() || self.recovered_at.is_some() {
+            return;
+        }
+        let drained = self.managed.iter().all(|&t| {
+            self.tiles[t].faulted != Some(TileFaultKind::FailStop) || self.tiles[t].has == 0
         });
-        if ok {
-            let now = self.now;
-            for t0 in self.pending_changes.drain(..) {
-                self.responses.push(ResponseSample {
-                    at_us: t0.as_us_f64(),
-                    response_us: (now - t0).as_us_f64(),
-                });
+        if drained && self.bc_converged() {
+            self.recovered_at = Some(self.now);
+        }
+    }
+
+    /// An injected tile fault fires and the tile leaves the protocol. A
+    /// fail-stop powers off: clock gone, running task lost, coins
+    /// stranded until a neighbor reclaims them (`max = 0` marks the tile
+    /// inactive, so the ordinary drain rule applies). A stuck tile
+    /// wedges mid-flight: it keeps burning power at its current
+    /// operating point and keeps its coins, but stops answering.
+    fn on_tile_fault(&mut self, ti: usize) {
+        if self.tiles[ti].faulted.is_some() {
+            return;
+        }
+        let kind = self
+            .plan()
+            .tile_fault(ti)
+            .expect("fault event implies a planned fault")
+            .kind;
+        self.update_progress(ti);
+        if self.fault_at.is_none() {
+            self.fault_at = Some(self.now);
+        }
+        {
+            let rt = &mut self.tiles[ti];
+            rt.faulted = Some(kind);
+            rt.done_gen += 1; // the running task will never complete
+            rt.fire_gen += 1; // the exchange FSM stops firing
+            rt.actuate_gen += 1; // in-flight DVFS writes are void
+            rt.queue.clear();
+            if kind == TileFaultKind::FailStop {
+                rt.running = None;
+                rt.freq = 0.0;
+                rt.target = 0.0;
+                rt.max = 0;
             }
         }
+        if kind == TileFaultKind::FailStop {
+            if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+                self.freq_traces[slot].record(self.now, 0.0);
+            }
+        }
+        self.record_power(ti);
+        self.abandon_unreachable_tasks();
     }
 
     // -- centralized managers ---------------------------------------------
 
     fn start_sweep(&mut self) {
+        if self.controller_down() {
+            return; // the single point of failure has failed
+        }
+        self.last_sweep_start = self.now;
         self.sweep_gen += 1;
         // Plan once per sweep (a per-step recompute could change mid-sweep)
         // and write downgrades before upgrades so the cap is never
@@ -974,39 +1345,65 @@ impl<'a> Runner<'a> {
     }
 
     fn on_sweep_write(&mut self, sweep: u64, step: usize) {
-        if sweep != self.sweep_gen {
-            return; // superseded by a newer sweep
+        if sweep != self.sweep_gen || self.controller_down() {
+            return; // superseded by a newer sweep, or the controller died
         }
         let (ti, freq_centi_mhz, coins) = self.sweep_plan[step];
         let pkt = Packet::new(
             self.sim.soc.controller_tile(),
             TileId(ti),
             blitzcoin_noc::Plane::MmioIrq,
-            PacketKind::RegWrite { value: freq_centi_mhz },
-        );
-        let arrive = self.net.send(self.now, &pkt);
-        let last = step + 1 == self.sweep_plan.len();
-        self.queue.schedule(
-            arrive,
-            Ev::WriteArrive {
-                tile: ti,
-                freq_centi_mhz,
-                coins,
-                sweep,
-                last,
+            PacketKind::RegWrite {
+                value: freq_centi_mhz,
             },
         );
+        let last = step + 1 == self.sweep_plan.len();
+        // a dropped register write silently loses this tile's command;
+        // the rest of the sweep proceeds (MMIO writes are posted)
+        if let Some(arrive) = self.net.send(self.now, &pkt).time() {
+            self.queue.schedule(
+                arrive,
+                Ev::WriteArrive {
+                    tile: ti,
+                    freq_centi_mhz,
+                    coins,
+                    sweep,
+                    last,
+                },
+            );
+        }
         if !last {
             let service = match self.cfg().manager {
                 ManagerKind::BcCentralized => self.cfg().timing.bcc_service_cycles,
                 _ => self.cfg().timing.crr_service_cycles,
             };
             let at = self.now + SimTime::from_noc_cycles(service);
-            self.queue.schedule(at, Ev::SweepWrite { sweep, step: step + 1 });
+            self.queue.schedule(
+                at,
+                Ev::SweepWrite {
+                    sweep,
+                    step: step + 1,
+                },
+            );
         }
     }
 
-    fn on_write_arrive(&mut self, ti: usize, freq_centi_mhz: u64, coins: i64, sweep: u64, last: bool) {
+    fn on_write_arrive(
+        &mut self,
+        ti: usize,
+        freq_centi_mhz: u64,
+        coins: i64,
+        sweep: u64,
+        last: bool,
+    ) {
+        if self.tiles[ti].faulted.is_some() {
+            // a dead register file: the write lands on nothing, but the
+            // sweep still completes for the surviving tiles
+            if last && sweep == self.sweep_gen {
+                self.drain_sweep_responses();
+            }
+            return;
+        }
         if self.cfg().manager == ManagerKind::BcCentralized {
             self.tiles[ti].has = coins;
             self.record_coins(ti);
@@ -1019,25 +1416,39 @@ impl<'a> Runner<'a> {
             self.set_target(ti, 0.0);
         }
         if last && sweep == self.sweep_gen {
-            let done = self.now + SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
-            let drained: Vec<SimTime> = self.pending_changes.drain(..).collect();
-            for t0 in drained {
-                self.responses.push(ResponseSample {
-                    at_us: t0.as_us_f64(),
-                    response_us: (done - t0).as_us_f64(),
-                });
-            }
+            self.drain_sweep_responses();
+        }
+    }
+
+    /// A sweep's last write arrived: every pending activity change is
+    /// answered once the actuation delay elapses.
+    fn drain_sweep_responses(&mut self) {
+        let done = self.now + SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
+        let drained: Vec<SimTime> = self.pending_changes.drain(..).collect();
+        for t0 in drained {
+            self.responses.push(ResponseSample {
+                at_us: t0.as_us_f64(),
+                response_us: (done - t0).as_us_f64(),
+            });
         }
     }
 
     /// Sends one DMA burst from `ti` to its nearest memory tile and
     /// schedules the next.
     fn on_dma_burst(&mut self, ti: usize) {
+        if self.tiles[ti].faulted.is_some() {
+            return; // a faulted engine issues no more bursts
+        }
         let topo = self.sim.soc.topology;
         let me = TileId(ti);
         let mem = topo
             .tiles()
-            .filter(|t| matches!(self.sim.soc.tiles[t.index()], crate::floorplan::TileKind::Memory))
+            .filter(|t| {
+                matches!(
+                    self.sim.soc.tiles[t.index()],
+                    crate::floorplan::TileKind::Memory
+                )
+            })
             .min_by_key(|&t| topo.hop_distance(me, t));
         if let Some(mem) = mem {
             let burst = Packet::new(
@@ -1048,7 +1459,8 @@ impl<'a> Runner<'a> {
                     flits: self.cfg().dma_burst_flits,
                 },
             );
-            self.net.send(self.now, &burst);
+            // fire-and-forget: a dropped burst is simply lost traffic
+            let _ = self.net.send(self.now, &burst);
         }
         let at = self.now + SimTime::from_noc_cycles(self.cfg().dma_period_cycles.max(1));
         self.queue.schedule(at, Ev::DmaBurst { tile: ti });
@@ -1074,8 +1486,10 @@ impl<'a> Runner<'a> {
                     rt.fire_gen += 1;
                     let gen = rt.fire_gen;
                     rt.next_pairing = SimTime::from_noc_cycles(phase + pairing_iv);
-                    self.queue
-                        .schedule(SimTime::from_noc_cycles(phase), Ev::CoinFire { tile: ti, gen });
+                    self.queue.schedule(
+                        SimTime::from_noc_cycles(phase),
+                        Ev::CoinFire { tile: ti, gen },
+                    );
                 }
             }
             ManagerKind::CentralizedRoundRobin => {
@@ -1121,6 +1535,19 @@ impl<'a> Runner<'a> {
             }
         }
 
+        // planned tile faults fire as ordinary events (earliest per tile)
+        let mut planned: Vec<(u64, usize)> = Vec::new();
+        for f in &self.sim.fault.tile_faults {
+            if !planned.iter().any(|&(_, t)| t == f.tile) {
+                let first = self.plan().tile_fault(f.tile).expect("listed");
+                planned.push((first.at_cycle, f.tile));
+            }
+        }
+        for (at_cycle, tile) in planned {
+            self.queue
+                .schedule(SimTime::from_noc_cycles(at_cycle), Ev::TileFault { tile });
+        }
+
         let total_tasks = self.sim.wl.len();
         while let Some(ev) = self.queue.pop() {
             self.now = ev.time;
@@ -1142,14 +1569,26 @@ impl<'a> Runner<'a> {
                 } => self.on_write_arrive(tile, freq_centi_mhz, coins, sweep, last),
                 Ev::Rotate => {
                     self.rotation_step += 1;
-                    if self.pending_changes.is_empty() {
+                    let rotation = SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
+                    // A pending change normally means a notify-sweep is in
+                    // flight or about to be. One that is a whole rotation
+                    // old *and* has seen no sweep start since it arrived
+                    // had its IRQ dropped, so the periodic rotation doubles
+                    // as the retry path. (Age alone is not enough: on large
+                    // SoCs a sweep outlasts the rotation, and restarting it
+                    // here would cancel the in-flight writes forever.)
+                    let stale = self.pending_changes.first().is_some_and(|&t0| {
+                        self.now - t0 >= rotation && self.last_sweep_start <= t0
+                    });
+                    if self.pending_changes.is_empty() || stale {
                         self.start_sweep();
                     }
-                    let at = self.now
-                        + SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
-                    self.queue.schedule(at, Ev::Rotate);
+                    if !self.controller_down() {
+                        self.queue.schedule(self.now + rotation, Ev::Rotate);
+                    }
                 }
                 Ev::DmaBurst { tile } => self.on_dma_burst(tile),
+                Ev::TileFault { tile } => self.on_tile_fault(tile),
                 Ev::Actuate { tile, gen } => {
                     if gen == self.tiles[tile].actuate_gen {
                         self.update_progress(tile);
@@ -1163,16 +1602,50 @@ impl<'a> Runner<'a> {
                     }
                 }
             }
-            if self.completed == total_tasks && self.pending_changes.is_empty() {
+            let settled = self.completed + self.abandoned == total_tasks;
+            if settled && self.pending_changes.is_empty() {
                 break;
             }
-            // a static run never drains pending responses; stop at completion
-            if self.completed == total_tasks && self.cfg().manager == ManagerKind::Static {
+            // a static run never drains pending responses, and a dead
+            // controller never will again; stop at completion either way
+            if settled && (self.cfg().manager == ManagerKind::Static || self.controller_down()) {
                 break;
             }
         }
 
         let finished = self.completed == total_tasks;
+        // Coin-economy audit: live plus faulted holdings must equal the
+        // initial pool. Only BlitzCoin owns a distributed economy the
+        // audit can bind to — BC-C rewrites every tile's coins per sweep
+        // and the others keep none.
+        let held_live: i64 = self
+            .managed
+            .iter()
+            .filter(|&&t| self.tiles[t].faulted.is_none())
+            .map(|&t| self.tiles[t].has)
+            .sum();
+        let held_faulted: i64 = self
+            .managed
+            .iter()
+            .filter(|&&t| self.tiles[t].faulted.is_some())
+            .map(|&t| self.tiles[t].has)
+            .sum();
+        let coins_quarantined: i64 = self
+            .managed
+            .iter()
+            .filter(|&&t| self.tiles[t].faulted == Some(TileFaultKind::Stuck))
+            .map(|&t| self.tiles[t].has)
+            .sum();
+        let audit = self.audit.check(held_live, held_faulted, 0);
+        let coins_leaked = if self.cfg().manager == ManagerKind::BlitzCoin {
+            audit.leaked
+        } else {
+            0
+        };
+        let recovery_us = match (self.fault_at, self.recovered_at) {
+            (Some(f), Some(r)) => Some((r - f).as_us_f64()),
+            _ => None,
+        };
         let refs: Vec<&StepTrace> = self.power_traces.iter().collect();
         let power = StepTrace::sum("power_total_mw", &refs);
         SimReport {
@@ -1188,6 +1661,11 @@ impl<'a> Runner<'a> {
             budget_mw: self.sim.cfg.budget_mw,
             noc: self.net.stats().clone(),
             events: self.events,
+            coins_leaked,
+            coins_reclaimed: audit.reclaimed,
+            coins_quarantined,
+            tasks_abandoned: self.abandoned,
+            recovery_us,
         }
     }
 }
@@ -1198,10 +1676,137 @@ mod tests {
     use crate::floorplan::{soc_3x3, soc_4x4};
     use crate::workload::{av_dependent, av_parallel};
 
+    #[test]
+    fn blitzcoin_survives_tile_death() {
+        // fail-stop the NVDLA (tile 4): its tasks are lost, but the
+        // survivors reclaim its coins, re-converge, and finish theirs
+        let r = fault_run(
+            ManagerKind::BlitzCoin,
+            kill_plan(4, TileFaultKind::FailStop),
+            7,
+        );
+        assert!(!r.finished, "the dead tile's tasks cannot complete");
+        assert_eq!(r.tasks_abandoned, 2, "both NVDLA frames abandoned");
+        assert_eq!(r.coins_leaked, 0, "conservation must survive the fault");
+        assert!(r.coins_reclaimed > 0, "neighbors should drain the corpse");
+        assert!(
+            r.recovery_us.is_some(),
+            "survivors should re-converge after the death"
+        );
+    }
+
+    #[test]
+    fn stuck_tile_coins_are_quarantined_not_leaked() {
+        let r = fault_run(
+            ManagerKind::BlitzCoin,
+            kill_plan(4, TileFaultKind::Stuck),
+            7,
+        );
+        assert_eq!(r.coins_leaked, 0);
+        assert_eq!(r.coins_reclaimed, 0, "stuck coins are never taken");
+        assert!(
+            r.coins_quarantined > 0,
+            "a wedged NVDLA holds its allocation"
+        );
+        assert_eq!(r.tasks_abandoned, 2);
+    }
+
+    #[test]
+    fn controller_death_collapses_centralized_managers() {
+        // same fault magnitude — one tile — but aimed at the controller:
+        // BlitzCoin degrades gracefully, the centralized schemes stop
+        // reallocating entirely
+        for m in [
+            ManagerKind::BcCentralized,
+            ManagerKind::CentralizedRoundRobin,
+        ] {
+            let healthy = run(m, 120.0, 2);
+            let hurt = fault_run(m, kill_plan(3, TileFaultKind::FailStop), 7);
+            assert!(
+                hurt.responses.len() < healthy.responses.len(),
+                "{m}: a dead controller must stop answering ({} vs {})",
+                hurt.responses.len(),
+                healthy.responses.len()
+            );
+        }
+        let bc = fault_run(
+            ManagerKind::BlitzCoin,
+            kill_plan(3, TileFaultKind::FailStop),
+            7,
+        );
+        assert!(
+            bc.finished,
+            "the CPU tile is not part of BlitzCoin's economy"
+        );
+    }
+
+    #[test]
+    fn packet_loss_never_deadlocks_or_leaks() {
+        // 20% loss on every plane: exchanges abort transactionally and
+        // retry with back-off, so the run still finishes and conserves
+        let mut plan = FaultPlan::none();
+        plan.seed = 99;
+        plan.drop_prob = vec![0.2];
+        let r = fault_run(ManagerKind::BlitzCoin, plan, 7);
+        assert!(r.finished, "drops must delay, not deadlock");
+        assert_eq!(r.coins_leaked, 0);
+        assert!(r.noc.total_dropped() > 0, "the plan should actually bite");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mut plan = kill_plan(4, TileFaultKind::FailStop);
+        plan.drop_prob = vec![0.1];
+        plan.seed = 5;
+        let a = fault_run(ManagerKind::BlitzCoin, plan.clone(), 9);
+        let b = fault_run(ManagerKind::BlitzCoin, plan, 9);
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.coins_reclaimed, b.coins_reclaimed);
+        assert_eq!(a.recovery_us, b.recovery_us);
+    }
+
+    #[test]
+    fn dead_partner_exchange_times_out_and_backs_off() {
+        // an immediate fail-stop: every neighbor of tile 4 sees silence
+        // from the first exchange on, and the heartbeat machinery must
+        // both terminate and keep the survivors exchanging
+        let mut plan = FaultPlan::none();
+        plan.tile_faults.push(blitzcoin_sim::TileFault {
+            tile: 4,
+            at_cycle: 0,
+            kind: TileFaultKind::FailStop,
+        });
+        let r = fault_run(ManagerKind::BlitzCoin, plan, 3);
+        assert_eq!(r.coins_leaked, 0);
+        assert!(r.coins_reclaimed > 0, "boot-time corpse must be drained");
+        assert_eq!(r.tasks_abandoned, 2);
+    }
+
     fn run(manager: ManagerKind, budget: f64, frames: usize) -> SimReport {
         let soc = soc_3x3();
         let wl = av_parallel(&soc, frames);
         Simulation::new(soc, wl, SimConfig::new(manager, budget)).run(7)
+    }
+
+    fn fault_run(manager: ManagerKind, plan: FaultPlan, seed: u64) -> SimReport {
+        let soc = soc_3x3();
+        let wl = av_parallel(&soc, 2);
+        Simulation::new(soc, wl, SimConfig::new(manager, 120.0))
+            .with_fault_plan(plan)
+            .run(seed)
+    }
+
+    /// Kill one tile at 30 us (mid-run for the 2-frame AV workload).
+    fn kill_plan(tile: usize, kind: TileFaultKind) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.tile_faults.push(blitzcoin_sim::TileFault {
+            tile,
+            at_cycle: 24_000,
+            kind,
+        });
+        plan
     }
 
     #[test]
@@ -1251,7 +1856,11 @@ mod tests {
                 r.peak_power_mw(),
                 r.budget_mw
             );
-            assert!(r.utilization() > 0.3, "{m}: utilization {}", r.utilization());
+            assert!(
+                r.utilization() > 0.3,
+                "{m}: utilization {}",
+                r.utilization()
+            );
         }
     }
 
@@ -1281,7 +1890,11 @@ mod tests {
         let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 60.0)).run(3);
         assert!(r.finished);
         // WL-Dep at 60 mW is feasible because only a subset runs at a time
-        assert!(r.utilization() > 0.2 && r.utilization() <= 1.1, "{}", r.utilization());
+        assert!(
+            r.utilization() > 0.2 && r.utilization() <= 1.1,
+            "{}",
+            r.utilization()
+        );
     }
 
     #[test]
@@ -1292,7 +1905,10 @@ mod tests {
         let pool = sim.pool() as f64;
         let r = sim.run(11);
         let total_end: f64 = r.coin_traces.iter().map(|t| t.last_value()).sum();
-        assert!((total_end - pool).abs() < 1e-9, "pool {pool} ended as {total_end}");
+        assert!(
+            (total_end - pool).abs() < 1e-9,
+            "pool {pool} ended as {total_end}"
+        );
     }
 
     #[test]
@@ -1306,7 +1922,12 @@ mod tests {
         let no_pm = soc
             .accelerator_tiles()
             .into_iter()
-            .find(|t| matches!(soc.tiles[t.index()], crate::floorplan::TileKind::UnmanagedAccelerator(_)))
+            .find(|t| {
+                matches!(
+                    soc.tiles[t.index()],
+                    crate::floorplan::TileKind::UnmanagedAccelerator(_)
+                )
+            })
             .expect("6x6 has a No-PM tile");
         let mut b = WorkloadBuilder::new();
         b.task(no_pm, 128.0, vec![]);
@@ -1350,7 +1971,10 @@ mod tests {
             };
             let start = at(SimTime::ZERO);
             let end = at(r.exec_time);
-            assert!((start - end).abs() < 1e-9, "cluster total drifted: {start} -> {end}");
+            assert!(
+                (start - end).abs() < 1e-9,
+                "cluster total drifted: {start} -> {end}"
+            );
         }
     }
 
@@ -1407,17 +2031,17 @@ mod tests {
         assert!(r.finished);
         let mut upgraded = 0;
         for (slot, trace) in r.freq_traces.iter().enumerate() {
-            let max_seen = trace
-                .points()
-                .iter()
-                .fold(0.0f64, |m, p| m.max(p.value));
+            let max_seen = trace.points().iter().fold(0.0f64, |m, p| m.max(p.value));
             // every FFT/Viterbi tile gets at least one Max grant; count them
             let _ = slot;
             if max_seen >= 590.0 {
                 upgraded += 1;
             }
         }
-        assert!(upgraded >= 3, "rotation should upgrade several tiles, got {upgraded}");
+        assert!(
+            upgraded >= 3,
+            "rotation should upgrade several tiles, got {upgraded}"
+        );
     }
 
     #[test]
@@ -1441,7 +2065,10 @@ mod tests {
         // unit redistributes but conserves)
         let mid = SimTime::from_us_f64(r.exec_time_us() / 2.0);
         let total: f64 = r.coin_traces.iter().map(|t| t.value_at(mid)).sum();
-        assert!((total - pool as f64).abs() <= 1.0, "total {total} vs pool {pool}");
+        assert!(
+            (total - pool as f64).abs() <= 1.0,
+            "total {total} vs pool {pool}"
+        );
     }
 
     #[test]

@@ -16,10 +16,10 @@
 
 use blitzcoin_noc::{TileId, Topology};
 use blitzcoin_power::{AcceleratorClass, PowerModel};
-use serde::{Deserialize, Serialize};
+use blitzcoin_sim::ConfigError;
 
 /// What occupies one tile of the grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TileKind {
     /// RISC-V CVA6 application core (runs the workload driver).
     Cpu,
@@ -54,7 +54,7 @@ impl TileKind {
 }
 
 /// A full SoC configuration: grid topology plus per-tile contents.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
     /// Human-readable name ("3x3-AV", "4x4-CV", "6x6-proto").
     pub name: String,
@@ -71,20 +71,43 @@ impl SocConfig {
     /// Panics if the tile list does not match the grid size or if the SoC
     /// has no CPU or no managed accelerator.
     pub fn new(name: impl Into<String>, topology: Topology, tiles: Vec<TileKind>) -> Self {
-        assert_eq!(tiles.len(), topology.len(), "one tile kind per grid slot");
-        assert!(
-            tiles.iter().any(|t| matches!(t, TileKind::Cpu)),
-            "an SoC needs a CPU tile to drive workloads"
-        );
-        assert!(
-            tiles.iter().any(|t| t.is_managed()),
-            "an SoC needs at least one managed accelerator"
-        );
-        SocConfig {
+        Self::try_new(name, topology, tiles).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SocConfig::new`]: returns the structural problem as a
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(
+        name: impl Into<String>,
+        topology: Topology,
+        tiles: Vec<TileKind>,
+    ) -> Result<Self, ConfigError> {
+        if tiles.len() != topology.len() {
+            return Err(ConfigError::Invalid {
+                what: "floorplan",
+                detail: format!(
+                    "{} tile kinds for a {}-slot grid (one per slot required)",
+                    tiles.len(),
+                    topology.len()
+                ),
+            });
+        }
+        if !tiles.iter().any(|t| matches!(t, TileKind::Cpu)) {
+            return Err(ConfigError::Invalid {
+                what: "floorplan",
+                detail: "an SoC needs a CPU tile to drive workloads".to_string(),
+            });
+        }
+        if !tiles.iter().any(|t| t.is_managed()) {
+            return Err(ConfigError::Invalid {
+                what: "floorplan",
+                detail: "an SoC needs at least one managed accelerator".to_string(),
+            });
+        }
+        Ok(SocConfig {
             name: name.into(),
             topology,
             tiles,
-        }
+        })
     }
 
     /// Ids of all managed accelerator tiles, in tile order.
@@ -127,7 +150,11 @@ impl SocConfig {
     pub fn total_p_max(&self) -> f64 {
         self.managed_tiles()
             .iter()
-            .map(|&t| self.power_model(t).expect("managed tiles have models").p_max())
+            .map(|&t| {
+                self.power_model(t)
+                    .expect("managed tiles have models")
+                    .p_max()
+            })
             .sum()
     }
 

@@ -15,10 +15,8 @@
 //! then *validated* against the independent Fig 17/18 ratios rather than
 //! re-tuned.
 
-use serde::{Deserialize, Serialize};
-
 /// Which power manager governs the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ManagerKind {
     /// Decentralized BlitzCoin coin exchange (the paper's design).
     BlitzCoin,
@@ -57,7 +55,7 @@ impl std::fmt::Display for ManagerKind {
 }
 
 /// Manager timing constants (NoC cycles at 800 MHz).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ManagerTiming {
     /// C-RR: firmware service time per tile during a sweep (poll the
     /// tile, run the policy step, write the DVFS register). 1750 cycles x

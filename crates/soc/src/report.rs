@@ -8,11 +8,10 @@
 
 use blitzcoin_noc::TrafficStats;
 use blitzcoin_sim::{SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// One measured power-management response: an activity change at `at_us`
 /// took `response_us` until the new allocation was in force.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponseSample {
     /// When the activity change occurred (µs).
     pub at_us: f64,
@@ -21,7 +20,7 @@ pub struct ResponseSample {
 }
 
 /// A tile's activity transition (task stream starting or ending).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActivityChange {
     /// The tile whose activity changed.
     pub tile: usize,
@@ -32,7 +31,7 @@ pub struct ActivityChange {
 }
 
 /// The result of one full-SoC simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Whether every task of the workload completed within the horizon.
     pub finished: bool,
@@ -61,6 +60,22 @@ pub struct SimReport {
     pub noc: TrafficStats,
     /// Number of simulation events processed.
     pub events: u64,
+    /// Coins unaccounted for at the end of a BlitzCoin run (live + faulted
+    /// holdings vs. the initial pool). Nonzero means the protocol leaked or
+    /// minted budget under faults; always 0 for fault-free runs and for
+    /// managers without a distributed coin economy.
+    pub coins_leaked: i64,
+    /// Coins recovered from fail-stopped tiles by their neighbors.
+    pub coins_reclaimed: i64,
+    /// Coins quarantined on stuck tiles (held, counted, never reallocated).
+    pub coins_quarantined: i64,
+    /// Tasks that could not complete because their tile (or a dependency's
+    /// tile) faulted.
+    pub tasks_abandoned: usize,
+    /// Time from the first injected tile fault until the surviving tiles
+    /// re-converged with every fail-stopped tile drained (µs). `None` when
+    /// no fault was injected or the manager never recovered.
+    pub recovery_us: Option<f64>,
 }
 
 impl SimReport {
@@ -143,7 +158,9 @@ impl SimReport {
     /// Energy consumed by the managed accelerators over the execution
     /// window, in µJ (mW · s · 1e3).
     pub fn energy_uj(&self) -> f64 {
-        self.power.integral(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1))) * 1e3
+        self.power
+            .integral(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1)))
+            * 1e3
     }
 
     /// Energy-delay product in µJ·ms — the figure of merit that penalizes
@@ -163,7 +180,8 @@ impl SimReport {
 
     /// Peak managed power over the execution window (mW).
     pub fn peak_power_mw(&self) -> f64 {
-        self.power.max_in(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1)))
+        self.power
+            .max_in(SimTime::ZERO, self.exec_time.max(SimTime::from_ns(1)))
     }
 
     /// How far the peak exceeded the budget, in mW (0 when enforced).
@@ -191,8 +209,14 @@ mod tests {
             finished: true,
             exec_time: SimTime::from_us(exec_us),
             responses: vec![
-                ResponseSample { at_us: 0.0, response_us: 1.0 },
-                ResponseSample { at_us: 50.0, response_us: 3.0 },
+                ResponseSample {
+                    at_us: 0.0,
+                    response_us: 1.0,
+                },
+                ResponseSample {
+                    at_us: 50.0,
+                    response_us: 3.0,
+                },
             ],
             activity_changes: vec![],
             power,
@@ -203,6 +227,11 @@ mod tests {
             budget_mw: budget,
             noc: TrafficStats::default(),
             events: 0,
+            coins_leaked: 0,
+            coins_reclaimed: 0,
+            coins_quarantined: 0,
+            tasks_abandoned: 0,
+            recovery_us: None,
         }
     }
 

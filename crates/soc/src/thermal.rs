@@ -20,15 +20,16 @@ use crate::report::SimReport;
 /// run had zero duration.
 pub fn analyze(soc: &SocConfig, report: &SimReport, config: ThermalConfig) -> ThermalReport {
     let n = soc.topology.len();
-    let mut powers: Vec<StepTrace> = (0..n)
-        .map(|i| StepTrace::new(format!("p_t{i}")))
-        .collect();
+    let mut powers: Vec<StepTrace> = (0..n).map(|i| StepTrace::new(format!("p_t{i}"))).collect();
     for (slot, &tile) in report.managed_tiles.iter().enumerate() {
         assert!(tile < n, "managed tile {tile} outside the floorplan");
         powers[tile] = report.tile_power[slot].clone();
     }
     let model = ThermalModel::new(soc.topology, config);
-    model.simulate(&powers, report.exec_time.max(blitzcoin_sim::SimTime::from_us(1)))
+    model.simulate(
+        &powers,
+        report.exec_time.max(blitzcoin_sim::SimTime::from_us(1)),
+    )
 }
 
 #[cfg(test)]
@@ -43,13 +44,20 @@ mod tests {
     fn bc_run_stays_within_a_sane_envelope() {
         let soc = soc_3x3();
         let wl = av_parallel(&soc, 2);
-        let r = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0))
-            .run(3);
+        let r = Simulation::new(
+            soc.clone(),
+            wl,
+            SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+        )
+        .run(3);
         let thermal = analyze(&soc, &r, ThermalConfig::default());
         // a 120 mW budget spread over 6 tiles cannot push any tile far:
         // the whole die stays well below a 105 C junction limit
         assert!(thermal.max_celsius() < 105.0, "{}", thermal.max_celsius());
-        assert!(thermal.max_celsius() > thermal.ambient_c, "some heating observed");
+        assert!(
+            thermal.max_celsius() > thermal.ambient_c,
+            "some heating observed"
+        );
         assert!(thermal.hotspots(105.0).is_empty());
     }
 
@@ -58,8 +66,12 @@ mod tests {
         let soc = soc_3x3();
         let run = |budget| {
             let wl = av_parallel(&soc, 1);
-            let r = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, budget))
-                .run(3);
+            let r = Simulation::new(
+                soc.clone(),
+                wl,
+                SimConfig::new(ManagerKind::BlitzCoin, budget),
+            )
+            .run(3);
             analyze(&soc, &r, ThermalConfig::default()).max_celsius()
         };
         assert!(run(240.0) > run(60.0));

@@ -16,18 +16,15 @@
 //!   of each frame).
 
 use blitzcoin_noc::TileId;
-use serde::{Deserialize, Serialize};
 
 use crate::floorplan::SocConfig;
 
 /// Identifier of a task within a workload.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub usize);
 
 /// One accelerator invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// The task's id (index within the workload).
     pub id: TaskId,
@@ -40,7 +37,7 @@ pub struct Task {
 }
 
 /// A workload: a validated task DAG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Workload name ("AV WL-Par" etc.).
     pub name: String,
@@ -64,7 +61,11 @@ impl Workload {
                 t.tile
             );
             for d in &t.deps {
-                assert!(d.0 < tasks.len(), "task {i} depends on unknown task {}", d.0);
+                assert!(
+                    d.0 < tasks.len(),
+                    "task {i} depends on unknown task {}",
+                    d.0
+                );
                 assert_ne!(d.0, i, "task {i} depends on itself");
             }
         }
@@ -169,12 +170,12 @@ impl WorkloadBuilder {
 pub fn frame_work(class: blitzcoin_power::AcceleratorClass) -> f64 {
     use blitzcoin_power::AcceleratorClass::*;
     match class {
-        Fft => 128.0,     // 160 us at the FFT's 800 MHz F_max
-        Viterbi => 96.0,  // 160 us at 600 MHz
-        Nvdla => 192.0,   // 240 us at 800 MHz
-        Gemm => 210.0,    // 300 us at 700 MHz
-        Conv2d => 163.0,  // ~250 us at 650 MHz
-        Vision => 100.0,  // 200 us at 500 MHz
+        Fft => 128.0,    // 160 us at the FFT's 800 MHz F_max
+        Viterbi => 96.0, // 160 us at 600 MHz
+        Nvdla => 192.0,  // 240 us at 800 MHz
+        Gemm => 210.0,   // 300 us at 700 MHz
+        Conv2d => 163.0, // ~250 us at 650 MHz
+        Vision => 100.0, // 200 us at 500 MHz
     }
 }
 
@@ -292,11 +293,24 @@ pub fn vision_dependent(soc: &SocConfig, frames: usize) -> Workload {
 /// accelerator variants of Fig 19.
 pub fn pm_cluster(soc: &SocConfig, frames: usize, n_accels: usize) -> Workload {
     use blitzcoin_power::AcceleratorClass::*;
-    assert!((1..=7).contains(&n_accels), "silicon workload uses 1-7 accelerators");
+    assert!(
+        (1..=7).contains(&n_accels),
+        "silicon workload uses 1-7 accelerators"
+    );
     let mut order: Vec<(TileId, usize)> = Vec::new();
     order.push((tiles_of(soc, Nvdla)[0], frames));
-    order.extend(tiles_of(soc, Fft).into_iter().take(2).map(|t| (t, 2 * frames)));
-    order.extend(tiles_of(soc, Viterbi).into_iter().take(4).map(|t| (t, 3 * frames)));
+    order.extend(
+        tiles_of(soc, Fft)
+            .into_iter()
+            .take(2)
+            .map(|t| (t, 2 * frames)),
+    );
+    order.extend(
+        tiles_of(soc, Viterbi)
+            .into_iter()
+            .take(4)
+            .map(|t| (t, 3 * frames)),
+    );
     order.truncate(n_accels);
     let mut b = WorkloadBuilder::new();
     for (tile, stream_len) in order {

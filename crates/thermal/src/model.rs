@@ -15,10 +15,9 @@
 
 use blitzcoin_noc::Topology;
 use blitzcoin_sim::{SimTime, StepTrace};
-use serde::{Deserialize, Serialize};
 
 /// Thermal network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Ambient (package) temperature, °C.
     pub ambient_c: f64,
@@ -37,8 +36,8 @@ impl Default for ThermalConfig {
     fn default() -> Self {
         ThermalConfig {
             ambient_c: 45.0,
-            g_vertical: 4.0,   // 0.25 C/mW self-heating at steady state
-            g_lateral: 2.0,    // neighbors absorb a meaningful share
+            g_vertical: 4.0,    // 0.25 C/mW self-heating at steady state
+            g_lateral: 2.0,     // neighbors absorb a meaningful share
             capacitance: 600.0, // tau = C/G_v = 150 us
             step_us: 5.0,
         }
@@ -99,8 +98,8 @@ impl ThermalModel {
         // Heat splits between the vertical path and the four lateral
         // paths, whose far ends also leak vertically: effective
         // conductance G_v + 4·(G_l series G_v).
-        let g_series =
-            self.config.g_lateral * self.config.g_vertical / (self.config.g_lateral + self.config.g_vertical);
+        let g_series = self.config.g_lateral * self.config.g_vertical
+            / (self.config.g_lateral + self.config.g_vertical);
         let g_eff = self.config.g_vertical + 4.0 * g_series;
         self.config.ambient_c + p_mw / g_eff
     }
@@ -169,7 +168,10 @@ impl ThermalModel {
         until: SimTime,
         leak_per_c: f64,
     ) -> ThermalReport {
-        assert!(leak_per_c >= 0.0, "leakage coefficient must be non-negative");
+        assert!(
+            leak_per_c >= 0.0,
+            "leakage coefficient must be non-negative"
+        );
         assert_eq!(powers.len(), self.topo.len(), "one power trace per tile");
         assert!(until > SimTime::ZERO, "simulation horizon must be positive");
         let n = self.topo.len();
@@ -213,7 +215,7 @@ impl ThermalModel {
 }
 
 /// Temperatures over time plus summary statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThermalReport {
     /// Per-tile temperature traces (°C).
     pub traces: Vec<StepTrace>,
@@ -296,7 +298,10 @@ mod tests {
         let near = report.peak_celsius(11); // 1 hop
         let far = report.peak_celsius(10); // 2 hops
         let corner = report.peak_celsius(0); // 4 hops
-        assert!(center > near && near > far && far > corner, "{center} {near} {far} {corner}");
+        assert!(
+            center > near && near > far && far > corner,
+            "{center} {near} {far} {corner}"
+        );
         assert!(near > model.config().ambient_c + 1.0);
     }
 
@@ -307,8 +312,10 @@ mod tests {
         let torus = Topology::torus(4, 4);
         let mesh = Topology::mesh(4, 4);
         let cfg = ThermalConfig::default();
-        let a = ThermalModel::new(torus, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
-        let b = ThermalModel::new(mesh, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
+        let a =
+            ThermalModel::new(torus, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
+        let b =
+            ThermalModel::new(mesh, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
         assert!((a.peak_celsius(0) - b.peak_celsius(0)).abs() < 1e-9);
         // the physically-opposite corner stays cold in both
         assert!((a.peak_celsius(15) - b.peak_celsius(15)).abs() < 1e-9);

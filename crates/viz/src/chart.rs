@@ -36,7 +36,11 @@ pub struct LineChart {
 
 impl LineChart {
     /// Creates an empty chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         LineChart {
             title: title.into(),
             x_label: x_label.into(),
@@ -75,10 +79,16 @@ impl LineChart {
             .iter()
             .flat_map(|(_, p)| p.iter().copied())
             .filter(|&(x, y)| {
-                x.is_finite() && y.is_finite() && (!self.log_x || x > 0.0) && (!self.log_y || y > 0.0)
+                x.is_finite()
+                    && y.is_finite()
+                    && (!self.log_x || x > 0.0)
+                    && (!self.log_y || y > 0.0)
             })
             .collect();
-        assert!(!pts.is_empty(), "line chart needs at least one finite point");
+        assert!(
+            !pts.is_empty(),
+            "line chart needs at least one finite point"
+        );
         let (x_lo, x_hi) = pad_range(min_of(&pts, 0), max_of(&pts, 0), self.log_x);
         let (y_lo, y_hi) = pad_range(min_of(&pts, 1), max_of(&pts, 1), self.log_y);
         let xs = if self.log_x {
@@ -93,7 +103,14 @@ impl LineChart {
         };
 
         let mut svg = Svg::new(W, H);
-        frame(&mut svg, &xs, &ys, &self.title, &self.x_label, &self.y_label);
+        frame(
+            &mut svg,
+            &xs,
+            &ys,
+            &self.title,
+            &self.x_label,
+            &self.y_label,
+        );
         for (i, (name, points)) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             let px: Vec<(f64, f64)> = points
@@ -148,7 +165,11 @@ impl BarChart {
     /// # Panics
     /// Panics if the value count differs from the category count.
     pub fn group(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
-        assert_eq!(values.len(), self.categories.len(), "one value per category");
+        assert_eq!(
+            values.len(),
+            self.categories.len(),
+            "one value per category"
+        );
         self.groups.push((name.into(), values));
         self
     }
@@ -224,7 +245,11 @@ impl Heatmap {
         let mut svg = Svg::new(w, h);
         svg.text(w / 2.0, 24.0, &self.title, 14.0, Anchor::Middle);
         let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         for (i, &v) in self.values.iter().enumerate() {
             let x = 20.0 + (i % self.width) as f64 * cell;
             let y = 40.0 + (i / self.width) as f64 * cell;

@@ -72,7 +72,13 @@ impl Table {
     }
 
     /// `(x, y)` pairs from rows where `filter_col == filter_val`.
-    pub fn xy_where(&self, x: &str, y: &str, filter_col: &str, filter_val: &str) -> Vec<(f64, f64)> {
+    pub fn xy_where(
+        &self,
+        x: &str,
+        y: &str,
+        filter_col: &str,
+        filter_val: &str,
+    ) -> Vec<(f64, f64)> {
         let (xi, yi, fi) = (self.col(x), self.col(y), self.col(filter_col));
         self.rows
             .iter()
@@ -136,7 +142,10 @@ mod tests {
     #[test]
     fn filtered_xy_and_distinct() {
         let t = Table::parse("x,y,who\n1,10,a\n2,20,b\n3,30,a\n");
-        assert_eq!(t.xy_where("x", "y", "who", "a"), vec![(1.0, 10.0), (3.0, 30.0)]);
+        assert_eq!(
+            t.xy_where("x", "y", "who", "a"),
+            vec![(1.0, 10.0), (3.0, 30.0)]
+        );
         assert_eq!(t.distinct("who"), vec!["a", "b"]);
     }
 

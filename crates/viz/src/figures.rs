@@ -27,14 +27,18 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
     };
 
     if let Ok(t) = Table::load(dir.join("fig01_scaling.csv")) {
-        let chart = LineChart::new("Fig 1: response-time scaling", "accelerators N", "time (us)")
-            .log_x()
-            .log_y()
-            .series("SW centralized", t.xy("n", "sw_central_us"))
-            .series("HW centralized", t.xy("n", "hw_central_us"))
-            .series("decentralized (BC)", t.xy("n", "decentralized_us"))
-            .series("Tw=1ms / N", t.xy("n", "tw1ms_over_n"))
-            .series("Tw=20ms / N", t.xy("n", "tw20ms_over_n"));
+        let chart = LineChart::new(
+            "Fig 1: response-time scaling",
+            "accelerators N",
+            "time (us)",
+        )
+        .log_x()
+        .log_y()
+        .series("SW centralized", t.xy("n", "sw_central_us"))
+        .series("HW centralized", t.xy("n", "hw_central_us"))
+        .series("decentralized (BC)", t.xy("n", "decentralized_us"))
+        .series("Tw=1ms / N", t.xy("n", "tw1ms_over_n"))
+        .series("Tw=20ms / N", t.xy("n", "tw20ms_over_n"));
         emit("fig01_scaling.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("fig03_oneway_fourway.csv")) {
@@ -48,12 +52,16 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         emit("fig03_packets.svg", packets.render())?;
     }
     if let Ok(t) = Table::load(dir.join("fig04_bc_vs_ts.csv")) {
-        let chart = LineChart::new("Fig 4: BlitzCoin vs TokenSmart", "d = sqrt(N)", "NoC cycles")
-            .log_y()
-            .series("BC mean", t.xy("d", "bc_mean_cycles"))
-            .series("BC p99", t.xy("d", "bc_p99_cycles"))
-            .series("TS mean", t.xy("d", "ts_mean_cycles"))
-            .series("TS p99", t.xy("d", "ts_p99_cycles"));
+        let chart = LineChart::new(
+            "Fig 4: BlitzCoin vs TokenSmart",
+            "d = sqrt(N)",
+            "NoC cycles",
+        )
+        .log_y()
+        .series("BC mean", t.xy("d", "bc_mean_cycles"))
+        .series("BC p99", t.xy("d", "bc_p99_cycles"))
+        .series("TS mean", t.xy("d", "ts_mean_cycles"))
+        .series("TS p99", t.xy("d", "ts_p99_cycles"));
         emit("fig04_bc_vs_ts.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("fig06_dynamic_timing.csv")) {
@@ -61,21 +69,16 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
             .series("conventional", t.xy("d", "conv_cycles_conventional"))
             .series("dynamic", t.xy("d", "conv_cycles_dynamic"));
         emit("fig06_cycles.svg", cycles.render())?;
-        let steady = LineChart::new(
-            "Fig 6: steady-state traffic",
-            "d",
-            "packets per kcycle",
-        )
-        .series("conventional", t.xy("d", "steady_pkts_per_kcycle_conventional"))
-        .series("dynamic", t.xy("d", "steady_pkts_per_kcycle_dynamic"));
+        let steady = LineChart::new("Fig 6: steady-state traffic", "d", "packets per kcycle")
+            .series(
+                "conventional",
+                t.xy("d", "steady_pkts_per_kcycle_conventional"),
+            )
+            .series("dynamic", t.xy("d", "steady_pkts_per_kcycle_dynamic"));
         emit("fig06_steady_traffic.svg", steady.render())?;
     }
     if let Ok(t) = Table::load(dir.join("fig07_random_pairing_hist.csv")) {
-        let mut chart = LineChart::new(
-            "Fig 7: worst-case residual error",
-            "error (coins)",
-            "runs",
-        );
+        let mut chart = LineChart::new("Fig 7: worst-case residual error", "error (coins)", "runs");
         for n in t.distinct("n") {
             for (pairing, label) in [("0", "off"), ("1", "on")] {
                 let pts: Vec<(f64, f64)> = t
@@ -107,7 +110,11 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         emit("fig08_heterogeneity.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("fig13_characterization.csv")) {
-        let mut chart = LineChart::new("Fig 13: P-F characterization", "frequency (MHz)", "power (mW)");
+        let mut chart = LineChart::new(
+            "Fig 13: P-F characterization",
+            "frequency (MHz)",
+            "power (mW)",
+        );
         for acc in t.distinct("accelerator") {
             chart = chart.series(
                 acc.clone(),
@@ -138,15 +145,27 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         }
     }
     for (file, out, title) in [
-        ("fig17_soc3x3.csv", "fig17_exec.svg", "Fig 17: 3x3 execution time"),
-        ("fig18_soc4x4.csv", "fig18_exec.svg", "Fig 18: 4x4 execution time"),
+        (
+            "fig17_soc3x3.csv",
+            "fig17_exec.svg",
+            "Fig 17: 3x3 execution time",
+        ),
+        (
+            "fig18_soc4x4.csv",
+            "fig18_exec.svg",
+            "Fig 18: 4x4 execution time",
+        ),
     ] {
         if let Ok(t) = Table::load(dir.join(file)) {
             emit(out, exec_bars(&t, title).render())?;
         }
     }
     if let Ok(t) = Table::load(dir.join("fig19_coin_allocation.csv")) {
-        let tiles: Vec<String> = t.rows.iter().map(|r| format!("T{}", r[t.col("tile")])).collect();
+        let tiles: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| format!("T{}", r[t.col("tile")]))
+            .collect();
         let chart = BarChart::new("Fig 19: coin redistribution", "coins", tiles)
             .group("at boot", t.numbers("coins_at_boot"))
             .group("converged", t.numbers("coins_after_convergence"));
@@ -155,7 +174,10 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
     if let Ok(t) = Table::load(dir.join("fig20_coin_trace.csv")) {
         let mut chart = LineChart::new("Fig 20: coins after NVDLA completes", "time (us)", "coins");
         for tile in t.distinct("tile") {
-            chart = chart.series(format!("tile {tile}"), t.xy_where("t_us", "coins", "tile", &tile));
+            chart = chart.series(
+                format!("tile {tile}"),
+                t.xy_where("t_us", "coins", "tile", &tile),
+            );
         }
         emit("fig20_coin_trace.svg", chart.render())?;
     }
@@ -181,11 +203,15 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         emit("fig21_pm_overhead.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("scaling_sim_response.csv")) {
-        let chart = LineChart::new("Engine-measured response scaling", "managed tiles N", "response (us)")
-            .log_y()
-            .series("BC", t.xy("n_managed", "bc_resp_us"))
-            .series("BC-C", t.xy("n_managed", "bcc_resp_us"))
-            .series("C-RR", t.xy("n_managed", "crr_resp_us"));
+        let chart = LineChart::new(
+            "Engine-measured response scaling",
+            "managed tiles N",
+            "response (us)",
+        )
+        .log_y()
+        .series("BC", t.xy("n_managed", "bc_resp_us"))
+        .series("BC-C", t.xy("n_managed", "bcc_resp_us"))
+        .series("C-RR", t.xy("n_managed", "crr_resp_us"));
         emit("scaling_sim_response.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("granularity_sensitivity.csv")) {
@@ -215,19 +241,31 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         }
     }
     if let Ok(t) = Table::load(dir.join("noc_validation.csv")) {
-        let chart = LineChart::new("NoC model cross-validation", "burst size (packets)", "mean latency (cycles)")
-            .series("analytic", t.xy("burst_packets", "analytic_mean_cycles"))
-            .series("wormhole", t.xy("burst_packets", "wormhole_mean_cycles"));
+        let chart = LineChart::new(
+            "NoC model cross-validation",
+            "burst size (packets)",
+            "mean latency (cycles)",
+        )
+        .series("analytic", t.xy("burst_packets", "analytic_mean_cycles"))
+        .series("wormhole", t.xy("burst_packets", "wormhole_mean_cycles"));
         emit("noc_validation.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("clusters_tradeoff.csv")) {
         let cats: Vec<String> = t.rows.iter().map(|r| r[t.col("config")].clone()).collect();
-        let chart = BarChart::new("PM clusters: throughput trade-off", "execution time (us)", cats)
-            .group("exec", t.numbers("exec_us"));
+        let chart = BarChart::new(
+            "PM clusters: throughput trade-off",
+            "execution time (us)",
+            cats,
+        )
+        .group("exec", t.numbers("exec_us"));
         emit("clusters_tradeoff.svg", chart.render())?;
     }
     if let Ok(t) = Table::load(dir.join("ap_vs_rp.csv")) {
-        let budgets: Vec<String> = t.rows.iter().map(|r| format!("{} mW", r[t.col("budget_mw")])).collect();
+        let budgets: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| format!("{} mW", r[t.col("budget_mw")]))
+            .collect();
         let chart = BarChart::new("AP vs RP allocation", "execution time (us)", budgets)
             .group("RP", t.numbers("rp_exec_us"))
             .group("AP", t.numbers("ap_exec_us"));
@@ -249,10 +287,7 @@ fn exec_bars(t: &Table, title: &str) -> BarChart {
             combos.push(key);
         }
     }
-    let categories: Vec<String> = combos
-        .iter()
-        .map(|(b, d)| format!("{d}@{b}mW"))
-        .collect();
+    let categories: Vec<String> = combos.iter().map(|(b, d)| format!("{d}@{b}mW")).collect();
     let mut chart = BarChart::new(title, "execution time (us)", categories);
     for manager in t.distinct("manager") {
         let values: Vec<f64> = combos
@@ -285,16 +320,13 @@ mod tests {
              4,16,100,150,500,900\n8,64,210,300,2100,4000\n",
         )
         .unwrap();
-        fs::write(
-            dir.join("thermal_ext_hotspot.csv"),
-            {
-                let mut s = String::from("tile,uncapped_mw,capped_mw\n");
-                for i in 0..25 {
-                    s.push_str(&format!("{i},{},{}\n", i * 2, i));
-                }
-                s
-            },
-        )
+        fs::write(dir.join("thermal_ext_hotspot.csv"), {
+            let mut s = String::from("tile,uncapped_mw,capped_mw\n");
+            for i in 0..25 {
+                s.push_str(&format!("{i},{},{}\n", i * 2, i));
+            }
+            s
+        })
         .unwrap();
         let written = render_results_dir(&dir).unwrap();
         let names: Vec<String> = written

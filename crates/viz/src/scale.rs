@@ -17,7 +17,10 @@ impl Scale {
     /// # Panics
     /// Panics if the data range is empty or not finite.
     pub fn linear(lo: f64, hi: f64, px_lo: f64, px_hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad range {lo}..{hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "bad range {lo}..{hi}"
+        );
         Scale {
             lo,
             hi,
@@ -32,7 +35,10 @@ impl Scale {
     /// # Panics
     /// Panics on a non-positive or empty range.
     pub fn log(lo: f64, hi: f64, px_lo: f64, px_hi: f64) -> Self {
-        assert!(lo > 0.0 && hi > lo, "log scale needs 0 < lo < hi, got {lo}..{hi}");
+        assert!(
+            lo > 0.0 && hi > lo,
+            "log scale needs 0 < lo < hi, got {lo}..{hi}"
+        );
         Scale {
             lo,
             hi,

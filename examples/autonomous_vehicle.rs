@@ -41,7 +41,12 @@ fn main() {
     let step = SimTime::from_us(50);
     for p in bc.power.resample(SimTime::ZERO, bc.exec_time, step) {
         let bars = (p.value / 2.0).round() as usize;
-        println!("  {:>7.0} us | {:>5.1} mW {}", p.time.as_us_f64(), p.value, "#".repeat(bars));
+        println!(
+            "  {:>7.0} us | {:>5.1} mW {}",
+            p.time.as_us_f64(),
+            p.value,
+            "#".repeat(bars)
+        );
     }
 
     let crr = &reports

@@ -30,11 +30,17 @@ fn main() {
             ..EmulatorConfig::default()
         };
         let s = run_homogeneous_trials(topo, cfg, TRIALS, 99);
-        println!("{lambda:>8.1} {:>14.0} {:>14.0}", s.mean_cycles, s.mean_packets);
+        println!(
+            "{lambda:>8.1} {:>14.0} {:>14.0}",
+            s.mean_cycles, s.mean_packets
+        );
     }
 
     println!("\n-- random-pairing period (exchanges between pairings)");
-    println!("{:>8} {:>14} {:>14} {:>10}", "period", "cycles", "packets", "conv");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "period", "cycles", "packets", "conv"
+    );
     for period in [4u32, 8, 16, 32, 64] {
         let cfg = EmulatorConfig {
             pairing: PairingMode::ShiftRegister { period },
@@ -62,7 +68,10 @@ fn main() {
             ..EmulatorConfig::default()
         };
         let s = run_homogeneous_trials(topo, cfg, TRIALS, 99);
-        println!("{refresh:>8} {:>14.0} {:>14.0}", s.mean_cycles, s.mean_packets);
+        println!(
+            "{refresh:>8} {:>14.0} {:>14.0}",
+            s.mean_cycles, s.mean_packets
+        );
     }
 
     println!("\nInterpretation: the paper's defaults (lambda=2, pairing every 16");

@@ -25,8 +25,14 @@ fn main() {
 
     let result = emu.run(&mut rng);
 
-    println!("\nconverged: {} in {} NoC cycles ({} coin packets)", result.converged, result.cycles, result.packets);
-    println!("global error: {:.2} -> {:.2} coins/tile\n", result.start_error, result.final_error);
+    println!(
+        "\nconverged: {} in {} NoC cycles ({} coin packets)",
+        result.converged, result.cycles, result.packets
+    );
+    println!(
+        "global error: {:.2} -> {:.2} coins/tile\n",
+        result.start_error, result.final_error
+    );
     println!("final coin distribution (target ratio alpha applied to each tile's max):");
     print_grid(&emu);
 

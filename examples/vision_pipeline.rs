@@ -19,7 +19,11 @@ fn main() {
         wl.tasks().len()
     );
 
-    let sim = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, 450.0));
+    let sim = Simulation::new(
+        soc.clone(),
+        wl,
+        SimConfig::new(ManagerKind::BlitzCoin, 450.0),
+    );
     println!(
         "coin economy: 1 coin = {:.2} mW, pool = {} coins\n",
         sim.coin_value_mw(),

@@ -1,6 +1,10 @@
 //! Property-based invariants spanning the core data structures: coin
 //! conservation, error monotonicity, allocation fairness, routing
 //! correctness, LUT/power-model consistency, budget enforcement.
+//!
+//! Properties run on the seeded harness in `blitzcoin_sim::check`: each
+//! case derives an independent RNG from a fixed root seed, so failures
+//! reproduce exactly and name the case to replay.
 
 use blitzcoin_baselines::BccController;
 use blitzcoin_core::emulator::{Emulator, EmulatorConfig};
@@ -9,175 +13,288 @@ use blitzcoin_core::{
     four_way_allocation, global_error, pairwise_exchange, AllocationPolicy, DynamicTiming,
     TileState,
 };
-use blitzcoin_noc::{Topology, TileId};
+use blitzcoin_noc::{TileId, Topology};
 use blitzcoin_power::{AcceleratorClass, CoinLut, PowerModel};
-use blitzcoin_sim::SimRng;
-use proptest::prelude::*;
+use blitzcoin_sim::check::forall;
+use blitzcoin_sim::{ensure, SimRng};
 
-fn tile_strategy() -> impl Strategy<Value = TileState> {
-    (-16i64..128, 0u64..64).prop_map(|(has, max)| TileState::new(has, max))
+fn any_tile(rng: &mut SimRng) -> TileState {
+    TileState::new(rng.range_i64(-16..128), rng.range_u64(0..64))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn any_tiles(rng: &mut SimRng, count: std::ops::Range<usize>) -> Vec<TileState> {
+    let n = rng.range_usize(count);
+    (0..n).map(|_| any_tile(rng)).collect()
+}
 
-    #[test]
-    fn pairwise_exchange_conserves_coins(a in tile_strategy(), b in tile_strategy()) {
+#[test]
+fn pairwise_exchange_conserves_coins() {
+    forall("pairwise conservation", 256, |rng| {
+        let (a, b) = (any_tile(rng), any_tile(rng));
         let out = pairwise_exchange(a, b);
-        prop_assert_eq!(out.new_i + out.new_j, a.has + b.has);
-    }
+        ensure!(
+            out.new_i + out.new_j == a.has + b.has,
+            "{a:?} + {b:?} -> {out:?}"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pairwise_exchange_never_increases_error(a in tile_strategy(), b in tile_strategy()) {
-        // Section III-E: per exchange, the pair error is constant or
-        // decreases, up to half-coin rounding.
+#[test]
+fn pairwise_exchange_never_increases_error() {
+    // Section III-E: per exchange, the pair error is constant or
+    // decreases, up to half-coin rounding.
+    forall("pairwise error monotone", 256, |rng| {
+        let (a, b) = (any_tile(rng), any_tile(rng));
         let before = global_error(&[a, b]);
         let out = pairwise_exchange(a, b);
         let after = global_error(&[
             TileState::new(out.new_i, a.max),
             TileState::new(out.new_j, b.max),
         ]);
-        prop_assert!(after <= before + 0.5, "{} -> {}", before, after);
-    }
+        ensure!(after <= before + 0.5, "{before} -> {after} for {a:?},{b:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stochastic_exchange_conserves_too(a in tile_strategy(), b in tile_strategy(), seed: u64) {
-        let mut rng = SimRng::seed(seed);
-        let out = pairwise_exchange_stochastic(a, b, &mut rng);
-        prop_assert_eq!(out.new_i + out.new_j, a.has + b.has);
-    }
+#[test]
+fn stochastic_exchange_conserves_too() {
+    forall("stochastic conservation", 256, |rng| {
+        let (a, b) = (any_tile(rng), any_tile(rng));
+        let mut tie_rng = SimRng::seed(rng.next_u64());
+        let out = pairwise_exchange_stochastic(a, b, &mut tie_rng);
+        ensure!(
+            out.new_i + out.new_j == a.has + b.has,
+            "{a:?} + {b:?} -> {out:?}"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn four_way_allocation_conserves_and_bounds_error(
-        tiles in proptest::collection::vec(tile_strategy(), 2..6)
-    ) {
+#[test]
+fn four_way_allocation_conserves_and_bounds_error() {
+    forall("four-way fairness", 256, |rng| {
+        let tiles = any_tiles(rng, 2..6);
         let alloc = four_way_allocation(&tiles);
         let total_before: i64 = tiles.iter().map(|t| t.has).sum();
-        prop_assert_eq!(alloc.iter().sum::<i64>(), total_before);
+        ensure!(
+            alloc.iter().sum::<i64>() == total_before,
+            "total changed: {tiles:?} -> {alloc:?}"
+        );
         let weight: u64 = tiles.iter().map(|t| t.max).sum();
         if weight > 0 {
             let alpha = total_before as f64 / weight as f64;
             for (a, t) in alloc.iter().zip(&tiles) {
                 if t.max > 0 {
-                    prop_assert!((*a as f64 - alpha * t.max as f64).abs() <= 1.0 + 1e-9);
+                    ensure!(
+                        (*a as f64 - alpha * t.max as f64).abs() <= 1.0 + 1e-9,
+                        "alloc {a} far from target {} in {tiles:?}",
+                        alpha * t.max as f64
+                    );
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn four_way_allocation_is_deterministic(
-        tiles in proptest::collection::vec(tile_strategy(), 2..6)
-    ) {
-        prop_assert_eq!(four_way_allocation(&tiles), four_way_allocation(&tiles));
-    }
+#[test]
+fn four_way_allocation_is_deterministic() {
+    forall("four-way determinism", 256, |rng| {
+        let tiles = any_tiles(rng, 2..6);
+        ensure!(four_way_allocation(&tiles) == four_way_allocation(&tiles));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn analysis_bounds_hold_for_all_exchanges(
-        a in tile_strategy(), b in tile_strategy(), alpha in 0.0f64..2.0
-    ) {
+#[test]
+fn analysis_bounds_hold_for_all_exchanges() {
+    forall("exchange analysis bounds", 256, |rng| {
+        let (a, b) = (any_tile(rng), any_tile(rng));
+        let alpha = 2.0 * rng.unit_f64();
         let res = blitzcoin_core::analyze_exchange(a, b, alpha);
-        prop_assert!(res.bound_holds(), "{:?}", res);
-    }
+        ensure!(res.bound_holds(), "{res:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bcc_allocation_matches_totals(maxes in proptest::collection::vec(0u64..64, 1..20), pool in 0u64..512) {
+#[test]
+fn bcc_allocation_matches_totals() {
+    forall("bcc totals", 256, |rng| {
+        let n = rng.range_usize(1..20);
+        let maxes: Vec<u64> = (0..n).map(|_| rng.range_u64(0..64)).collect();
+        let pool = rng.range_u64(0..512);
         let alloc = BccController::new(pool).allocate(&maxes);
         if maxes.iter().sum::<u64>() > 0 {
-            prop_assert_eq!(alloc.iter().sum::<i64>(), pool as i64);
+            ensure!(
+                alloc.iter().sum::<i64>() == pool as i64,
+                "pool {pool} not conserved for {maxes:?}"
+            );
         } else {
-            prop_assert!(alloc.iter().all(|&a| a == 0));
+            ensure!(alloc.iter().all(|&a| a == 0));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn xy_routing_reaches_destination(w in 1usize..12, h in 1usize..12, s in 0usize..144, t in 0usize..144) {
+#[test]
+fn xy_routing_reaches_destination() {
+    forall("xy routing", 256, |rng| {
+        let w = rng.range_usize(1..12);
+        let h = rng.range_usize(1..12);
         let topo = Topology::mesh(w, h);
-        let src = TileId(s % topo.len());
-        let dst = TileId(t % topo.len());
+        let src = TileId(rng.range_usize(0..topo.len()));
+        let dst = TileId(rng.range_usize(0..topo.len()));
         let route = topo.xy_route(src, dst);
-        prop_assert_eq!(route.len(), topo.hop_distance(src, dst));
+        ensure!(
+            route.len() == topo.hop_distance(src, dst),
+            "route length {} vs distance {}",
+            route.len(),
+            topo.hop_distance(src, dst)
+        );
         if src != dst {
-            prop_assert_eq!(*route.last().unwrap(), dst);
+            ensure!(*route.last().unwrap() == dst);
             // every hop is between physical neighbors
             let mut prev = src;
             for &next in &route {
-                prop_assert_eq!(topo.hop_distance(prev, next), 1);
+                ensure!(
+                    topo.hop_distance(prev, next) == 1,
+                    "non-adjacent hop {prev:?} -> {next:?}"
+                );
                 prev = next;
             }
         }
-    }
-
-    #[test]
-    fn power_model_inverse_is_consistent(class_idx in 0usize..6, frac in 0.0f64..1.0) {
-        let class = AcceleratorClass::ALL[class_idx];
-        let m = PowerModel::of(class);
-        let budget = m.power_floor() + frac * (m.p_max() - m.power_floor());
-        let f = m.freq_for_power(budget);
-        prop_assert!(m.power_at(f) <= budget + 1e-6);
-        prop_assert!(f >= m.f_floor() && f <= m.f_max());
-    }
-
-    #[test]
-    fn lut_is_monotone_and_within_budget(class_idx in 0usize..6, coin_value in 0.5f64..8.0) {
-        let class = AcceleratorClass::ALL[class_idx];
-        let m = PowerModel::of(class);
-        let lut = CoinLut::build(&m, coin_value, 64);
-        for k in 0..64i32 {
-            prop_assert!(lut.f_target(k + 1) >= lut.f_target(k));
-            let f = lut.f_target(k);
-            if f > 0.0 {
-                prop_assert!(m.power_at(f) <= k as f64 * coin_value + 1e-6);
-            }
-        }
-    }
-
-    #[test]
-    fn policy_targets_fit_register(powers in proptest::collection::vec(0.0f64..500.0, 1..20)) {
-        for policy in [AllocationPolicy::AbsoluteProportional, AllocationPolicy::RelativeProportional] {
-            let m = policy.assign_max(&powers, 63);
-            prop_assert!(m.iter().all(|&x| x <= 63));
-            for (target, p) in m.iter().zip(&powers) {
-                prop_assert_eq!(*p == 0.0, *target == 0, "inactive iff zero power");
-            }
-        }
-    }
-
-    #[test]
-    fn dynamic_timing_stays_in_bounds(
-        intervals in proptest::collection::vec(0i64..5, 1..64),
-    ) {
-        let dt = DynamicTiming::default();
-        let mut interval = dt.base_cycles;
-        for moved in intervals {
-            interval = dt.next_interval(interval, moved);
-            prop_assert!(interval >= dt.min_cycles && interval <= dt.max_cycles);
-        }
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    // heavier cases: fewer iterations
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn power_model_inverse_is_consistent() {
+    forall("power model inverse", 256, |rng| {
+        let class = *rng.choose(&AcceleratorClass::ALL);
+        let m = PowerModel::of(class);
+        let budget = m.power_floor() + rng.unit_f64() * (m.p_max() - m.power_floor());
+        let f = m.freq_for_power(budget);
+        ensure!(
+            m.power_at(f) <= budget + 1e-6,
+            "power {} over budget {budget} for {class:?}",
+            m.power_at(f)
+        );
+        ensure!(f >= m.f_floor() && f <= m.f_max());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn emulator_conserves_coins_for_any_grid(d in 2usize..8, seed: u64) {
+#[test]
+fn lut_is_monotone_and_within_budget() {
+    forall("lut monotone", 64, |rng| {
+        let class = *rng.choose(&AcceleratorClass::ALL);
+        let m = PowerModel::of(class);
+        let coin_value = 0.5 + 7.5 * rng.unit_f64();
+        let lut = CoinLut::build(&m, coin_value, 64);
+        for k in 0..64i32 {
+            ensure!(
+                lut.f_target(k + 1) >= lut.f_target(k),
+                "not monotone at {k}"
+            );
+            let f = lut.f_target(k);
+            if f > 0.0 {
+                ensure!(
+                    m.power_at(f) <= k as f64 * coin_value + 1e-6,
+                    "{class:?} over budget at {k} coins"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn policy_targets_fit_register() {
+    forall("policy register fit", 256, |rng| {
+        let n = rng.range_usize(1..20);
+        let powers: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.chance(0.15) {
+                    0.0
+                } else {
+                    500.0 * rng.unit_f64()
+                }
+            })
+            .collect();
+        for policy in [
+            AllocationPolicy::AbsoluteProportional,
+            AllocationPolicy::RelativeProportional,
+        ] {
+            let m = policy.assign_max(&powers, 63);
+            ensure!(m.iter().all(|&x| x <= 63));
+            for (target, p) in m.iter().zip(&powers) {
+                ensure!(
+                    (*p == 0.0) == (*target == 0),
+                    "inactive iff zero power: p={p}, target={target}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn dynamic_timing_stays_in_bounds() {
+    forall("dynamic timing bounds", 256, |rng| {
+        let dt = DynamicTiming::default();
+        let mut interval = dt.base_cycles;
+        let steps = rng.range_usize(1..64);
+        for _ in 0..steps {
+            let moved = rng.range_i64(0..5);
+            interval = dt.next_interval(interval, moved);
+            ensure!(
+                interval >= dt.min_cycles && interval <= dt.max_cycles,
+                "interval {interval} escaped [{}, {}]",
+                dt.min_cycles,
+                dt.max_cycles
+            );
+        }
+        Ok(())
+    });
+}
+
+// Heavier cases: fewer iterations.
+
+#[test]
+fn emulator_conserves_coins_for_any_grid() {
+    forall("emulator conservation", 24, |rng| {
+        let d = rng.range_usize(2..8);
         let topo = Topology::torus(d, d);
         let mut emu = Emulator::new(topo, vec![32; d * d], EmulatorConfig::default());
-        let mut rng = SimRng::seed(seed);
-        emu.init_uniform_random(&mut rng);
+        let mut run_rng = SimRng::seed(rng.next_u64());
+        emu.init_uniform_random(&mut run_rng);
         let before: i64 = emu.total_coins();
-        let _ = emu.run(&mut rng);
-        prop_assert_eq!(emu.total_coins(), before);
-    }
+        let _ = emu.run(&mut run_rng);
+        ensure!(
+            emu.total_coins() == before,
+            "coins {before} -> {} on {d}x{d}",
+            emu.total_coins()
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn emulator_error_never_ends_above_start(d in 3usize..7, seed: u64) {
+#[test]
+fn emulator_error_never_ends_above_start() {
+    forall("emulator error bound", 24, |rng| {
+        let d = rng.range_usize(3..7);
         let topo = Topology::torus(d, d);
         let mut emu = Emulator::new(topo, vec![32; d * d], EmulatorConfig::default());
-        let mut rng = SimRng::seed(seed);
-        emu.init_uniform_random(&mut rng);
-        let r = emu.run(&mut rng);
-        prop_assert!(r.final_error <= r.start_error + 1.0);
-    }
+        let mut run_rng = SimRng::seed(rng.next_u64());
+        emu.init_uniform_random(&mut run_rng);
+        let r = emu.run(&mut run_rng);
+        ensure!(
+            r.final_error <= r.start_error + 1.0,
+            "error {} -> {}",
+            r.start_error,
+            r.final_error
+        );
+        Ok(())
+    });
 }

@@ -1,0 +1,181 @@
+//! Property tests for the fault-injection subsystem: whatever a seeded
+//! [`FaultPlan`] throws at the system, the coin economy must conserve
+//! budget, exchanges with dead partners must time out rather than
+//! deadlock, and the survivors must keep converging.
+//!
+//! Properties run on the seeded harness in `blitzcoin_sim::check`: each
+//! case derives an independent RNG from a fixed root seed, so failures
+//! reproduce exactly and name the case to replay.
+
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig};
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::check::forall;
+use blitzcoin_sim::{ensure, FaultPlan, LinkOutage, SimRng, TileFault, TileFaultKind};
+use blitzcoin_soc::prelude::*;
+
+/// A random but *bounded* fault plan for the 3x3 SoC: lossy planes,
+/// delayed hops, jittered messages, one flaky link, and possibly one
+/// scheduled tile fault of either kind anywhere on the die.
+fn any_plan(rng: &mut SimRng) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: rng.next_u64(),
+        ..FaultPlan::default()
+    };
+    if rng.chance(0.7) {
+        plan.drop_prob = vec![rng.unit_f64() * 0.25];
+    }
+    if rng.chance(0.5) {
+        plan.extra_hop_delay_max_cycles = rng.range_u64(0..8);
+    }
+    if rng.chance(0.5) {
+        plan.msg_jitter_cycles = rng.range_u64(0..64);
+    }
+    if rng.chance(0.4) {
+        let from = rng.range_u64(0..30_000);
+        plan.outages.push(LinkOutage {
+            a: rng.range_usize(0..9),
+            b: rng.range_usize(0..9),
+            from_cycle: from,
+            until_cycle: from + rng.range_u64(1..20_000),
+        });
+    }
+    if rng.chance(0.6) {
+        plan.tile_faults.push(TileFault {
+            tile: rng.range_usize(0..9),
+            at_cycle: rng.range_u64(0..60_000),
+            kind: if rng.chance(0.5) {
+                TileFaultKind::FailStop
+            } else {
+                TileFaultKind::Stuck
+            },
+        });
+    }
+    plan
+}
+
+fn engine_run(plan: FaultPlan, seed: u64) -> SimReport {
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, 2);
+    Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0))
+        .with_fault_plan(plan)
+        .run(seed)
+}
+
+#[test]
+fn engine_conserves_coins_under_any_fault_plan() {
+    // The tentpole invariant: no combination of drops, outages, delays
+    // and tile faults may leak or mint a single coin. The run's own
+    // auditor computes the ledger; we assert its verdict.
+    forall("engine fault conservation", 16, |rng| {
+        let plan = any_plan(rng);
+        let seed = rng.next_u64();
+        let r = engine_run(plan.clone(), seed);
+        ensure!(
+            r.coins_leaked == 0,
+            "leaked {} coins under {plan:?} (seed {seed})",
+            r.coins_leaked
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn engine_never_deadlocks_on_a_dead_partner() {
+    // Killing any tile mid-run must leave every exchange able to time
+    // out and back off: the run always terminates with the workload
+    // settled — every task either completed or abandoned with cause.
+    forall("engine dead-partner liveness", 12, |rng| {
+        let mut plan = FaultPlan::none();
+        plan.tile_faults.push(TileFault {
+            tile: rng.range_usize(0..9),
+            at_cycle: rng.range_u64(0..40_000),
+            kind: TileFaultKind::FailStop,
+        });
+        let r = engine_run(plan.clone(), rng.next_u64());
+        ensure!(
+            r.finished || r.tasks_abandoned > 0,
+            "unsettled run under {plan:?}"
+        );
+        ensure!(r.coins_leaked == 0, "leaked {} coins", r.coins_leaked);
+        Ok(())
+    });
+}
+
+#[test]
+fn engine_quarantines_stuck_tiles_without_leaking() {
+    forall("engine stuck quarantine", 8, |rng| {
+        let mut plan = FaultPlan::none();
+        // Strike a managed accelerator early, while it still holds coins.
+        let victims = [0usize, 1, 2, 4, 6, 7];
+        plan.tile_faults.push(TileFault {
+            tile: *rng.choose(&victims),
+            at_cycle: rng.range_u64(1_000..20_000),
+            kind: TileFaultKind::Stuck,
+        });
+        let r = engine_run(plan.clone(), rng.next_u64());
+        ensure!(r.coins_leaked == 0, "leaked {} coins", r.coins_leaked);
+        ensure!(
+            r.coins_quarantined > 0,
+            "a wedged accelerator must trap some budget: {plan:?}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn emulator_converges_after_a_single_fail_stop() {
+    // The behavioural emulator's version of graceful degradation: kill
+    // one arbitrary tile mid-diffusion and the survivors still reach the
+    // error threshold, with the corpse fully drained and coins conserved.
+    forall("emulator fail-stop convergence", 16, |rng| {
+        let d = rng.range_usize(4..7);
+        let topo = Topology::torus(d, d);
+        let victim = rng.range_usize(0..d * d);
+        let cfg = EmulatorConfig {
+            stop_at_convergence: false,
+            max_cycles: 400_000,
+            quiescence_exchanges: 2_000,
+            ..EmulatorConfig::default()
+        };
+        let mut emu = Emulator::new(topo, vec![32; d * d], cfg).with_fault_plan(FaultPlan {
+            tile_faults: vec![TileFault {
+                tile: victim,
+                at_cycle: rng.range_u64(0..2_000),
+                kind: TileFaultKind::FailStop,
+            }],
+            ..FaultPlan::default()
+        });
+        let mut run_rng = SimRng::seed(rng.next_u64());
+        emu.init_uniform_random(&mut run_rng);
+        let before = emu.total_coins();
+        let r = emu.run(&mut run_rng);
+        ensure!(r.converged, "survivors stuck on {d}x{d}: {r:?}");
+        ensure!(
+            emu.tiles()[victim].has == 0,
+            "corpse still holds {} coins",
+            emu.tiles()[victim].has
+        );
+        ensure!(
+            emu.total_coins() == before,
+            "coins {before} -> {}",
+            emu.total_coins()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn fault_decisions_replay_identically() {
+    // Determinism is what makes every resilience figure reproducible:
+    // the same plan and seed must yield bit-identical reports.
+    let mut rng = SimRng::seed(0x5EED);
+    let plan = any_plan(&mut rng);
+    let a = engine_run(plan.clone(), 42);
+    let b = engine_run(plan, 42);
+    assert_eq!(a.coins_leaked, b.coins_leaked);
+    assert_eq!(a.coins_reclaimed, b.coins_reclaimed);
+    assert_eq!(a.tasks_abandoned, b.tasks_abandoned);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.noc.total_dropped(), b.noc.total_dropped());
+}

@@ -27,7 +27,7 @@ fn experiment_catalogue_dispatches() {
     // Every catalogued id must dispatch without panicking on the *name*
     // (run only the cheapest to keep CI fast; the full set runs in the
     // harness binary).
-    assert_eq!(ALL_EXPERIMENTS.len(), 23);
+    assert_eq!(ALL_EXPERIMENTS.len(), 24);
     let ctx = ctx();
     let r = run_experiment("fig2", &ctx);
     assert_eq!(r.id, "fig2");
@@ -38,11 +38,7 @@ fn emulator_claims_hold_in_quick_mode() {
     let ctx = ctx();
     for id in ["fig3", "fig6"] {
         let r = run_experiment(id, &ctx);
-        assert!(
-            r.all_hold(),
-            "{id} claims failed:\n{}",
-            r.render()
-        );
+        assert!(r.all_hold(), "{id} claims failed:\n{}", r.render());
     }
 }
 
@@ -121,7 +117,11 @@ fn mini_era_runs_under_blitzcoin() {
     let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 90.0)).run(4);
     assert!(r.finished);
     // jittered sensor frames keep perturbing the allocation
-    assert!(r.responses.len() >= 4, "expected many transitions, got {}", r.responses.len());
+    assert!(
+        r.responses.len() >= 4,
+        "expected many transitions, got {}",
+        r.responses.len()
+    );
     assert!(r.utilization() > 0.3);
 }
 
@@ -130,7 +130,12 @@ fn thermal_envelope_of_paper_workloads() {
     use blitzcoin_thermal::ThermalConfig;
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, 2);
-    let r = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0)).run(2);
+    let r = Simulation::new(
+        soc.clone(),
+        wl,
+        SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+    )
+    .run(2);
     let t = thermal::analyze(&soc, &r, ThermalConfig::default());
     assert!(t.max_celsius() < 105.0);
     assert!(t.hotspots(105.0).is_empty());

@@ -1,0 +1,216 @@
+//! JSON round-trips for every public type the workspace persists:
+//! configs, fault plans, results, traces. Uses the in-repo JSON layer in
+//! `blitzcoin_sim::json` (the workspace builds fully offline, so there is
+//! no serde here).
+
+use blitzcoin_baselines::tokensmart::TsConfig;
+use blitzcoin_core::emulator::{ConvergenceResult, EmulatorConfig, ExchangeMode};
+use blitzcoin_core::{AllocationPolicy, DynamicTiming, HotspotCap, PairingMode, TileState};
+use blitzcoin_exp::{Claim, FigResult};
+use blitzcoin_noc::{NetworkConfig, TileId, Topology};
+use blitzcoin_sim::fault::{FaultPlan, LinkOutage, TileFault, TileFaultKind};
+use blitzcoin_sim::json::{FromJson, Json, ToJson};
+use blitzcoin_sim::{SimTime, StepTrace};
+
+/// Round-trips a value through pretty-printed JSON text and back.
+fn round_trip<T>(value: &T) -> T
+where
+    T: ToJson + FromJson,
+{
+    let text = value.to_json().to_string_pretty();
+    let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    T::from_json(&parsed).unwrap_or_else(|e| panic!("decode failed: {e}\n{text}"))
+}
+
+#[test]
+fn sim_time_round_trips() {
+    for t in [
+        SimTime::ZERO,
+        SimTime::from_noc_cycles(7),
+        SimTime::from_ms(400),
+        SimTime::MAX,
+    ] {
+        assert_eq!(round_trip(&t), t);
+    }
+}
+
+#[test]
+fn step_trace_round_trips() {
+    let mut tr = StepTrace::new("power_mw");
+    tr.record(SimTime::ZERO, 10.0);
+    tr.record(SimTime::from_us(1), 30.5);
+    tr.record(SimTime::from_us(3), 0.25);
+    let back = round_trip(&tr);
+    assert_eq!(back.name(), tr.name());
+    assert_eq!(back.value_at(SimTime::from_ns(500)), 10.0);
+    assert_eq!(back.value_at(SimTime::from_us(2)), 30.5);
+    assert_eq!(back.value_at(SimTime::from_us(9)), 0.25);
+}
+
+#[test]
+fn tile_state_round_trips() {
+    for t in [TileState::new(17, 32), TileState::new(-3, 0)] {
+        assert_eq!(round_trip(&t), t);
+    }
+}
+
+#[test]
+fn emulator_config_round_trips() {
+    let configs = [
+        EmulatorConfig::default(),
+        EmulatorConfig::plain_one_way(),
+        EmulatorConfig::plain_four_way(),
+        EmulatorConfig {
+            mode: ExchangeMode::FourWay,
+            dynamic_timing: Some(DynamicTiming {
+                lambda: 4.0,
+                ..DynamicTiming::default()
+            }),
+            pairing: PairingMode::Uniform { period: 8 },
+            hotspot_cap: Some(HotspotCap::new(200)),
+            latency_jitter_cycles: 32,
+            ..EmulatorConfig::default()
+        },
+    ];
+    for cfg in configs {
+        assert_eq!(round_trip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn pairing_mode_round_trips() {
+    for p in [
+        PairingMode::Disabled,
+        PairingMode::Uniform { period: 4 },
+        PairingMode::ShiftRegister { period: 16 },
+    ] {
+        assert_eq!(round_trip(&p), p);
+    }
+    assert!(PairingMode::from_json(&Json::parse(r#"{"kind":"Nope"}"#).unwrap()).is_err());
+}
+
+#[test]
+fn allocation_policy_round_trips() {
+    for p in [
+        AllocationPolicy::AbsoluteProportional,
+        AllocationPolicy::RelativeProportional,
+    ] {
+        assert_eq!(round_trip(&p), p);
+    }
+}
+
+#[test]
+fn convergence_result_round_trips() {
+    let r = ConvergenceResult {
+        converged: true,
+        cycles: 1234,
+        packets: 567,
+        exchanges: 89,
+        start_error: 5.25,
+        final_error: 0.75,
+        worst_error: 1.5,
+        total_cycles: 2000,
+        total_packets: 600,
+    };
+    assert_eq!(round_trip(&r), r);
+}
+
+#[test]
+fn topology_round_trips() {
+    for t in [
+        Topology::mesh(3, 5),
+        Topology::torus(6, 6),
+        Topology::square(1, false),
+    ] {
+        assert_eq!(round_trip(&t), t);
+    }
+    assert_eq!(round_trip(&TileId(42)), TileId(42));
+}
+
+#[test]
+fn network_config_round_trips() {
+    let cfg = NetworkConfig {
+        hop_cycles: 2,
+        inject_cycles: 3,
+        eject_cycles: 1,
+        contention: false,
+    };
+    assert_eq!(round_trip(&cfg), cfg);
+    assert_eq!(
+        round_trip(&NetworkConfig::default()),
+        NetworkConfig::default()
+    );
+}
+
+#[test]
+fn ts_config_round_trips() {
+    assert_eq!(round_trip(&TsConfig::default()), TsConfig::default());
+}
+
+#[test]
+fn fault_plan_round_trips() {
+    let plan = FaultPlan {
+        seed: 0xDEAD_BEEF_CAFE,
+        drop_prob: vec![0.01, 0.0, 0.25],
+        extra_hop_delay_max_cycles: 3,
+        msg_jitter_cycles: 64,
+        outages: vec![LinkOutage {
+            a: 0,
+            b: 1,
+            from_cycle: 10,
+            until_cycle: 99,
+        }],
+        tile_faults: vec![
+            TileFault {
+                tile: 4,
+                at_cycle: 5_000,
+                kind: TileFaultKind::FailStop,
+            },
+            TileFault {
+                tile: 2,
+                at_cycle: 1_000,
+                kind: TileFaultKind::Stuck,
+            },
+        ],
+    };
+    assert_eq!(round_trip(&plan), plan);
+    assert_eq!(round_trip(&FaultPlan::none()), FaultPlan::none());
+    assert_eq!(
+        round_trip(&FaultPlan::from_jitter(8)),
+        FaultPlan::from_jitter(8)
+    );
+}
+
+#[test]
+fn experiment_results_round_trip() {
+    let mut r = FigResult::new("fig17", "Response time vs N");
+    r.claim("fig17.slope", "O(N) for C-RR", "O(N) measured", true);
+    r.claim("fig17.flat", "O(1) for BC", "flat measured", true);
+    r.outputs.push("results/fig17.csv".to_string());
+    let back = round_trip(&r);
+    assert_eq!(back.id, r.id);
+    assert_eq!(back.title, r.title);
+    assert_eq!(back.outputs, r.outputs);
+    assert_eq!(back.claims.len(), 2);
+    assert_eq!(back.claims[0].id, "fig17.slope");
+    assert!(back.all_hold());
+
+    let c = Claim::new("x", "p", "m", false);
+    let back = round_trip(&c);
+    assert_eq!(back.id, "x");
+    assert!(!back.holds);
+}
+
+#[test]
+fn manifest_shape_matches_cli_output() {
+    // The CLI writes Vec<FigResult> as the manifest; decoding a handmade
+    // manifest keeps the format stable.
+    let text = r#"[
+      {"id": "fig1", "title": "T", "claims": [
+        {"id": "a", "paper": "p", "measured": "m", "holds": true}
+      ], "outputs": ["results/fig1.csv"]}
+    ]"#;
+    let results: Vec<FigResult> = Vec::from_json(&Json::parse(text).unwrap()).unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].claims[0].id, "a");
+}

@@ -41,15 +41,17 @@ fn headline_throughput_improvement() {
     let bc = run(ManagerKind::BlitzCoin);
     let crr = run(ManagerKind::CentralizedRoundRobin);
     let gain = (bc.speedup_vs(&crr) - 1.0) * 100.0;
-    assert!(gain > 15.0, "expected >15% throughput gain vs C-RR, got {gain:.0}%");
+    assert!(
+        gain > 15.0,
+        "expected >15% throughput gain vs C-RR, got {gain:.0}%"
+    );
 }
 
 /// §III-B/Fig 3: decentralized convergence scales ~sqrt(N).
 #[test]
 fn convergence_scales_sublinearly() {
     let t = |d: usize| {
-        run_homogeneous_trials(Topology::torus(d, d), EmulatorConfig::default(), 10, 77)
-            .mean_cycles
+        run_homogeneous_trials(Topology::torus(d, d), EmulatorConfig::default(), 10, 77).mean_cycles
     };
     let (t6, t12) = (t(6), t(12));
     // N grows 4x; sqrt(N) scaling predicts ~2x; O(N) would be 4x.
@@ -102,10 +104,13 @@ fn silicon_style_budget_enforcement_and_static_gain() {
     let soc = floorplan::soc_6x6();
     let budget = soc.total_p_max() * 0.33;
     let wl = workload::pm_cluster(&soc, 2, 7);
-    let bc = Simulation::new(soc.clone(), wl.clone(), SimConfig::new(ManagerKind::BlitzCoin, budget))
-        .run(5);
-    let st =
-        Simulation::new(soc, wl, SimConfig::new(ManagerKind::Static, budget)).run(5);
+    let bc = Simulation::new(
+        soc.clone(),
+        wl.clone(),
+        SimConfig::new(ManagerKind::BlitzCoin, budget),
+    )
+    .run(5);
+    let st = Simulation::new(soc, wl, SimConfig::new(ManagerKind::Static, budget)).run(5);
     assert!(bc.finished && st.finished);
     assert!(
         bc.utilization() > 0.75 && bc.utilization() <= 1.02,
@@ -118,7 +123,10 @@ fn silicon_style_budget_enforcement_and_static_gain() {
         bc.peak_overshoot_mw()
     );
     let gain = (st.exec_time_us() / bc.exec_time_us() - 1.0) * 100.0;
-    assert!(gain > 10.0, "expected a large gain vs static, got {gain:.0}%");
+    assert!(
+        gain > 10.0,
+        "expected a large gain vs static, got {gain:.0}%"
+    );
 }
 
 /// §VI-D/Fig 21: the paper's fitted constants support the headline
@@ -169,5 +177,9 @@ fn dvfs_granularity() {
         .collect();
     levels.sort_unstable();
     levels.dedup();
-    assert!(levels.len() >= 32, "expected tens of levels, got {}", levels.len());
+    assert!(
+        levels.len() >= 32,
+        "expected tens of levels, got {}",
+        levels.len()
+    );
 }
