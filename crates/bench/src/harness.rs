@@ -64,7 +64,12 @@ pub struct Criterion {
 
 impl Criterion {
     /// Builds a harness from the process arguments.
+    ///
+    /// Pins the sweep executor to one job for the whole bench process:
+    /// wall-clock numbers must measure the kernels, not how many cores
+    /// the build machine happens to have.
     pub fn from_args() -> Self {
+        blitzcoin_sim::exec::pin_jobs(1);
         let mut filter = None;
         let mut smoke = false;
         for arg in std::env::args().skip(1) {

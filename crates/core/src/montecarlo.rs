@@ -6,7 +6,7 @@
 //! seed, run the emulator, and reduce to summary statistics.
 
 use blitzcoin_noc::Topology;
-use blitzcoin_sim::{SimRng, Summary};
+use blitzcoin_sim::{Executor, SimRng, Summary};
 
 use crate::emulator::{ConvergenceResult, Emulator, EmulatorConfig};
 
@@ -48,30 +48,90 @@ impl TrialStats {
     pub fn worst_errors(&self) -> Vec<f64> {
         self.results.iter().map(|r| r.worst_error).collect()
     }
+
+    /// Reduces raw per-trial results to summary statistics. This is the
+    /// single summarize path shared by every Monte-Carlo runner,
+    /// including experiment sweeps with bespoke initialization
+    /// protocols.
+    ///
+    /// # Panics
+    /// Panics on an empty result set.
+    pub fn from_results(results: Vec<ConvergenceResult>) -> TrialStats {
+        assert!(!results.is_empty(), "need at least one trial result");
+        let trials = results.len() as u32;
+        let converged: Vec<&ConvergenceResult> = results.iter().filter(|r| r.converged).collect();
+        let conv_n = converged.len().max(1) as f64;
+        TrialStats {
+            trials,
+            converged_fraction: converged.len() as f64 / trials as f64,
+            mean_cycles: converged.iter().map(|r| r.cycles as f64).sum::<f64>() / conv_n,
+            mean_packets: converged.iter().map(|r| r.packets as f64).sum::<f64>() / conv_n,
+            mean_start_error: results.iter().map(|r| r.start_error).sum::<f64>() / trials as f64,
+            mean_worst_error: results.iter().map(|r| r.worst_error).sum::<f64>() / trials as f64,
+            results,
+        }
+    }
+}
+
+/// Runs one trial of the standard protocol: assign targets via `max_fn`,
+/// initialize coins uniformly at random, run to convergence. This is the
+/// unit body the parallel sweeps execute; `rng` must be the trial's own
+/// derived generator.
+pub fn run_one(
+    topo: Topology,
+    config: EmulatorConfig,
+    mut rng: SimRng,
+    max_fn: impl FnOnce(&mut SimRng) -> Vec<u64>,
+) -> ConvergenceResult {
+    let max = max_fn(&mut rng);
+    let mut emu = Emulator::new(topo, max, config);
+    emu.init_uniform_random(&mut rng);
+    emu.run(&mut rng)
 }
 
 /// Runs `trials` independent emulator runs. Each trial assigns targets via
 /// `max_fn(trial_rng)` and initializes coins with the paper's protocol:
 /// each tile draws `has ~ U[0, 2·max]` independently
 /// (see [`Emulator::init_uniform_random`]).
+///
+/// Trials execute on the environment-sized parallel executor
+/// ([`Executor::from_env`]); use [`run_trials_with`] for an explicit job
+/// count. Every trial's RNG is `SimRng::seed(root_seed).derive(trial)`
+/// and results are collected in trial order, so the output is identical
+/// at every job count — and identical to what the historical serial loop
+/// produced.
 pub fn run_trials(
     topo: Topology,
     config: EmulatorConfig,
     trials: u32,
     root_seed: u64,
-    mut max_fn: impl FnMut(&mut SimRng) -> Vec<u64>,
+    max_fn: impl Fn(&mut SimRng) -> Vec<u64> + Sync,
+) -> TrialStats {
+    run_trials_with(
+        &Executor::from_env(),
+        topo,
+        config,
+        trials,
+        root_seed,
+        max_fn,
+    )
+}
+
+/// [`run_trials`] on an explicit executor.
+pub fn run_trials_with(
+    exec: &Executor,
+    topo: Topology,
+    config: EmulatorConfig,
+    trials: u32,
+    root_seed: u64,
+    max_fn: impl Fn(&mut SimRng) -> Vec<u64> + Sync,
 ) -> TrialStats {
     assert!(trials > 0, "need at least one trial");
     let root = SimRng::seed(root_seed);
-    let mut results = Vec::with_capacity(trials as usize);
-    for t in 0..trials {
-        let mut rng = root.derive(t as u64);
-        let max = max_fn(&mut rng);
-        let mut emu = Emulator::new(topo, max, config);
-        emu.init_uniform_random(&mut rng);
-        results.push(emu.run(&mut rng));
-    }
-    summarize(results)
+    let results = exec.run(trials as usize, |t| {
+        run_one(topo, config, root.derive(t as u64), &max_fn)
+    });
+    TrialStats::from_results(results)
 }
 
 /// The standard homogeneous protocol used by Figs 3, 4 and 6: every tile
@@ -82,8 +142,21 @@ pub fn run_homogeneous_trials(
     trials: u32,
     root_seed: u64,
 ) -> TrialStats {
+    run_homogeneous_trials_with(&Executor::from_env(), topo, config, trials, root_seed)
+}
+
+/// [`run_homogeneous_trials`] on an explicit executor.
+pub fn run_homogeneous_trials_with(
+    exec: &Executor,
+    topo: Topology,
+    config: EmulatorConfig,
+    trials: u32,
+    root_seed: u64,
+) -> TrialStats {
     let n = topo.len();
-    run_trials(topo, config, trials, root_seed, move |_| vec![32u64; n])
+    run_trials_with(exec, topo, config, trials, root_seed, move |_| {
+        vec![32u64; n]
+    })
 }
 
 /// The activity-change protocol: the grid starts *converged* (every tile
@@ -99,6 +172,25 @@ pub fn run_activity_change_trials(
     root_seed: u64,
     flip_fraction: f64,
 ) -> TrialStats {
+    run_activity_change_trials_with(
+        &Executor::from_env(),
+        topo,
+        config,
+        trials,
+        root_seed,
+        flip_fraction,
+    )
+}
+
+/// [`run_activity_change_trials`] on an explicit executor.
+pub fn run_activity_change_trials_with(
+    exec: &Executor,
+    topo: Topology,
+    config: EmulatorConfig,
+    trials: u32,
+    root_seed: u64,
+    flip_fraction: f64,
+) -> TrialStats {
     assert!(trials > 0, "need at least one trial");
     assert!(
         (0.0..1.0).contains(&flip_fraction),
@@ -106,8 +198,7 @@ pub fn run_activity_change_trials(
     );
     let n = topo.len();
     let root = SimRng::seed(root_seed);
-    let mut results = Vec::with_capacity(trials as usize);
-    for t in 0..trials {
+    let results = exec.run(trials as usize, |t| {
         let mut rng = root.derive(t as u64);
         let mut max = vec![32u64; n];
         let flips = ((n as f64 * flip_fraction) as usize).max(1);
@@ -117,24 +208,9 @@ pub fn run_activity_change_trials(
         let mut emu = Emulator::new(topo, max, config);
         // converged for the pre-change configuration: everyone held 32
         emu.init_coins(&vec![32i64; n]);
-        results.push(emu.run(&mut rng));
-    }
-    summarize(results)
-}
-
-fn summarize(results: Vec<ConvergenceResult>) -> TrialStats {
-    let trials = results.len() as u32;
-    let converged: Vec<&ConvergenceResult> = results.iter().filter(|r| r.converged).collect();
-    let conv_n = converged.len().max(1) as f64;
-    TrialStats {
-        trials,
-        converged_fraction: converged.len() as f64 / trials as f64,
-        mean_cycles: converged.iter().map(|r| r.cycles as f64).sum::<f64>() / conv_n,
-        mean_packets: converged.iter().map(|r| r.packets as f64).sum::<f64>() / conv_n,
-        mean_start_error: results.iter().map(|r| r.start_error).sum::<f64>() / trials as f64,
-        mean_worst_error: results.iter().map(|r| r.worst_error).sum::<f64>() / trials as f64,
-        results,
-    }
+        emu.run(&mut rng)
+    });
+    TrialStats::from_results(results)
 }
 
 #[cfg(test)]
@@ -194,5 +270,19 @@ mod tests {
         let topo = Topology::torus(4, 4);
         let stats = run_trials(topo, EmulatorConfig::default(), 3, 5, |_| vec![8; 16]);
         assert_eq!(stats.converged_fraction, 1.0);
+    }
+
+    #[test]
+    fn parallel_trials_equal_serial_exactly() {
+        let topo = Topology::torus(5, 5);
+        let cfg = EmulatorConfig::default();
+        let serial = run_homogeneous_trials_with(&Executor::serial(), topo, cfg, 6, 13);
+        for jobs in [2, 8] {
+            let par = run_homogeneous_trials_with(&Executor::new(jobs), topo, cfg, 6, 13);
+            assert_eq!(serial.results, par.results);
+        }
+        let a_serial = run_activity_change_trials_with(&Executor::serial(), topo, cfg, 6, 13, 0.1);
+        let a_par = run_activity_change_trials_with(&Executor::new(8), topo, cfg, 6, 13, 0.1);
+        assert_eq!(a_serial.results, a_par.results);
     }
 }

@@ -1,34 +1,26 @@
 //! Emulator-level experiments: Figs 2-8.
+//!
+//! Every Monte-Carlo grid here is a declarative [`sweep`] over
+//! (point × trial) units on the shared executor: seeds derive
+//! `ctx.seed → point → trial`, so sweep points are decorrelated and the
+//! CSVs are byte-identical at any `--jobs` value. Where one runner
+//! builds several sweeps from the same context, matching point/trial
+//! indices share RNG streams — a deliberate pairing that compares
+//! schemes under identical random draws.
 
 use blitzcoin_baselines::tokensmart::{TokenSmart, TsConfig};
-use blitzcoin_core::emulator::{ConvergenceResult, Emulator, EmulatorConfig, ExchangeMode};
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig, ExchangeMode};
 use blitzcoin_core::hetero::heterogeneous_max;
-use blitzcoin_core::montecarlo::{run_homogeneous_trials, run_trials, TrialStats};
+use blitzcoin_core::montecarlo::{run_one, TrialStats};
 use blitzcoin_core::{
-    four_way_allocation, global_error, pairwise_exchange, PairingMode, TileState,
+    four_way_allocation, global_error, pairwise_exchange, DynamicTiming, PairingMode, TileState,
 };
 use blitzcoin_noc::Topology;
 use blitzcoin_sim::csv::CsvTable;
 use blitzcoin_sim::{Histogram, SimRng, Summary};
 
+use crate::sweep::{mc_sweep, value_sweep, write_csv};
 use crate::{Ctx, FigResult};
-
-/// Reduces raw per-trial results the same way [`run_trials`] does; used
-/// by experiments with bespoke initialization protocols.
-fn summarize_results(results: Vec<ConvergenceResult>) -> TrialStats {
-    let trials = results.len() as u32;
-    let conv: Vec<&ConvergenceResult> = results.iter().filter(|r| r.converged).collect();
-    let n = conv.len().max(1) as f64;
-    TrialStats {
-        trials,
-        converged_fraction: conv.len() as f64 / trials as f64,
-        mean_cycles: conv.iter().map(|r| r.cycles as f64).sum::<f64>() / n,
-        mean_packets: conv.iter().map(|r| r.packets as f64).sum::<f64>() / n,
-        mean_start_error: results.iter().map(|r| r.start_error).sum::<f64>() / trials as f64,
-        mean_worst_error: results.iter().map(|r| r.worst_error).sum::<f64>() / trials as f64,
-        results,
-    }
-}
 
 fn d_sweep(ctx: &Ctx) -> Vec<usize> {
     if ctx.quick {
@@ -73,9 +65,7 @@ pub fn fig2(ctx: &Ctx) -> FigResult {
     let mut csv = CsvTable::new(["method", "err_before", "err_after", "messages"]);
     csv.row(["4-way", &format!("{err0:.3}"), &format!("{err4:.3}"), "12"]);
     csv.row(["1-way", &format!("{err0:.3}"), &format!("{err1:.3}"), "8"]);
-    let path = ctx.path("fig02_exchange_step.csv");
-    csv.write_to(&path).expect("write fig2 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig02_exchange_step.csv", &csv);
 
     let sum4: i64 = alloc.iter().sum();
     let sum1: i64 = tiles.iter().map(|t| t.has).sum();
@@ -105,6 +95,20 @@ pub fn fig2(ctx: &Ctx) -> FigResult {
 pub fn fig3(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig3", "Convergence of 1-way vs 4-way exchange vs d");
     let trials = ctx.trials(100, 15);
+    let points: Vec<(usize, ExchangeMode)> = d_sweep(ctx)
+        .into_iter()
+        .flat_map(|d| [(d, ExchangeMode::OneWay), (d, ExchangeMode::FourWay)])
+        .collect();
+    let stats = mc_sweep(ctx, points, trials, |&(d, mode), rng| {
+        let cfg = EmulatorConfig {
+            mode,
+            err_threshold: 1.5,
+            max_cycles: 500_000,
+            ..EmulatorConfig::plain_one_way()
+        };
+        run_one(Topology::torus(d, d), cfg, rng, |_| vec![32u64; d * d])
+    });
+
     let mut csv = CsvTable::new([
         "d",
         "n",
@@ -115,19 +119,14 @@ pub fn fig3(ctx: &Ctx) -> FigResult {
         "oneway_conv",
         "fourway_conv",
     ]);
-    let mut rows = Vec::new();
-    for d in d_sweep(ctx) {
-        let topo = Topology::torus(d, d);
-        let mk = |mode| EmulatorConfig {
-            mode,
-            err_threshold: 1.5,
-            max_cycles: 500_000,
-            ..EmulatorConfig::plain_one_way()
-        };
-        let one = run_homogeneous_trials(topo, mk(ExchangeMode::OneWay), trials, ctx.seed);
-        let four = run_homogeneous_trials(topo, mk(ExchangeMode::FourWay), trials, ctx.seed + 1);
+    // the grid interleaves (d, 1-way), (d, 4-way): re-pair per d
+    let rows: Vec<(usize, TrialStats, TrialStats)> = stats
+        .chunks_exact(2)
+        .map(|pair| (pair[0].0 .0, pair[0].1.clone(), pair[1].1.clone()))
+        .collect();
+    for (d, one, four) in &rows {
         csv.row_values([
-            d as f64,
+            *d as f64,
             (d * d) as f64,
             one.mean_cycles,
             one.mean_packets,
@@ -136,11 +135,8 @@ pub fn fig3(ctx: &Ctx) -> FigResult {
             one.converged_fraction,
             four.converged_fraction,
         ]);
-        rows.push((d, one, four));
     }
-    let path = ctx.path("fig03_oneway_fourway.csv");
-    csv.write_to(&path).expect("write fig3 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig03_oneway_fourway.csv", &csv);
 
     let (d_lo, first, _) = {
         let r = rows.first().expect("non-empty sweep");
@@ -162,7 +158,7 @@ pub fn fig3(ctx: &Ctx) -> FigResult {
         ),
         t_ratio < 0.6 * n_ratio,
     );
-    let mean_ex = |stats: &blitzcoin_core::montecarlo::TrialStats| {
+    let mean_ex = |stats: &TrialStats| {
         stats
             .results
             .iter()
@@ -194,6 +190,29 @@ pub fn fig3(ctx: &Ctx) -> FigResult {
 pub fn fig4(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig4", "BlitzCoin vs TokenSmart convergence");
     let trials = ctx.trials(1000, 25);
+    // one unit = a paired trial: BC and TS run from clones of the same
+    // trial RNG, so both see the same uniform-random initialization draw
+    let per_d = value_sweep(ctx, d_sweep(ctx), trials, |&d, rng: SimRng| {
+        let n = d * d;
+        let cfg = EmulatorConfig {
+            err_threshold: 1.5,
+            ..EmulatorConfig::default()
+        };
+        let bc = run_one(Topology::torus(d, d), cfg, rng.clone(), |_| vec![32u64; n]);
+        let mut rng = rng;
+        let mut ts = TokenSmart::new(
+            vec![32; n],
+            (32 * n) as u64,
+            TsConfig {
+                err_threshold: 1.5,
+                ..TsConfig::default()
+            },
+        );
+        ts.init_uniform_random(&mut rng);
+        let ts_cycles = ts.run(&mut rng).cycles as f64;
+        (bc, ts_cycles)
+    });
+
     let mut csv = CsvTable::new([
         "d",
         "n",
@@ -203,40 +222,24 @@ pub fn fig4(ctx: &Ctx) -> FigResult {
         "ts_p99_cycles",
     ]);
     let mut results = Vec::new();
-    for d in d_sweep(ctx) {
-        let topo = Topology::torus(d, d);
-        let cfg = EmulatorConfig {
-            err_threshold: 1.5,
-            ..EmulatorConfig::default()
-        };
-        let bc = run_homogeneous_trials(topo, cfg, trials, ctx.seed);
-        let n = d * d;
-        let mut ts_sum = Summary::new();
-        let root = SimRng::seed(ctx.seed ^ 0x7357);
-        for t in 0..trials {
-            let mut rng = root.derive(t as u64);
-            // match the emulator's uniform-random initialization protocol
-            let mut ts = TokenSmart::new(
-                vec![32; n],
-                (32 * n) as u64,
-                TsConfig {
-                    err_threshold: 1.5,
-                    ..TsConfig::default()
-                },
-            );
-            ts.init_uniform_random(&mut rng);
-            let r = ts.run(&mut rng);
-            ts_sum.push(r.cycles as f64);
-        }
+    for (d, pairs) in per_d {
+        let (bc_runs, ts_cycles): (Vec<_>, Vec<f64>) = pairs.into_iter().unzip();
+        let bc = TrialStats::from_results(bc_runs);
+        let mut ts_sum: Summary = ts_cycles.into_iter().collect();
         let bc_p99 = bc.cycles_percentile(99.0);
         let ts_mean = ts_sum.mean();
         let ts_p99 = ts_sum.percentile(99.0);
-        csv.row_values([d as f64, n as f64, bc.mean_cycles, bc_p99, ts_mean, ts_p99]);
+        csv.row_values([
+            d as f64,
+            (d * d) as f64,
+            bc.mean_cycles,
+            bc_p99,
+            ts_mean,
+            ts_p99,
+        ]);
         results.push((d, bc.mean_cycles, ts_mean, bc_p99, ts_p99));
     }
-    let path = ctx.path("fig04_bc_vs_ts.csv");
-    csv.write_to(&path).expect("write fig4 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig04_bc_vs_ts.csv", &csv);
 
     let last = results.last().expect("non-empty");
     let speedup = last.2 / last.1;
@@ -321,7 +324,6 @@ pub fn fig5(ctx: &Ctx) -> FigResult {
         ),
         rw.converged && !r0.converged,
     );
-    let path = ctx.path("fig05_pairing.csv");
     let mut csv = CsvTable::new([
         "config",
         "converged",
@@ -343,8 +345,7 @@ pub fn fig5(ctx: &Ctx) -> FigResult {
         &format!("{:.3}", r0.worst_error),
         &r0.cycles.to_string(),
     ]);
-    csv.write_to(&path).expect("write fig5 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig05_pairing.csv", &csv);
     fig
 }
 
@@ -353,6 +354,52 @@ pub fn fig5(ctx: &Ctx) -> FigResult {
 pub fn fig6(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig6", "Dynamic timing: convergence time and packets");
     let trials = ctx.trials(100, 15);
+    let ds = d_sweep(ctx);
+
+    // convergence grid: d × {conventional, dynamic}
+    let conv_points: Vec<(usize, Option<DynamicTiming>)> = ds
+        .iter()
+        .flat_map(|&d| [(d, None), (d, Some(DynamicTiming::default()))])
+        .collect();
+    let conv_stats = mc_sweep(ctx, conv_points, trials, |&(d, dt), rng| {
+        let cfg = EmulatorConfig {
+            dynamic_timing: dt,
+            ..EmulatorConfig::default()
+        };
+        run_one(Topology::torus(d, d), cfg, rng, |_| vec![32u64; d * d])
+    });
+
+    // steady-state traffic grid: fixed horizon, count total packets.
+    // Fixed-horizon runs cost ~horizon cycles each regardless of d, so
+    // this grid runs fewer trials than the convergence grid — but the
+    // cap now follows --quick like every other count, and is logged
+    // rather than silently applied.
+    let horizon = 30_000u64;
+    let steady_trials = ctx.trials(10, 5);
+    if steady_trials < trials {
+        eprintln!(
+            "  fig6: steady-state traffic grid uses {steady_trials} of {trials} trials \
+             (fixed-horizon runs are uniformly costly)"
+        );
+    }
+    let steady_points: Vec<(usize, Option<DynamicTiming>)> = ds
+        .iter()
+        .flat_map(|&d| [(d, None), (d, Some(DynamicTiming::default()))])
+        .collect();
+    let steady_stats = value_sweep(ctx, steady_points, steady_trials, |&(d, dt), rng| {
+        let cfg = EmulatorConfig {
+            dynamic_timing: dt,
+            stop_at_convergence: false,
+            max_cycles: horizon,
+            ..EmulatorConfig::default()
+        };
+        run_one(Topology::torus(d, d), cfg, rng, |_| vec![32u64; d * d]).total_packets as f64
+    });
+    let steady_rate = |idx: usize| -> f64 {
+        let (_, packets) = &steady_stats[idx];
+        packets.iter().sum::<f64>() / packets.len() as f64 / (horizon as f64 / 1000.0)
+    };
+
     let mut csv = CsvTable::new([
         "d",
         "conv_cycles_conventional",
@@ -363,34 +410,11 @@ pub fn fig6(ctx: &Ctx) -> FigResult {
         "steady_pkts_per_kcycle_dynamic",
     ]);
     let mut agg = Vec::new();
-    for d in d_sweep(ctx) {
-        let topo = Topology::torus(d, d);
-        let conventional = EmulatorConfig {
-            dynamic_timing: None,
-            ..EmulatorConfig::default()
-        };
-        let dynamic = EmulatorConfig::default();
-        let conv = run_homogeneous_trials(topo, conventional, trials, ctx.seed);
-        let dyn_ = run_homogeneous_trials(topo, dynamic, trials, ctx.seed);
-        // steady-state traffic: fixed horizon, count total packets
-        let horizon = 30_000u64;
-        let steady = |dt: Option<blitzcoin_core::DynamicTiming>| -> f64 {
-            let cfg = EmulatorConfig {
-                dynamic_timing: dt,
-                stop_at_convergence: false,
-                max_cycles: horizon,
-                ..EmulatorConfig::default()
-            };
-            let s = run_trials(topo, cfg, trials.min(10), ctx.seed, |_| vec![32; d * d]);
-            s.results
-                .iter()
-                .map(|r| r.total_packets as f64)
-                .sum::<f64>()
-                / s.results.len() as f64
-                / (horizon as f64 / 1000.0)
-        };
-        let st_conv = steady(None);
-        let st_dyn = steady(Some(blitzcoin_core::DynamicTiming::default()));
+    for (i, &d) in ds.iter().enumerate() {
+        let conv = conv_stats[2 * i].1.clone();
+        let dyn_ = conv_stats[2 * i + 1].1.clone();
+        let st_conv = steady_rate(2 * i);
+        let st_dyn = steady_rate(2 * i + 1);
         csv.row_values([
             d as f64,
             conv.mean_cycles,
@@ -402,9 +426,7 @@ pub fn fig6(ctx: &Ctx) -> FigResult {
         ]);
         agg.push((d, conv, dyn_, st_conv, st_dyn));
     }
-    let path = ctx.path("fig06_dynamic_timing.csv");
-    csv.write_to(&path).expect("write fig6 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig06_dynamic_timing.csv", &csv);
 
     let last = agg.last().expect("non-empty");
     let speedup = last.1.mean_cycles / last.2.mean_cycles;
@@ -436,7 +458,7 @@ pub fn fig6(ctx: &Ctx) -> FigResult {
     );
     // §III-D closing remark: the optimizations do not significantly affect
     // run-to-run convergence-time variability
-    let cv = |stats: &blitzcoin_core::montecarlo::TrialStats| -> f64 {
+    let cv = |stats: &TrialStats| -> f64 {
         let xs: Vec<f64> = stats
             .results
             .iter()
@@ -468,46 +490,49 @@ pub fn fig7(ctx: &Ctx) -> FigResult {
     // 400 trials keeps the full N=400 sweep tractable; the histogram shape
     // is stable well below the paper's 1000 trials.
     let trials = ctx.trials(400, 30);
+    let points: Vec<(usize, &str, PairingMode)> = [10usize, 20]
+        .into_iter()
+        .filter(|&d| !(ctx.quick && d == 20))
+        .flat_map(|d| {
+            [
+                (d, "off", PairingMode::Disabled),
+                (d, "on", PairingMode::default()),
+            ]
+        })
+        .collect();
+    let stats = mc_sweep(ctx, points, trials, |&(d, _, pairing), rng| {
+        let n = d * d;
+        // Activity-bearing protocol: half the tiles inactive, so
+        // stranded coins are possible (the deadlock Fig 5 illustrates)
+        let cfg = EmulatorConfig {
+            pairing,
+            err_threshold: 0.25,
+            stop_at_convergence: false,
+            max_cycles: 150_000,
+            quiescence_exchanges: 8 * n as u64,
+            ..EmulatorConfig::default()
+        };
+        run_one(Topology::torus(d, d), cfg, rng, |rng| {
+            (0..n)
+                .map(|_| if rng.chance(0.5) { 32u64 } else { 0 })
+                .collect()
+        })
+    });
+
     let mut csv = CsvTable::new(["n", "pairing", "bin_center", "count"]);
     let mut means = Vec::new();
-    for d in [10usize, 20] {
-        if ctx.quick && d == 20 {
-            continue;
-        }
+    for ((d, label, _), s) in &stats {
         let n = d * d;
-        for (label, pairing) in [
-            ("off", PairingMode::Disabled),
-            ("on", PairingMode::default()),
-        ] {
-            let topo = Topology::torus(d, d);
-            // Activity-bearing protocol: half the tiles inactive, so
-            // stranded coins are possible (the deadlock Fig 5 illustrates)
-            let cfg = EmulatorConfig {
-                pairing,
-                err_threshold: 0.25,
-                stop_at_convergence: false,
-                max_cycles: 150_000,
-                quiescence_exchanges: 8 * n as u64,
-                ..EmulatorConfig::default()
-            };
-            let stats = run_trials(topo, cfg, trials, ctx.seed, |rng| {
-                (0..n)
-                    .map(|_| if rng.chance(0.5) { 32u64 } else { 0 })
-                    .collect()
-            });
-            let mut hist = Histogram::new(0.0, 16.0, 32);
-            for w in stats.worst_errors() {
-                hist.push(w);
-            }
-            for (center, count) in hist.points() {
-                csv.row_values([n as f64, f64::from(label == "on"), center, count as f64]);
-            }
-            means.push((n, label, stats.mean_worst_error));
+        let mut hist = Histogram::new(0.0, 16.0, 32);
+        for w in s.worst_errors() {
+            hist.push(w);
         }
+        for (center, count) in hist.points() {
+            csv.row_values([n as f64, f64::from(*label == "on"), center, count as f64]);
+        }
+        means.push((n, *label, s.mean_worst_error));
     }
-    let path = ctx.path("fig07_random_pairing_hist.csv");
-    csv.write_to(&path).expect("write fig7 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig07_random_pairing_hist.csv", &csv);
 
     let get = |n: usize, l: &str| {
         means
@@ -539,48 +564,44 @@ pub fn fig7(ctx: &Ctx) -> FigResult {
 pub fn fig8(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig8", "Convergence vs heterogeneity (accType)");
     let trials = ctx.trials(100, 10);
-    let mut csv = CsvTable::new(["d", "acc_types", "mean_cycles", "start_error", "converged"]);
-    let mut rows = Vec::new();
-    let ds = if ctx.quick {
+    let ds: Vec<usize> = if ctx.quick {
         vec![6, 10]
     } else {
         vec![4, 8, 12, 16, 20]
     };
-    for d in ds {
-        for acc_types in [1u32, 2, 4, 8] {
-            let topo = Topology::torus(d, d);
-            let cfg = EmulatorConfig {
-                err_threshold: 1.5,
-                ..EmulatorConfig::default()
-            };
-            // Fig 8 protocol: `has` drawn from the full register range
-            // U[0, 63] regardless of the tile's type, so a wider spread of
-            // `max` targets directly inflates the initial error.
-            let n = d * d;
-            let root = SimRng::seed(ctx.seed + acc_types as u64);
-            let mut results = Vec::with_capacity(trials as usize);
-            for t in 0..trials {
-                let mut rng = root.derive(t as u64);
-                let max = heterogeneous_max(n, acc_types, &mut rng);
-                let mut emu = Emulator::new(topo, max, cfg);
-                let has: Vec<i64> = (0..n).map(|_| rng.range_i64(0..64)).collect();
-                emu.init_coins(&has);
-                results.push(emu.run(&mut rng));
-            }
-            let stats = summarize_results(results);
-            csv.row_values([
-                d as f64,
-                acc_types as f64,
-                stats.mean_cycles,
-                stats.mean_start_error,
-                stats.converged_fraction,
-            ]);
-            rows.push((d, acc_types, stats.mean_cycles, stats.mean_start_error));
-        }
+    let points: Vec<(usize, u32)> = ds
+        .into_iter()
+        .flat_map(|d| [1u32, 2, 4, 8].map(|acc_types| (d, acc_types)))
+        .collect();
+    let stats = mc_sweep(ctx, points, trials, |&(d, acc_types), mut rng| {
+        let cfg = EmulatorConfig {
+            err_threshold: 1.5,
+            ..EmulatorConfig::default()
+        };
+        // Fig 8 protocol: `has` drawn from the full register range
+        // U[0, 63] regardless of the tile's type, so a wider spread of
+        // `max` targets directly inflates the initial error.
+        let n = d * d;
+        let max = heterogeneous_max(n, acc_types, &mut rng);
+        let mut emu = Emulator::new(Topology::torus(d, d), max, cfg);
+        let has: Vec<i64> = (0..n).map(|_| rng.range_i64(0..64)).collect();
+        emu.init_coins(&has);
+        emu.run(&mut rng)
+    });
+
+    let mut csv = CsvTable::new(["d", "acc_types", "mean_cycles", "start_error", "converged"]);
+    let mut rows = Vec::new();
+    for ((d, acc_types), s) in &stats {
+        csv.row_values([
+            *d as f64,
+            *acc_types as f64,
+            s.mean_cycles,
+            s.mean_start_error,
+            s.converged_fraction,
+        ]);
+        rows.push((*d, *acc_types, s.mean_cycles, s.mean_start_error));
     }
-    let path = ctx.path("fig08_heterogeneity.csv");
-    csv.write_to(&path).expect("write fig8 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig08_heterogeneity.csv", &csv);
 
     let d_big = rows.iter().map(|r| r.0).max().expect("rows");
     let t1 = rows

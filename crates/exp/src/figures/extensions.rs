@@ -9,7 +9,7 @@
 //!   analytically beyond N=13; here the simulator runs the larger SoCs).
 
 use blitzcoin_core::emulator::{Emulator, EmulatorConfig};
-use blitzcoin_core::montecarlo::run_activity_change_trials;
+use blitzcoin_core::montecarlo::run_activity_change_trials_with;
 use blitzcoin_core::HotspotCap;
 use blitzcoin_noc::wormhole::{WormholeConfig, WormholeNetwork};
 use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, Plane, TileId, Topology};
@@ -18,6 +18,7 @@ use blitzcoin_sim::{SimRng, SimTime, StepTrace};
 use blitzcoin_soc::prelude::*;
 use blitzcoin_thermal::{coin_cap_for_limit, ThermalConfig, ThermalModel};
 
+use crate::sweep::{par_units, write_csv};
 use crate::{Ctx, FigResult};
 
 /// The thermal-management extension.
@@ -92,18 +93,20 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
             .max_celsius()
     };
 
-    let uncapped = run_scenario(None);
-    let capped = run_scenario(Some(HotspotCap::new(cap)));
-    let t_uncapped = peak_of(&uncapped);
-    let t_capped = peak_of(&capped);
+    // the capped/uncapped pair shares ctx.seed (same greedy scenario
+    // draw) and runs concurrently
+    let scenarios = par_units(ctx, &[None, Some(HotspotCap::new(cap))], |&h| {
+        run_scenario(h)
+    });
+    let (uncapped, capped) = (&scenarios[0], &scenarios[1]);
+    let t_uncapped = peak_of(uncapped);
+    let t_capped = peak_of(capped);
 
     let mut csv = CsvTable::new(["tile", "uncapped_mw", "capped_mw"]);
     for i in 0..25 {
         csv.row_values([i as f64, uncapped[i], capped[i]]);
     }
-    let path = ctx.path("thermal_ext_hotspot.csv");
-    csv.write_to(&path).expect("write thermal csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "thermal_ext_hotspot.csv", &csv);
 
     fig.claim(
         "hotspot-cap-bounds-temperature",
@@ -142,6 +145,23 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
     } else {
         &[(1.0, 4), (0.25, 16), (0.0625, 64), (0.015625, 256)]
     };
+    // (scale, frames) x manager grid runs concurrently; each granularity
+    // point owns a sub-seed shared by its three managers
+    let managers = [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+    ];
+    let units: Vec<(u64, f64, usize, ManagerKind)> = sweep
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(scale, frames))| managers.map(|m| (i as u64, scale, frames, m)))
+        .collect();
+    let runs = par_units(ctx, &units, |&(i, scale, frames, m)| {
+        let wl = workload::av_dependent_scaled(&soc, frames, scale);
+        Simulation::new(soc.clone(), wl, SimConfig::new(m, 120.0)).run(ctx.subseed(i))
+    });
+
     let mut csv = CsvTable::new([
         "work_scale",
         "frames",
@@ -151,14 +171,8 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
         "crr_penalty_pct",
     ]);
     let mut penalties = Vec::new();
-    for &(scale, frames) in sweep {
-        let run = |m: ManagerKind| {
-            let wl = workload::av_dependent_scaled(&soc, frames, scale);
-            Simulation::new(soc.clone(), wl, SimConfig::new(m, 120.0)).run(ctx.seed)
-        };
-        let bc = run(ManagerKind::BlitzCoin);
-        let bcc = run(ManagerKind::BcCentralized);
-        let crr = run(ManagerKind::CentralizedRoundRobin);
+    for (i, &(scale, frames)) in sweep.iter().enumerate() {
+        let [bc, bcc, crr] = [&runs[3 * i], &runs[3 * i + 1], &runs[3 * i + 2]];
         let p_bcc = (bcc.exec_time_us() / bc.exec_time_us() - 1.0) * 100.0;
         let p_crr = (crr.exec_time_us() / bc.exec_time_us() - 1.0) * 100.0;
         csv.row_values([
@@ -171,9 +185,7 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
         ]);
         penalties.push(p_bcc);
     }
-    let path = ctx.path("granularity_sensitivity.csv");
-    csv.write_to(&path).expect("write granularity csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "granularity_sensitivity.csv", &csv);
 
     let first = *penalties.first().expect("sweep");
     let last = *penalties.last().expect("sweep");
@@ -242,10 +254,7 @@ pub fn cpu_proxy(ctx: &Ctx) -> FigResult {
         csv.row([name.to_string(), format!("{p:.2}"), format!("{f:.0}")]);
         freqs.push((name, p, f));
     }
-    let path = ctx.path("cpu_proxy.csv");
-    csv.write_to(&path).expect("write cpu proxy csv");
-    fig.output(&path);
-    let _ = ctx;
+    write_csv(ctx, &mut fig, "cpu_proxy.csv", &csv);
     fig.claim(
         "proxy-tracks-activity",
         "activity counters separate workload phases by estimated power",
@@ -280,6 +289,9 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
         "Analytic NoC timing model vs flit-level wormhole router",
     );
     let topo = Topology::mesh(8, 8);
+    // NOTE: intentionally serial — a single RNG stream threads through
+    // both the zero-load pairs and the burst draws, so this is a
+    // sequential protocol, not an independent-unit sweep.
     let mut rng = blitzcoin_sim::SimRng::seed(ctx.seed);
 
     // zero load: per-pair agreement
@@ -346,9 +358,7 @@ pub fn noc_validation(ctx: &Ctx) -> FigResult {
         csv.row_values([k as f64, mean_analytic, mean_wh]);
         ratios.push(mean_analytic / mean_wh);
     }
-    let path = ctx.path("noc_validation.csv");
-    csv.write_to(&path).expect("write noc validation csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "noc_validation.csv", &csv);
 
     let worst = ratios
         .iter()
@@ -406,12 +416,20 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
         b.build("imbalanced", &soc)
     };
 
+    // the global/clustered pair shares ctx.seed (same imbalanced
+    // workload draw) and runs concurrently
     let cfg = SimConfig::for_large_soc(ManagerKind::BlitzCoin, budget, n);
-    let global = Simulation::new(soc.clone(), wl.clone(), cfg).run(ctx.seed);
-    let clustered = Simulation::with_clusters(soc.clone(), wl, cfg, quads.clone()).run(ctx.seed);
+    let pair = par_units(ctx, &[false, true], |&use_clusters| {
+        if use_clusters {
+            Simulation::with_clusters(soc.clone(), wl.clone(), cfg, quads.clone()).run(ctx.seed)
+        } else {
+            Simulation::new(soc.clone(), wl.clone(), cfg).run(ctx.seed)
+        }
+    });
+    let (global, clustered) = (&pair[0], &pair[1]);
 
     let mut csv = CsvTable::new(["config", "exec_us", "mean_response_us", "utilization"]);
-    for (name, r) in [("global", &global), ("clustered", &clustered)] {
+    for (name, r) in [("global", global), ("clustered", clustered)] {
         csv.row([
             name.to_string(),
             format!("{:.1}", r.exec_time_us()),
@@ -419,9 +437,7 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
             format!("{:.3}", r.utilization()),
         ]);
     }
-    let path = ctx.path("clusters_tradeoff.csv");
-    csv.write_to(&path).expect("write clusters csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "clusters_tradeoff.csv", &csv);
 
     let resp_g = global.mean_nontrivial_response_us(0.05).unwrap_or(f64::NAN);
     let resp_c = clustered
@@ -453,58 +469,74 @@ pub fn scaling_sim(ctx: &Ctx) -> FigResult {
         "Response scaling measured directly in the full-SoC engine",
     );
     let ds: &[usize] = if ctx.quick { &[4, 6] } else { &[4, 6, 8, 10] };
+    let seeds = if ctx.quick { 2u64 } else { 5 };
+    let managers = [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+    ];
+    // the full d x manager x seed grid is one flattened work queue: the
+    // costly d=10 runs load-balance against the cheap d=4 ones. Each d
+    // owns a sub-seed; seed replicas derive from it, and the managers at
+    // one (d, replica) share the draw (paired comparison).
+    let units: Vec<(u64, usize, ManagerKind, u64)> = ds
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &d)| {
+            managers
+                .into_iter()
+                .flat_map(move |m| (0..seeds).map(move |s| (i as u64, d, m, s)))
+        })
+        .collect();
+    let responses = par_units(ctx, &units, |&(i, d, m, s)| {
+        let soc = floorplan::synthetic(d);
+        let wl = workload::parallel_all(&soc, 2);
+        let cfg = SimConfig::for_large_soc(m, soc.total_p_max() * 0.3, soc.n_managed());
+        let seed = SimRng::seed(ctx.subseed(i)).derive(s).root_seed();
+        Simulation::new(soc, wl, cfg)
+            .run(seed)
+            .mean_nontrivial_response_us(0.05)
+    });
+
     let mut csv = CsvTable::new(["d", "n_managed", "bc_resp_us", "bcc_resp_us", "crr_resp_us"]);
     let mut rows = Vec::new();
-    for &d in ds {
-        let soc = floorplan::synthetic(d);
-        let n = soc.n_managed();
-        let budget = soc.total_p_max() * 0.3;
-        let seeds = if ctx.quick { 2 } else { 5 };
-        let resp = |m: ManagerKind| -> f64 {
-            let mut acc = 0.0;
-            let mut count = 0u32;
-            for s in 0..seeds {
-                let wl = workload::parallel_all(&soc, 2);
-                let cfg = SimConfig::for_large_soc(m, budget, n);
-                let r = Simulation::new(soc.clone(), wl, cfg).run(ctx.seed + s);
-                if let Some(x) = r.mean_nontrivial_response_us(0.05) {
-                    acc += x;
-                    count += 1;
-                }
-            }
-            acc / count.max(1) as f64
-        };
-        let bc = resp(ManagerKind::BlitzCoin);
-        let bcc = resp(ManagerKind::BcCentralized);
-        let crr = resp(ManagerKind::CentralizedRoundRobin);
+    let mean_of = |chunk: &[Option<f64>]| -> f64 {
+        let xs: Vec<f64> = chunk.iter().flatten().copied().collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    for (i, &d) in ds.iter().enumerate() {
+        let base = i * managers.len() * seeds as usize;
+        let per_mgr = seeds as usize;
+        let bc = mean_of(&responses[base..base + per_mgr]);
+        let bcc = mean_of(&responses[base + per_mgr..base + 2 * per_mgr]);
+        let crr = mean_of(&responses[base + 2 * per_mgr..base + 3 * per_mgr]);
+        let n = floorplan::synthetic(d).n_managed();
         csv.row_values([d as f64, n as f64, bc, bcc, crr]);
         rows.push((n, bc, bcc, crr));
     }
-    let path = ctx.path("scaling_sim_response.csv");
-    csv.write_to(&path).expect("write scaling csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "scaling_sim_response.csv", &csv);
 
     // companion: the emulator-level response sweep (activity-change
-    // protocol) across much larger grids than the engine can afford
+    // protocol) across much larger grids than the engine can afford;
+    // trials parallelize inside each call, and every d gets its own
+    // sub-seed (offset past the engine grid's point indices)
     let mut emu_csv = CsvTable::new(["d", "n", "response_cycles"]);
     let trials = ctx.trials(60, 10);
+    let exec = ctx.exec();
     let mut emu_rows = Vec::new();
-    for d in [4usize, 8, 12, 16, 20] {
-        let stats = run_activity_change_trials(
+    for (i, d) in [4usize, 8, 12, 16, 20].into_iter().enumerate() {
+        let stats = run_activity_change_trials_with(
+            &exec,
             Topology::torus(d, d),
             EmulatorConfig::default(),
             trials,
-            ctx.seed,
+            ctx.subseed(100 + i as u64),
             0.1,
         );
         emu_csv.row_values([d as f64, (d * d) as f64, stats.mean_cycles]);
         emu_rows.push((d, stats.mean_cycles));
     }
-    let path_emu = ctx.path("scaling_emulator_response.csv");
-    emu_csv
-        .write_to(&path_emu)
-        .expect("write emulator scaling csv");
-    fig.output(&path_emu);
+    write_csv(ctx, &mut fig, "scaling_emulator_response.csv", &emu_csv);
     let (d0, t0) = emu_rows[0];
     let (d1, t1) = *emu_rows.last().expect("rows");
     let n_ratio_emu = (d1 * d1) as f64 / (d0 * d0) as f64;

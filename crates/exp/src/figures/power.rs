@@ -4,27 +4,34 @@
 use blitzcoin_power::{AcceleratorClass, PowerModel, Uvfr, UvfrConfig};
 use blitzcoin_sim::csv::CsvTable;
 
+use crate::sweep::{par_units, write_csv};
 use crate::{Ctx, FigResult};
 
 /// Fig 13: per-accelerator power/frequency characterization curves.
 pub fn fig13(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig13", "Accelerator power/frequency characterization");
     let mut csv = CsvTable::new(["accelerator", "freq_mhz", "power_mw", "voltage_v"]);
-    for class in AcceleratorClass::ALL {
+    // one characterization sweep per accelerator class, concurrently;
+    // rows land in class order
+    let per_class = par_units(ctx, &AcceleratorClass::ALL, |&class| {
         let m = PowerModel::of(class);
-        for (f, p) in m.characterization(24) {
-            let v = m.curve().voltage_for(f);
-            csv.row([
-                class.name().to_string(),
-                format!("{f:.1}"),
-                format!("{p:.3}"),
-                format!("{v:.3}"),
-            ]);
-        }
+        m.characterization(24)
+            .into_iter()
+            .map(|(f, p)| {
+                let v = m.curve().voltage_for(f);
+                [
+                    class.name().to_string(),
+                    format!("{f:.1}"),
+                    format!("{p:.3}"),
+                    format!("{v:.3}"),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in per_class.into_iter().flatten() {
+        csv.row(row);
     }
-    let path = ctx.path("fig13_characterization.csv");
-    csv.write_to(&path).expect("write fig13 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig13_characterization.csv", &csv);
 
     let total_3x3 = 3.0 * PowerModel::of(AcceleratorClass::Fft).p_max()
         + 2.0 * PowerModel::of(AcceleratorClass::Viterbi).p_max()

@@ -16,6 +16,7 @@ use blitzcoin_sim::csv::CsvTable;
 use blitzcoin_sim::{FaultPlan, SimRng, TileFault, TileFaultKind};
 use blitzcoin_soc::prelude::*;
 
+use crate::sweep::{par_units, write_csv};
 use crate::{Ctx, FigResult};
 
 /// When the fault strikes, in NoC cycles (30 us: mid-run for every
@@ -98,40 +99,52 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
         ]);
     };
 
+    // The 3x3 (manager x scenario) grid: every run is an independent
+    // simulation, so all nine execute concurrently. Every scenario
+    // shares ctx.seed on purpose — the differential claim compares the
+    // *same* workload draw with and without the fault.
+    let grid: Vec<(ManagerKind, Option<FaultPlan>)> = [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+    ]
+    .into_iter()
+    .flat_map(|m| {
+        [None, Some(kill(WORKER_TILE)), Some(kill(CONTROLLER_TILE))].map(|plan| (m, plan))
+    })
+    .collect();
+    let reports = par_units(ctx, &grid, |(m, plan)| run(*m, plan.clone(), f, ctx.seed));
+
     // BlitzCoin: healthy, worker killed, and — for symmetry with the
     // centralized runs — the CPU tile killed (it plays no role in the
     // coin economy, so nothing should degrade at all).
-    let bc_healthy = run(ManagerKind::BlitzCoin, None, f, ctx.seed);
-    let bc_worker = run(ManagerKind::BlitzCoin, Some(kill(WORKER_TILE)), f, ctx.seed);
-    let bc_cpu = run(
-        ManagerKind::BlitzCoin,
-        Some(kill(CONTROLLER_TILE)),
-        f,
-        ctx.seed,
-    );
-    record(ManagerKind::BlitzCoin, "healthy", &bc_healthy);
-    record(ManagerKind::BlitzCoin, "kill-worker", &bc_worker);
-    record(ManagerKind::BlitzCoin, "kill-cpu", &bc_cpu);
+    let (bc_healthy, bc_worker, bc_cpu) = (&reports[0], &reports[1], &reports[2]);
+    record(ManagerKind::BlitzCoin, "healthy", bc_healthy);
+    record(ManagerKind::BlitzCoin, "kill-worker", bc_worker);
+    record(ManagerKind::BlitzCoin, "kill-cpu", bc_cpu);
 
     // Centralized managers: the same single-tile fault aimed at the
     // controller (their worker-kill rows are in the CSV for reference).
     let mut central = Vec::new();
-    for m in [
+    for (j, m) in [
         ManagerKind::BcCentralized,
         ManagerKind::CentralizedRoundRobin,
-    ] {
-        let healthy = run(m, None, f, ctx.seed);
-        let worker = run(m, Some(kill(WORKER_TILE)), f, ctx.seed);
-        let ctl = run(m, Some(kill(CONTROLLER_TILE)), f, ctx.seed);
-        record(m, "healthy", &healthy);
-        record(m, "kill-worker", &worker);
-        record(m, "kill-controller", &ctl);
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (healthy, worker, ctl) = (
+            &reports[3 + 3 * j],
+            &reports[4 + 3 * j],
+            &reports[5 + 3 * j],
+        );
+        record(m, "healthy", healthy);
+        record(m, "kill-worker", worker);
+        record(m, "kill-controller", ctl);
         central.push((m, healthy, ctl));
     }
 
-    let path = ctx.path("resilience.csv");
-    csv.write_to(&path).expect("write resilience csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "resilience.csv", &csv);
 
     // TokenSmart: the ring's sequential pool is its own critical element.
     // The abstract ring converges within ~one revolution, so the fault is
@@ -157,9 +170,7 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
             r.cycles.to_string(),
         ]);
     }
-    let ts_path = ctx.path("resilience_tokensmart.csv");
-    ts_csv.write_to(&ts_path).expect("write tokensmart csv");
-    fig.output(&ts_path);
+    write_csv(ctx, &mut fig, "resilience_tokensmart.csv", &ts_csv);
 
     // -- claims ----------------------------------------------------------
 
@@ -174,11 +185,11 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
             bc_worker.tasks_abandoned,
             bc_worker.coins_reclaimed,
             bc_worker.recovery_us,
-            post_fault_responses(&bc_worker)
+            post_fault_responses(bc_worker)
         ),
         bc_worker.coins_reclaimed > 0
             && bc_worker.recovery_us.is_some()
-            && post_fault_responses(&bc_worker) > 0
+            && post_fault_responses(bc_worker) > 0
             && bc_worker.tasks_abandoned == f,
     );
     fig.claim(

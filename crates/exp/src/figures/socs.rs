@@ -1,10 +1,27 @@
 //! Full-SoC experiments: Figs 16-20 and the AP-vs-RP study of §VI-A.
+//!
+//! Every per-scheme comparison here (BC vs BC-C vs C-RR, BC vs Static,
+//! RP vs AP) runs its independent simulations concurrently through
+//! [`par_units`], flattened across the sweep grid so the executor sees
+//! one work queue. Seeding: each *sweep point* — a (budget, dataflow)
+//! combo, a workload size, a budget level — gets its own
+//! [`Ctx::subseed`], while the schemes compared *within* a point share
+//! that seed on purpose (paired comparison on the same workload draw).
 
 use blitzcoin_sim::csv::CsvTable;
 use blitzcoin_sim::SimTime;
 use blitzcoin_soc::prelude::*;
 
+use crate::sweep::{par_units, write_csv};
 use crate::{Ctx, FigResult};
+
+/// The three managers of the paper's headline comparison, in the order
+/// every grid below reports them.
+const MANAGERS: [ManagerKind; 3] = [
+    ManagerKind::BlitzCoin,
+    ManagerKind::BcCentralized,
+    ManagerKind::CentralizedRoundRobin,
+];
 
 fn frames(ctx: &Ctx) -> usize {
     if ctx.quick {
@@ -28,16 +45,21 @@ fn run_3x3(manager: ManagerKind, budget: f64, dep: bool, frames: usize, seed: u6
 /// 120 mW, WL-Dep at 60 mW) for BC, BC-C and C-RR.
 pub fn fig16(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig16", "3x3 SoC power traces (WL-Par@120mW, WL-Dep@60mW)");
-    for (label, dep, budget) in [("wlpar_120mw", false, 120.0), ("wldep_60mw", true, 60.0)] {
-        let mut csv = CsvTable::new(["t_us", "bc_mw", "bcc_mw", "crr_mw", "budget_mw"]);
-        let reports: Vec<SimReport> = [
-            ManagerKind::BlitzCoin,
-            ManagerKind::BcCentralized,
-            ManagerKind::CentralizedRoundRobin,
-        ]
+    let combos = [("wlpar_120mw", false, 120.0), ("wldep_60mw", true, 60.0)];
+    let f = frames(ctx);
+    // the whole 2x3 (workload x manager) grid runs concurrently
+    let units: Vec<(u64, bool, f64, ManagerKind)> = combos
         .iter()
-        .map(|&m| run_3x3(m, budget, dep, frames(ctx), ctx.seed))
+        .enumerate()
+        .flat_map(|(i, &(_, dep, budget))| MANAGERS.map(|m| (i as u64, dep, budget, m)))
         .collect();
+    let all_reports = par_units(ctx, &units, |&(i, dep, budget, m)| {
+        run_3x3(m, budget, dep, f, ctx.subseed(i))
+    });
+    for (i, (label, _, budget)) in combos.iter().enumerate() {
+        let budget = *budget;
+        let reports = &all_reports[3 * i..3 * i + 3];
+        let mut csv = CsvTable::new(["t_us", "bc_mw", "bcc_mw", "crr_mw", "budget_mw"]);
         let horizon = reports
             .iter()
             .map(|r| r.exec_time)
@@ -55,9 +77,7 @@ pub fn fig16(ctx: &Ctx) -> FigResult {
             ]);
             t += step;
         }
-        let path = ctx.path(&format!("fig16_trace_{label}.csv"));
-        csv.write_to(&path).expect("write fig16 csv");
-        fig.output(&path);
+        write_csv(ctx, &mut fig, &format!("fig16_trace_{label}.csv"), &csv);
 
         let cap_ok = reports
             .iter()
@@ -108,9 +128,7 @@ pub fn fig16(ctx: &Ctx) -> FigResult {
                 ]);
                 t += step;
             }
-            let zpath = ctx.path(&format!("fig16_zoom_{label}.csv"));
-            zoom.write_to(&zpath).expect("write fig16 zoom csv");
-            fig.output(&zpath);
+            write_csv(ctx, &mut fig, &format!("fig16_zoom_{label}.csv"), &zoom);
             // during the reallocation window, BC banks at least as much
             // energy as the centralized schemes (it reassigns the freed
             // budget soonest)
@@ -133,19 +151,30 @@ pub fn fig16(ctx: &Ctx) -> FigResult {
 }
 
 /// The Fig 17/18 grid: per-(budget, dataflow) execution and response for
-/// all three managers, with the paper's aggregate ratios.
+/// all three managers, with the paper's aggregate ratios. The full
+/// combos x managers grid executes concurrently; each combo owns a
+/// sub-seed shared by its three managers.
 #[allow(clippy::too_many_arguments)]
 fn soc_grid(
     fig: &mut FigResult,
     ctx: &Ctx,
     soc_name: &str,
-    make: impl Fn(ManagerKind, f64, bool, u64) -> SimReport,
+    make: impl Fn(ManagerKind, f64, bool, u64) -> SimReport + Sync,
     combos: &[(f64, bool)],
     paper_bcc_speedup: &str,
     paper_bc_response: &str,
     paper_bc_throughput: &str,
     csv_name: &str,
 ) {
+    let units: Vec<(u64, f64, bool, ManagerKind)> = combos
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(budget, dep))| MANAGERS.map(|m| (i as u64, budget, dep, m)))
+        .collect();
+    let reports = par_units(ctx, &units, |&(i, budget, dep, m)| {
+        make(m, budget, dep, ctx.subseed(i))
+    });
+
     let mut csv = CsvTable::new([
         "budget_mw",
         "dataflow",
@@ -161,15 +190,9 @@ fn soc_grid(
     let mut speedup_bc_vs_bcc = Vec::new();
     let mut resp_ratio_bcc = Vec::new();
     let mut resp_ratio_crr = Vec::new();
-    for &(budget, dep) in combos {
-        let bc = make(ManagerKind::BlitzCoin, budget, dep, ctx.seed);
-        let bcc = make(ManagerKind::BcCentralized, budget, dep, ctx.seed);
-        let crr = make(ManagerKind::CentralizedRoundRobin, budget, dep, ctx.seed);
-        for (m, r) in [
-            (ManagerKind::BlitzCoin, &bc),
-            (ManagerKind::BcCentralized, &bcc),
-            (ManagerKind::CentralizedRoundRobin, &crr),
-        ] {
+    for (i, &(budget, dep)) in combos.iter().enumerate() {
+        let [bc, bcc, crr] = [&reports[3 * i], &reports[3 * i + 1], &reports[3 * i + 2]];
+        for (m, r) in MANAGERS.iter().zip([bc, bcc, crr]) {
             csv.row([
                 format!("{budget}"),
                 if dep { "WL-Dep" } else { "WL-Par" }.to_string(),
@@ -188,9 +211,7 @@ fn soc_grid(
         resp_ratio_bcc.push(bcc.mean_response_us().unwrap_or(f64::NAN) / bc_resp);
         resp_ratio_crr.push(crr.mean_response_us().unwrap_or(f64::NAN) / bc_resp);
     }
-    let path = ctx.path(csv_name);
-    csv.write_to(&path).expect("write soc grid csv");
-    fig.output(&path);
+    write_csv(ctx, fig, csv_name, &csv);
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let bcc_speed = avg(&speedup_bcc_vs_crr);
@@ -275,17 +296,22 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
     let budget = soc.total_p_max() * 0.33;
     let f = frames(ctx).max(2);
 
-    // 7-accelerator run: utilization + coin allocation before/after
-    let wl = workload::pm_cluster(&soc, f, 7);
-    let sim = Simulation::new(
-        soc.clone(),
-        wl.clone(),
-        SimConfig::new(ManagerKind::BlitzCoin, budget),
-    );
-    let bc = sim.run(ctx.seed);
-    let stat =
-        Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::Static, budget)).run(ctx.seed);
+    // all four workload sizes x {BC, Static} run concurrently; each size
+    // owns a sub-seed shared by the BC/Static pair
+    let sizes = [7usize, 5, 4, 3];
+    let units: Vec<(u64, usize, ManagerKind)> = sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &n)| [ManagerKind::BlitzCoin, ManagerKind::Static].map(|m| (i as u64, n, m)))
+        .collect();
+    let reports = par_units(ctx, &units, |&(i, n, m)| {
+        let wl = workload::pm_cluster(&soc, f, n);
+        Simulation::new(soc.clone(), wl, SimConfig::new(m, budget)).run(ctx.subseed(i))
+    });
 
+    // 7-accelerator run: utilization + coin allocation before/after
+    let bc = &reports[0];
+    let stat = &reports[1];
     let mut csv = CsvTable::new(["tile", "coins_at_boot", "coins_after_convergence"]);
     let t_conv = bc
         .responses
@@ -299,9 +325,7 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
             trace.value_at(t_conv),
         ]);
     }
-    let path = ctx.path("fig19_coin_allocation.csv");
-    csv.write_to(&path).expect("write fig19 coins csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig19_coin_allocation.csv", &csv);
 
     fig.claim(
         "utilization",
@@ -333,23 +357,13 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
         "improvement_pct",
     ]);
     let mut all_positive = true;
-    for n in [5usize, 4, 3] {
-        let wl = workload::pm_cluster(&soc, f, n);
-        let b = Simulation::new(
-            soc.clone(),
-            wl.clone(),
-            SimConfig::new(ManagerKind::BlitzCoin, budget),
-        )
-        .run(ctx.seed);
-        let s = Simulation::new(soc.clone(), wl, SimConfig::new(ManagerKind::Static, budget))
-            .run(ctx.seed);
+    for (i, &n) in sizes.iter().enumerate().skip(1) {
+        let (b, s) = (&reports[2 * i], &reports[2 * i + 1]);
         let imp = (s.exec_time_us() / b.exec_time_us() - 1.0) * 100.0;
         csv2.row_values([n as f64, b.exec_time_us(), s.exec_time_us(), imp]);
         all_positive &= imp > 0.0;
     }
-    let path2 = ctx.path("fig19_static_comparison.csv");
-    csv2.write_to(&path2).expect("write fig19 static csv");
-    fig.output(&path2);
+    write_csv(ctx, &mut fig, "fig19_static_comparison.csv", &csv2);
     fig.claim(
         "smaller-workloads",
         "similar improvements (26/26/19%) for 5/4/3-accelerator workloads",
@@ -385,31 +399,30 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
         .expect("6x6 has an NVDLA")
         .index();
 
-    let mut measured = Vec::new();
-    let mut bc_report = None;
-    for m in [
-        ManagerKind::BlitzCoin,
-        ManagerKind::BcCentralized,
-        ManagerKind::CentralizedRoundRobin,
-    ] {
+    // one transition, three managers under the same workload draw: the
+    // three runs are independent and execute concurrently
+    let reports = par_units(ctx, &MANAGERS, |&m| {
         let wl = workload::pm_cluster(&soc, f, 7);
-        let r = Simulation::new(soc.clone(), wl, SimConfig::new(m, budget)).run(ctx.seed);
-        // the NVDLA's stream-end transition
-        let t_end = r
-            .activity_changes
-            .iter()
-            .filter(|c| c.tile == nvdla_tile && !c.active)
-            .map(|c| c.at_us)
-            .next_back();
-        let resp = t_end.and_then(|t| r.response_at(t));
-        measured.push((m, t_end, resp));
-        if m == ManagerKind::BlitzCoin {
-            bc_report = Some(r);
-        }
-    }
+        Simulation::new(soc.clone(), wl, SimConfig::new(m, budget)).run(ctx.seed)
+    });
+    let measured: Vec<(ManagerKind, Option<f64>, Option<f64>)> = MANAGERS
+        .iter()
+        .zip(&reports)
+        .map(|(&m, r)| {
+            // the NVDLA's stream-end transition
+            let t_end = r
+                .activity_changes
+                .iter()
+                .filter(|c| c.tile == nvdla_tile && !c.active)
+                .map(|c| c.at_us)
+                .next_back();
+            let resp = t_end.and_then(|t| r.response_at(t));
+            (m, t_end, resp)
+        })
+        .collect();
 
     // coin trace around the transition for the BC run
-    let bc = bc_report.expect("BC run recorded");
+    let bc = &reports[0];
     let t_end = measured[0].1.unwrap_or(0.0);
     let mut csv = CsvTable::new(["t_us", "tile", "coins"]);
     let from = SimTime::from_us_f64((t_end - 2.0).max(0.0));
@@ -419,9 +432,7 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
             csv.row_values([p.time.as_us_f64(), bc.managed_tiles[slot] as f64, p.value]);
         }
     }
-    let path = ctx.path("fig20_coin_trace.csv");
-    csv.write_to(&path).expect("write fig20 csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "fig20_coin_trace.csv", &csv);
 
     let bc_resp = measured[0].2.unwrap_or(f64::NAN);
     let bcc_resp = measured[1].2.unwrap_or(f64::NAN);
@@ -449,25 +460,37 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
 pub fn ap_vs_rp(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("ap-vs-rp", "RP vs AP allocation (§VI-A)");
     let f = frames(ctx);
+    // budgets x {RP, AP} concurrently; each budget level owns a sub-seed
+    // shared by its policy pair
+    let budgets = [60.0, 90.0, 120.0];
+    let units: Vec<(u64, f64, AllocationPolicy)> = budgets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &b)| {
+            [
+                AllocationPolicy::RelativeProportional,
+                AllocationPolicy::AbsoluteProportional,
+            ]
+            .map(|p| (i as u64, b, p))
+        })
+        .collect();
+    let runs = par_units(ctx, &units, |&(i, budget, policy)| {
+        let soc = floorplan::soc_3x3();
+        let wl = workload::av_parallel(&soc, f);
+        let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, budget);
+        cfg.policy = policy;
+        Simulation::new(soc, wl, cfg).run(ctx.subseed(i))
+    });
+
     let mut csv = CsvTable::new(["budget_mw", "rp_exec_us", "ap_exec_us", "rp_gain_pct"]);
     let mut gains = Vec::new();
-    for budget in [60.0, 90.0, 120.0] {
-        let run = |policy| {
-            let soc = floorplan::soc_3x3();
-            let wl = workload::av_parallel(&soc, f);
-            let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, budget);
-            cfg.policy = policy;
-            Simulation::new(soc, wl, cfg).run(ctx.seed)
-        };
-        let rp = run(AllocationPolicy::RelativeProportional);
-        let ap = run(AllocationPolicy::AbsoluteProportional);
+    for (i, &budget) in budgets.iter().enumerate() {
+        let (rp, ap) = (&runs[2 * i], &runs[2 * i + 1]);
         let gain = (ap.exec_time_us() / rp.exec_time_us() - 1.0) * 100.0;
         csv.row_values([budget, rp.exec_time_us(), ap.exec_time_us(), gain]);
         gains.push(gain);
     }
-    let path = ctx.path("ap_vs_rp.csv");
-    csv.write_to(&path).expect("write ap-vs-rp csv");
-    fig.output(&path);
+    write_csv(ctx, &mut fig, "ap_vs_rp.csv", &csv);
     let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
     fig.claim(
         "rp-beats-ap",

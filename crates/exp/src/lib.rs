@@ -20,7 +20,10 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use blitzcoin_sim::{Executor, SimRng};
+
 pub mod figures;
+pub mod sweep;
 
 /// Shared context for all experiment runners.
 #[derive(Debug, Clone)]
@@ -31,6 +34,9 @@ pub struct Ctx {
     pub quick: bool,
     /// Root seed for all Monte-Carlo sweeps.
     pub seed: u64,
+    /// Parallel worker count for sweep execution; 0 resolves from the
+    /// environment (`BLITZCOIN_JOBS`, then available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for Ctx {
@@ -39,6 +45,7 @@ impl Default for Ctx {
             out_dir: PathBuf::from("results"),
             quick: false,
             seed: 2024,
+            jobs: 0,
         }
     }
 }
@@ -49,7 +56,7 @@ impl Ctx {
         Ctx {
             out_dir: dir.into(),
             quick: true,
-            seed: 2024,
+            ..Ctx::default()
         }
     }
 
@@ -65,6 +72,22 @@ impl Ctx {
     /// Output path for a CSV file.
     pub fn path(&self, name: &str) -> PathBuf {
         self.out_dir.join(name)
+    }
+
+    /// The executor every sweep in this run fans out on.
+    pub fn exec(&self) -> Executor {
+        if self.jobs == 0 {
+            Executor::from_env()
+        } else {
+            Executor::new(self.jobs)
+        }
+    }
+
+    /// A per-sweep-point sub-seed: hand-rolled sweeps must pass
+    /// `ctx.subseed(point_idx)` (not `ctx.seed`) into seeded runs so
+    /// different points never consume correlated RNG streams.
+    pub fn subseed(&self, point_idx: u64) -> u64 {
+        SimRng::seed(self.seed).derive(point_idx).root_seed()
     }
 }
 
@@ -116,13 +139,21 @@ pub struct FigResult {
     pub claims: Vec<Claim>,
     /// CSV files written.
     pub outputs: Vec<String>,
+    /// Wall-clock duration of the runner in milliseconds (stamped by the
+    /// CLI, so the sweep speedup is a recorded artifact, not a claim).
+    pub wall_ms: f64,
+    /// Effective parallel job count the runner executed with (stamped by
+    /// the CLI).
+    pub jobs: u64,
 }
 
 blitzcoin_sim::json_fields!(FigResult {
     id,
     title,
     claims,
-    outputs
+    outputs,
+    wall_ms,
+    jobs
 });
 
 impl FigResult {
@@ -133,6 +164,8 @@ impl FigResult {
             title: title.into(),
             claims: Vec::new(),
             outputs: Vec::new(),
+            wall_ms: 0.0,
+            jobs: 0,
         }
     }
 

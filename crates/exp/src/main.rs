@@ -1,14 +1,19 @@
 //! CLI entry point of the experiment harness.
 //!
 //! ```text
-//! blitzcoin-exp all [--quick] [--out DIR] [--write-experiments]
+//! blitzcoin-exp all [--quick] [--out DIR] [--jobs N] [--write-experiments]
 //! blitzcoin-exp fig17 [--quick] [--out DIR]
 //! blitzcoin-exp plots [--out DIR]     # render results/*.csv to SVG
 //! blitzcoin-exp list
 //! ```
+//!
+//! `--jobs N` (or the `BLITZCOIN_JOBS` env var) sets the sweep
+//! executor's worker count; the default is the machine's available
+//! parallelism. Output is byte-identical at every job count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use blitzcoin_exp::{render_experiments_md, run_experiment, Ctx, ALL_EXPERIMENTS};
 
@@ -42,6 +47,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                let Some(jobs) = iter.next() else {
+                    eprintln!("--jobs needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match jobs.parse::<usize>() {
+                    Ok(j) if j > 0 => ctx.jobs = j,
+                    Ok(_) => {
+                        eprintln!("--jobs must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("bad job count: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -67,7 +89,7 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--write-experiments]",
+            "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;
@@ -75,10 +97,15 @@ fn main() -> ExitCode {
     ids.dedup();
 
     std::fs::create_dir_all(&ctx.out_dir).expect("create output directory");
+    let jobs = ctx.exec().jobs() as u64;
     let mut results = Vec::new();
     for id in &ids {
-        eprintln!("running {id}...");
-        let r = run_experiment(id, &ctx);
+        eprintln!("running {id} (jobs={jobs})...");
+        let t0 = Instant::now();
+        let mut r = run_experiment(id, &ctx);
+        r.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        r.jobs = jobs;
+        eprintln!("  {id}: {:.0} ms", r.wall_ms);
         print!("{}", r.render());
         results.push(r);
     }

@@ -1,0 +1,75 @@
+//! Shared sweep plumbing for the experiment runners.
+//!
+//! Every figure's Monte-Carlo grid and per-scheme SoC comparison runs
+//! through the helpers here, on the one seeded executor from
+//! [`Ctx::exec`] — declarative point grids instead of hand-rolled
+//! `for d in d_sweep` loops, the single summarize path of
+//! [`TrialStats::from_results`], and one CSV-writing call. Seeds follow
+//! the [`blitzcoin_sim::Sweep`] derivation tree
+//! (`ctx.seed → point → trial`), so no two sweep points ever consume
+//! correlated RNG streams and output is byte-identical at every `--jobs`
+//! value.
+
+use blitzcoin_core::emulator::ConvergenceResult;
+use blitzcoin_core::montecarlo::TrialStats;
+use blitzcoin_sim::csv::CsvTable;
+use blitzcoin_sim::{SimRng, Sweep};
+
+use crate::{Ctx, FigResult};
+
+/// Runs a Monte-Carlo grid — `trials` emulator runs per point, RNGs
+/// derived `ctx.seed → point → trial` — and reduces each point through
+/// the shared summarize path. Results pair each point with its stats, in
+/// point order.
+pub fn mc_sweep<P: Sync>(
+    ctx: &Ctx,
+    points: Vec<P>,
+    trials: u32,
+    body: impl Fn(&P, SimRng) -> ConvergenceResult + Sync,
+) -> Vec<(P, TrialStats)> {
+    let sweep = Sweep::new(points, trials, ctx.seed);
+    let stats: Vec<TrialStats> = sweep
+        .run(&ctx.exec(), body)
+        .into_iter()
+        .map(TrialStats::from_results)
+        .collect();
+    sweep.into_points().into_iter().zip(stats).collect()
+}
+
+/// Runs a grid of arbitrary per-point values (`trials` per point, same
+/// seed derivation as [`mc_sweep`]) without the convergence-stats
+/// reduction — for sweeps whose trial result is not a
+/// [`ConvergenceResult`] (e.g. TokenSmart cycle counts).
+pub fn value_sweep<P: Sync, R: Send>(
+    ctx: &Ctx,
+    points: Vec<P>,
+    trials: u32,
+    body: impl Fn(&P, SimRng) -> R + Sync,
+) -> Vec<(P, Vec<R>)> {
+    let sweep = Sweep::new(points, trials, ctx.seed);
+    let values = sweep.run(&ctx.exec(), body);
+    sweep.into_points().into_iter().zip(values).collect()
+}
+
+/// Runs one independent unit per item concurrently (full-SoC scheme
+/// comparisons, analytic per-class tables), results in item order.
+///
+/// Seeding is the caller's contract: derive per-point sub-seeds with
+/// [`Ctx::subseed`]; reusing one seed across the *schemes of a single
+/// point* is intentional (paired comparisons share the workload draw).
+pub fn par_units<T: Sync, R: Send>(
+    ctx: &Ctx,
+    items: &[T],
+    body: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    ctx.exec().map(items, |_, item| body(item))
+}
+
+/// Writes `csv` under the context's output directory and registers it on
+/// the figure — the one CSV emission path of every runner.
+pub fn write_csv(ctx: &Ctx, fig: &mut FigResult, name: &str, csv: &CsvTable) {
+    let path = ctx.path(name);
+    csv.write_to(&path)
+        .unwrap_or_else(|e| panic!("write {name}: {e}"));
+    fig.output(&path);
+}

@@ -17,6 +17,10 @@
 //! - [`rng`]: seeded, portable random-number generation for Monte-Carlo
 //!   sweeps (ChaCha-based so results do not depend on platform or `rand`
 //!   version internals).
+//! - [`exec`]: the deterministic parallel sweep executor ([`Executor`],
+//!   [`Sweep`]) — independent trials fan out across threads with
+//!   index-derived seeds and index-ordered collection, so results are
+//!   bitwise identical at every job count.
 //! - [`stats`]: online statistics, histograms and percentile summaries used
 //!   by every figure of the evaluation.
 //! - [`trace`]: time-weighted signal traces (power traces, coin traces,
@@ -52,6 +56,7 @@ pub mod check;
 pub mod csv;
 pub mod error;
 pub mod event;
+pub mod exec;
 pub mod fault;
 pub mod json;
 pub mod rng;
@@ -61,6 +66,7 @@ pub mod trace;
 
 pub use error::ConfigError;
 pub use event::{EventQueue, ScheduledEvent};
+pub use exec::{Executor, Sweep};
 pub use fault::{AuditReport, CoinAudit, FaultPlan, LinkOutage, TileFault, TileFaultKind};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};

@@ -12,4 +12,21 @@ cargo test -q --offline
 cargo fmt --all -- --check
 cargo clippy --all-targets --offline -- -D warnings
 
+# Sweep-engine smoke gate: a quick full run must succeed offline at
+# jobs=2, and its CSVs must be byte-identical to a jobs=1 run — the
+# executor's determinism contract, end to end. manifest.json is
+# excluded: it records wall-clock times, which legitimately differ.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -q -p blitzcoin-exp -- \
+    all --quick --jobs 1 --out "$smoke_dir/jobs1" > /dev/null
+cargo run --release --offline -q -p blitzcoin-exp -- \
+    all --quick --jobs 2 --out "$smoke_dir/jobs2" > /dev/null
+for f in "$smoke_dir"/jobs1/*.csv; do
+    cmp "$f" "$smoke_dir/jobs2/$(basename "$f")" || {
+        echo "ci: $(basename "$f") differs between --jobs 1 and --jobs 2" >&2
+        exit 1
+    }
+done
+
 echo "ci: all green"

@@ -1,0 +1,88 @@
+//! The sweep engine's central guarantee, checked end to end: experiment
+//! output is bitwise independent of the executor's job count.
+//!
+//! Seeds derive from grid indices and results are collected in index
+//! order, so a quick fixed-seed run of every figure family must produce
+//! byte-identical CSVs at `jobs = 1` and `jobs = 8` — and the
+//! Monte-Carlo runners must return exactly equal `TrialStats` either
+//! way. Any scheduling leak (an RNG shared across units, a
+//! completion-order collect) breaks these tests.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use blitzcoin_core::emulator::EmulatorConfig;
+use blitzcoin_core::montecarlo::{run_activity_change_trials_with, run_homogeneous_trials_with};
+use blitzcoin_exp::{run_experiment, Ctx, ALL_EXPERIMENTS};
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::Executor;
+
+fn run_all_quick_into(dir: &Path, jobs: usize) {
+    fs::create_dir_all(dir).expect("create output dir");
+    let ctx = Ctx {
+        out_dir: dir.to_path_buf(),
+        quick: true,
+        jobs,
+        ..Ctx::default()
+    };
+    for id in ALL_EXPERIMENTS {
+        run_experiment(id, &ctx);
+    }
+}
+
+fn csv_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read output dir") {
+        let p = entry.expect("dir entry").path();
+        if p.extension().is_some_and(|e| e == "csv") {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            out.insert(name, fs::read(&p).expect("read csv"));
+        }
+    }
+    out
+}
+
+#[test]
+fn quick_run_csvs_byte_identical_at_jobs_1_and_8() {
+    let base: PathBuf = std::env::temp_dir().join(format!("bc_determinism_{}", std::process::id()));
+    let serial_dir = base.join("jobs1");
+    let parallel_dir = base.join("jobs8");
+    run_all_quick_into(&serial_dir, 1);
+    run_all_quick_into(&parallel_dir, 8);
+
+    let serial = csv_bytes(&serial_dir);
+    let parallel = csv_bytes(&parallel_dir);
+    assert!(!serial.is_empty(), "quick run produced no CSVs");
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "jobs=1 and jobs=8 runs wrote different file sets"
+    );
+    for (name, bytes) in &serial {
+        assert!(
+            bytes == &parallel[name],
+            "CSV {name} differs between jobs=1 and jobs=8"
+        );
+    }
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn parallel_monte_carlo_equals_serial_exactly() {
+    let topo = Topology::torus(6, 6);
+    let cfg = EmulatorConfig::default();
+    let serial = run_homogeneous_trials_with(&Executor::serial(), topo, cfg, 10, 99);
+    let parallel = run_homogeneous_trials_with(&Executor::new(8), topo, cfg, 10, 99);
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.mean_cycles, parallel.mean_cycles);
+    assert_eq!(serial.mean_packets, parallel.mean_packets);
+
+    let a_serial = run_activity_change_trials_with(&Executor::serial(), topo, cfg, 10, 99, 0.1);
+    let a_parallel = run_activity_change_trials_with(&Executor::new(8), topo, cfg, 10, 99, 0.1);
+    assert_eq!(a_serial.results, a_parallel.results);
+}
