@@ -12,6 +12,7 @@
 //! 6 (dynamic timing), 7 (random pairing) and 8 (heterogeneity).
 
 use blitzcoin_noc::{TileId, Topology};
+use blitzcoin_sim::oracle::{self, Invariant, Oracle};
 use blitzcoin_sim::{EventQueue, FaultPlan, SimRng, SimTime, TileFaultKind};
 
 use crate::exchange::{four_way_allocation, pairwise_exchange_stochastic};
@@ -199,6 +200,11 @@ pub struct Emulator {
     fault: FaultPlan,
     /// Per-tile fault state, populated as planned faults fire during a run.
     faulted: Vec<Option<TileFaultKind>>,
+    /// Invariant auditor for the most recent run. Exchanges are zero-sum
+    /// and faults only freeze or drain holdings, so the total coin ledger
+    /// is checked after every exchange step (when the oracle is compiled
+    /// in — see `blitzcoin_sim::oracle`).
+    oracle: Oracle,
 }
 
 impl Emulator {
@@ -240,6 +246,7 @@ impl Emulator {
             runtime,
             fault,
             faulted,
+            oracle: Oracle::new("core::emulator::Emulator::run", 0),
         }
     }
 
@@ -334,12 +341,24 @@ impl Emulator {
         self.tiles.iter().map(|t| t.has).sum()
     }
 
+    /// The invariant oracle of the most recent [`Emulator::run`] (coin
+    /// conservation after every exchange commit).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
     /// Runs the emulator until convergence, quiescence, or `max_cycles`.
     ///
     /// The run is deterministic for a given `rng` state: tiles start with
     /// a random phase within one refresh interval, then fire on their own
     /// (possibly dynamically scaled) schedules.
     pub fn run(&mut self, rng: &mut SimRng) -> ConvergenceResult {
+        // Arm the invariant oracle: snapshot the initial pool before the
+        // first exchange. Exchanges are zero-sum, stuck tiles quarantine
+        // their holdings, and fail-stopped tiles are drained by neighbors,
+        // so the total is invariant over the whole run.
+        self.oracle = Oracle::new("core::emulator::Emulator::run", rng.root_seed());
+        let expected_total: i128 = self.tiles.iter().map(|t| i128::from(t.has)).sum();
         // Planned tile faults, earliest-per-tile, in firing order. Faults
         // activate lazily as simulated time passes them.
         self.faulted = vec![None; self.tiles.len()];
@@ -436,6 +455,17 @@ impl Emulator {
                 ExchangeMode::OneWay => self.one_way_step(i, now, rng, &targets, &mut err_sum),
                 ExchangeMode::FourWay => self.four_way_step(i, &targets, &mut err_sum),
             };
+            if oracle::enabled() {
+                let actual: i128 = self.tiles.iter().map(|t| i128::from(t.has)).sum();
+                let mode = self.config.mode;
+                self.oracle.check_eq_i128(
+                    Invariant::CoinConservation,
+                    now,
+                    || format!("{mode:?} exchange initiated by tile {i}"),
+                    expected_total,
+                    actual,
+                );
+            }
             packets += outcome.packets;
             let significant = match self.config.dynamic_timing {
                 Some(dt) => dt.is_significant(outcome.moved),

@@ -158,6 +158,11 @@ pub fn four_way_allocation(group: &[TileState]) -> Vec<i64> {
     let total: i64 = group.iter().map(|t| t.has).sum();
     let weight_sum: u64 = group.iter().map(|t| t.max).sum();
     if weight_sum == 0 {
+        // Degenerate allocation: with zero total weight every share is
+        // 0/0, so there is no fair split to compute — holdings are
+        // unchanged. This early exit must come before the share loop, or
+        // the fractional parts would all be NaN and the remainder sort
+        // would have no meaningful order to offer.
         return group.iter().map(|t| t.has).collect();
     }
     // Exact shares, floored; track fractional parts for the remainder.
@@ -171,8 +176,11 @@ pub fn four_way_allocation(group: &[TileState]) -> Vec<i64> {
     }
     let mut remainder = total - alloc.iter().sum::<i64>();
     debug_assert!(remainder >= 0 && remainder < group.len() as i64 + 1);
-    // Largest fractional parts get the leftover coins; ties -> lower index.
-    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // Largest fractional parts get the leftover coins; ties -> lower
+    // index. `total_cmp` is a total order, so an unexpected NaN fraction
+    // sorts deterministically (and last) instead of panicking the way
+    // `partial_cmp().unwrap()` did.
+    fracs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for &(k, _) in &fracs {
         if remainder == 0 {
             break;
@@ -344,6 +352,62 @@ mod tests {
         // share = 7 * 1000000001 / 2000000000 = 3.5000000035: rounds to 4
         assert_eq!(out.new_i, 4);
         assert_eq!(out.new_j, 3);
+    }
+
+    #[test]
+    fn four_way_zero_weight_group_is_degenerate_not_nan() {
+        // Regression: with Σmax == 0 every share is 0/0 (NaN). Before the
+        // explicit degenerate exit + total_cmp sort this path could reach
+        // `partial_cmp().unwrap()` and panic; now it must return holdings
+        // unchanged — including nonzero and negative transients.
+        let group = [
+            TileState::inactive(5),
+            TileState::inactive(-2),
+            TileState::inactive(0),
+            TileState::inactive(63),
+            TileState::inactive(1),
+        ];
+        let alloc = four_way_allocation(&group);
+        assert_eq!(alloc, vec![5, -2, 0, 63, 1]);
+        assert_eq!(alloc.iter().sum::<i64>(), 67, "conservation");
+    }
+
+    #[test]
+    fn four_way_remainder_sort_is_total_order() {
+        // The remainder sort must be deterministic for any frac values a
+        // share computation can produce, including exact ties at many
+        // indices and negative-total groups (fracs of floored negative
+        // shares). Sweep a few shapes and check conservation + stability.
+        for group in [
+            vec![
+                TileState::new(7, 5),
+                TileState::new(0, 5),
+                TileState::new(0, 5),
+                TileState::new(0, 5),
+                TileState::new(0, 5),
+            ],
+            vec![
+                TileState::new(-7, 3),
+                TileState::new(2, 3),
+                TileState::new(1, 3),
+            ],
+            vec![
+                TileState::new(63, 7),
+                TileState::new(-1, 7),
+                TileState::new(63, 7),
+                TileState::new(-1, 7),
+                TileState::new(2, 2),
+            ],
+        ] {
+            let a = four_way_allocation(&group);
+            let b = four_way_allocation(&group);
+            assert_eq!(a, b, "deterministic for {group:?}");
+            assert_eq!(
+                a.iter().sum::<i64>(),
+                group.iter().map(|t| t.has).sum::<i64>(),
+                "conserves for {group:?}"
+            );
+        }
     }
 
     #[test]

@@ -86,9 +86,15 @@ impl DynamicTiming {
         debug_assert!(self.max_cycles >= self.base_cycles, "max must be >= base");
         debug_assert!(self.base_cycles >= self.min_cycles, "base must be >= min");
         if coins_moved == 0 {
-            ((current as f64 * self.lambda) as u64)
+            // Round to nearest: the truncating `as u64` cast undershot
+            // the product by up to a cycle (e.g. 3 * 1.1 -> 3, no
+            // back-off progress at all for small intervals), and from
+            // `current == 0` it stayed pinned at 0 when `min_cycles` was
+            // 0. The explicit floor of 1 keeps the interval a valid
+            // schedule delay for any configuration.
+            ((current as f64 * self.lambda).round() as u64)
                 .max(self.min_cycles.max(1))
-                .min(self.max_cycles)
+                .min(self.max_cycles.max(1))
         } else {
             current
                 .saturating_sub(self.k_cycles)
@@ -164,6 +170,86 @@ mod tests {
         assert!(!dt.is_significant(-1));
         assert!(dt.is_significant(2));
         assert!(dt.is_significant(-2));
+    }
+
+    #[test]
+    fn idle_backoff_rounds_instead_of_truncating() {
+        // Regression: `(current * lambda) as u64` truncated toward zero,
+        // so 7 * 1.1 = 7.7000000000000002 backed off to 7 — no progress —
+        // while round-to-nearest correctly lands on 8. Truncation also
+        // turned exact products computed a hair low (e.g. 6.9999999...)
+        // into an off-by-one undershoot.
+        let dt = DynamicTiming {
+            base_cycles: 7,
+            min_cycles: 1,
+            lambda: 1.1,
+            k_cycles: 1,
+            max_cycles: 1024,
+            deadband_coins: 0,
+        };
+        assert_eq!(
+            dt.next_interval(7, 0),
+            8,
+            "7 * 1.1 must round up to 8, not truncate to 7"
+        );
+    }
+
+    #[test]
+    fn interval_zero_cannot_pin_the_schedule() {
+        // Regression: from current == 0 with min_cycles == 0 the idle
+        // branch returned 0 * lambda = 0 and the active branch
+        // saturating_sub'd to 0 — a zero schedule delay forever. The
+        // explicit floor of 1 keeps both branches alive.
+        let dt = DynamicTiming {
+            base_cycles: 1,
+            min_cycles: 0,
+            lambda: 2.0,
+            k_cycles: 4,
+            max_cycles: 16,
+            deadband_coins: 0,
+        };
+        assert!(dt.next_interval(0, 0) >= 1);
+        assert!(dt.next_interval(0, 3) >= 1);
+    }
+
+    #[test]
+    fn idle_backoff_is_monotone_property() {
+        // For any valid config (lambda >= 1) and in-range interval, one
+        // idle step never *decreases* the interval below its cap, never
+        // leaves [max(1, min), max(1, max)], and is monotone in `current`.
+        blitzcoin_sim::check::forall("dynamic timing idle back-off", 500, |rng| {
+            let min_cycles = rng.range_u64(0..64);
+            let max_cycles = min_cycles + rng.range_u64(1..2048);
+            let dt = DynamicTiming {
+                base_cycles: min_cycles.max(1),
+                min_cycles,
+                lambda: 1.0 + rng.unit_f64() * 3.0,
+                k_cycles: rng.range_u64(0..512),
+                max_cycles,
+                deadband_coins: 1,
+            };
+            let lo = dt.min_cycles.max(1);
+            let hi = dt.max_cycles.max(1);
+            let current = rng.range_u64(0..hi + 1);
+            let next = dt.next_interval(current, 0);
+            blitzcoin_sim::ensure!(
+                (lo..=hi).contains(&next),
+                "interval {next} escaped [{lo}, {hi}] (config {dt:?}, current {current})"
+            );
+            blitzcoin_sim::ensure!(
+                next >= current.min(hi),
+                "idle step shrank the interval: {current} -> {next} (config {dt:?})"
+            );
+            // Monotone in current: a longer interval never backs off to a
+            // shorter one than a shorter interval does.
+            let current2 = rng.range_u64(0..hi + 1);
+            let next2 = dt.next_interval(current2, 0);
+            blitzcoin_sim::ensure!(
+                (current <= current2) == (next <= next2) || next == next2,
+                "back-off not monotone: {current}->{next} vs {current2}->{next2} ({dt:?})"
+            );
+            Ok(())
+        });
     }
 
     #[test]

@@ -145,6 +145,13 @@ pub struct FigResult {
     /// Effective parallel job count the runner executed with (stamped by
     /// the CLI).
     pub jobs: u64,
+    /// Invariant violations the runtime oracle recorded while this
+    /// experiment ran (the delta of
+    /// [`blitzcoin_sim::oracle::violations_total`] around the runner —
+    /// counter increments commute, so the delta is identical at every
+    /// sweep job count). Always 0 in a healthy tree; 0 by construction
+    /// when the oracle is compiled out.
+    pub oracle_violations: u64,
 }
 
 blitzcoin_sim::json_fields!(FigResult {
@@ -153,7 +160,8 @@ blitzcoin_sim::json_fields!(FigResult {
     claims,
     outputs,
     wall_ms,
-    jobs
+    jobs,
+    oracle_violations
 });
 
 impl FigResult {
@@ -166,6 +174,7 @@ impl FigResult {
             outputs: Vec::new(),
             wall_ms: 0.0,
             jobs: 0,
+            oracle_violations: 0,
         }
     }
 
@@ -211,7 +220,7 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "fig1",
     "fig2",
     "fig3",
@@ -236,6 +245,7 @@ pub const ALL_EXPERIMENTS: [&str; 24] = [
     "noc-validation",
     "cpu-proxy",
     "resilience",
+    "oracle-diff",
 ];
 
 /// Runs the experiment with the given id.
@@ -243,6 +253,13 @@ pub const ALL_EXPERIMENTS: [&str; 24] = [
 /// # Panics
 /// Panics on an unknown id (the CLI validates first).
 pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
+    let oracle_before = blitzcoin_sim::oracle::violations_total();
+    let mut fig = dispatch_experiment(id, ctx);
+    fig.oracle_violations = blitzcoin_sim::oracle::violations_total() - oracle_before;
+    fig
+}
+
+fn dispatch_experiment(id: &str, ctx: &Ctx) -> FigResult {
     match id {
         "fig1" => figures::analytical::fig1(ctx),
         "fig2" => figures::behavioural::fig2(ctx),
@@ -268,6 +285,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "noc-validation" => figures::extensions::noc_validation(ctx),
         "cpu-proxy" => figures::extensions::cpu_proxy(ctx),
         "resilience" => figures::resilience::resilience(ctx),
+        "oracle-diff" => figures::oracle_diff::oracle_diff(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -116,6 +116,13 @@ fn main() -> ExitCode {
         .filter(|c| c.holds)
         .count();
     println!("\n{held}/{total} claims hold.");
+    let violations: u64 = results.iter().map(|r| r.oracle_violations).sum();
+    if blitzcoin_sim::oracle::enabled() {
+        println!(
+            "oracle: {violations} invariant violation(s) across {} experiment(s).",
+            results.len()
+        );
+    }
 
     let manifest = blitzcoin_sim::json::ToJson::to_json(&results).to_string_pretty();
     let manifest_path = ctx.out_dir.join("manifest.json");
@@ -126,6 +133,10 @@ fn main() -> ExitCode {
         let md = render_experiments_md(&results);
         std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
         println!("wrote EXPERIMENTS.md");
+    }
+    if blitzcoin_sim::oracle::enabled() && violations > 0 {
+        eprintln!("FAIL: the runtime oracle recorded {violations} invariant violation(s)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

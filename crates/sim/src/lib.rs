@@ -33,6 +33,11 @@
 //!   the emulator, the SoC engine and the centralized baselines.
 //! - [`check`]: a seeded property-testing harness for randomized
 //!   invariant tests.
+//! - [`oracle`]: continuous runtime invariant auditing ([`Oracle`]) —
+//!   coin conservation, budget ceiling, VF legality, time monotonicity
+//!   and flit conservation checked at every natural checkpoint, compiled
+//!   in for debug/test builds and behind the `oracle` feature for
+//!   release.
 //! - [`error`]: typed validation errors ([`ConfigError`]) returned by the
 //!   fallible configuration constructors across the workspace.
 //!
@@ -59,6 +64,7 @@ pub mod event;
 pub mod exec;
 pub mod fault;
 pub mod json;
+pub mod oracle;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -68,6 +74,7 @@ pub use error::ConfigError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use exec::{Executor, Sweep};
 pub use fault::{AuditReport, CoinAudit, FaultPlan, LinkOutage, TileFault, TileFaultKind};
+pub use oracle::{Invariant, Oracle, Violation};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
 pub use time::SimTime;

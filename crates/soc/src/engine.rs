@@ -25,6 +25,7 @@ use blitzcoin_core::exchange::{
 use blitzcoin_core::{AllocationPolicy, DynamicTiming, ExchangeMode, TileState};
 use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, TileId};
 use blitzcoin_power::{CoinLut, PowerModel};
+use blitzcoin_sim::oracle::{self, Invariant, Oracle};
 use blitzcoin_sim::{
     CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TileFaultKind,
 };
@@ -172,6 +173,14 @@ enum Ev {
 /// silent partner crosses this threshold.
 const HEARTBEAT_TIMEOUTS: u32 = 3;
 
+/// Actuation-transient envelope of the oracle's budget-ceiling check, as
+/// a fraction of the budget. During a reallocation the upgraded tile can
+/// reach its new operating point while the downgrade's UVFR write is
+/// still settling, so short overshoot up to this envelope is physical
+/// (the engine's own enforcement test bounds peak overshoot the same
+/// way); anything beyond it is an enforcement bug.
+const ORACLE_BUDGET_SLACK_FRAC: f64 = 0.15;
+
 #[derive(Debug, Clone)]
 struct Running {
     task: TaskId,
@@ -225,6 +234,10 @@ pub struct Simulation {
     clusters: Option<Vec<Vec<usize>>>,
     /// Faults injected into the run (empty by default).
     fault: FaultPlan,
+    /// Test-only sabotage: from this cycle on, the next exchange commit
+    /// mints one coin and the one after burns it again. The end-of-run
+    /// audit balances perfectly — only the continuous oracle can see it.
+    conservation_bug_at: Option<u64>,
 }
 
 impl Simulation {
@@ -259,7 +272,21 @@ impl Simulation {
             top_pmax,
             clusters: None,
             fault: FaultPlan::none(),
+            conservation_bug_at: None,
         }
+    }
+
+    /// Injects a self-cancelling coin-conservation bug for oracle tests:
+    /// starting at `at_cycle`, the next exchange commit mints one coin
+    /// and the following commit burns one. The run's final ledger is
+    /// clean — the end-of-run [`CoinAudit`] cannot see it — so a nonzero
+    /// `oracle_violations` in the report proves the *continuous* auditing
+    /// works. Not part of the public API surface.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_conservation_bug(mut self, at_cycle: u64) -> Self {
+        self.conservation_bug_at = Some(at_cycle);
+        self
     }
 
     /// Installs a fault plan, validated against this SoC's topology.
@@ -361,6 +388,13 @@ struct Runner<'a> {
     audit: CoinAudit,
     fault_at: Option<SimTime>,
     recovered_at: Option<SimTime>,
+    // continuous invariant auditing
+    oracle: Oracle,
+    /// Expected coin total per PM cluster (BlitzCoin conserves these at
+    /// every exchange commit; exchanges never cross cluster boundaries).
+    cluster_expected: Vec<i128>,
+    /// Test-only conservation-bug FSM: 0 armed, 1 minted, 2 burned.
+    bug_state: u8,
     // centralized managers
     sweep_gen: u64,
     sweep_plan: Vec<(usize, u64, i64)>,
@@ -482,6 +516,16 @@ impl<'a> Runner<'a> {
             .collect();
         let deps_left = sim.wl.tasks().iter().map(|t| t.deps.len()).collect();
         let initial_coins: i64 = tiles.iter().map(|t| t.has).sum();
+        let cluster_expected: Vec<i128> = (0..n_clusters)
+            .map(|ci| {
+                managed
+                    .iter()
+                    .filter(|&&t| cluster_of[t] == ci)
+                    .map(|&t| i128::from(tiles[t].has))
+                    .sum()
+            })
+            .collect();
+        let oracle = Oracle::new("blitzcoin-soc Simulation::run", rng.root_seed());
         let mut net = Network::new(soc.topology, NetworkConfig::default());
         net.set_fault_plan(sim.fault.clone());
         let n_tasks = sim.wl.len();
@@ -504,6 +548,9 @@ impl<'a> Runner<'a> {
             audit: CoinAudit::new(initial_coins),
             fault_at: None,
             recovered_at: None,
+            oracle,
+            cluster_expected,
+            bug_state: 0,
             sweep_gen: 0,
             sweep_plan: Vec::new(),
             last_sweep_start: SimTime::ZERO,
@@ -585,6 +632,86 @@ impl<'a> Runner<'a> {
             let h = self.tiles[ti].has as f64;
             self.coin_traces[slot].record(self.now, h);
         }
+    }
+
+    // -- continuous invariant auditing ---------------------------------
+
+    /// Coin conservation after an exchange-path commit touching `ti`'s
+    /// cluster: the cluster ledger (live and faulted holdings alike —
+    /// coins never travel inside packets, so in-flight is identically 0
+    /// even under faults) must still sum to its initial slice, exactly,
+    /// in i128. Only BlitzCoin owns a distributed economy this binds to;
+    /// BC-C rewrites ledgers per sweep and the others keep no coins.
+    fn audit_conservation(&mut self, ti: usize, site: impl FnOnce() -> String) {
+        if !oracle::enabled() || self.cfg().manager != ManagerKind::BlitzCoin {
+            return;
+        }
+        let ci = self.cluster_of[ti];
+        let actual: i128 = self
+            .managed
+            .iter()
+            .filter(|&&t| self.cluster_of[t] == ci)
+            .map(|&t| i128::from(self.tiles[t].has))
+            .sum();
+        self.oracle.check_eq_i128(
+            Invariant::CoinConservation,
+            self.now.as_noc_cycles(),
+            || format!("cluster {ci} coin ledger after {}", site()),
+            self.cluster_expected[ci],
+            actual,
+        );
+    }
+
+    /// VF legality and budget ceiling at an actuation instant — the only
+    /// moment tile clocks (and therefore power) change. The actuated
+    /// point must be a real operating point of the tile's model, and
+    /// total managed power must stay under the budget plus the
+    /// [`ORACLE_BUDGET_SLACK_FRAC`] transient envelope, plus one coin of
+    /// quantization per managed tile (each tile's allocation rounds to
+    /// coin quanta independently, so the aggregate can sit up to a coin
+    /// per tile over the envelope — C-RR at tight budgets reaches it).
+    fn audit_actuation(&mut self, ti: usize) {
+        if !oracle::enabled() {
+            return;
+        }
+        let cycle = self.now.as_noc_cycles();
+        let f = self.tiles[ti].freq;
+        if let Some(m) = &self.tiles[ti].model {
+            let f_max = m.f_max();
+            if !f.is_finite() || f < 0.0 || f > f_max * (1.0 + 1e-9) {
+                self.oracle.report(
+                    Invariant::VfLegality,
+                    cycle,
+                    format!("tile {ti} actuated clock"),
+                    format!("0 <= f <= {f_max} MHz"),
+                    format!("{f} MHz"),
+                );
+            }
+        }
+        let total: f64 = self.managed.iter().map(|&t| self.tile_power(t)).sum();
+        let ceiling = self.cfg().budget_mw * (1.0 + ORACLE_BUDGET_SLACK_FRAC)
+            + self.sim.coin_value_mw * self.managed.len() as f64;
+        self.oracle.check_le_f64(
+            Invariant::BudgetCeiling,
+            cycle,
+            || format!("managed power after tile {ti} actuated"),
+            total,
+            ceiling,
+        );
+    }
+
+    /// Test-only sabotage hook (see [`Simulation::with_conservation_bug`]):
+    /// mints one coin on the first commit at/after the armed cycle and
+    /// burns one on the next, so only continuous auditing can catch it.
+    fn sabotage_conservation(&mut self, ti: usize) {
+        let Some(at) = self.sim.conservation_bug_at else {
+            return;
+        };
+        if self.now.as_noc_cycles() < at || self.bug_state >= 2 {
+            return;
+        }
+        self.tiles[ti].has += if self.bug_state == 0 { 1 } else { -1 };
+        self.bug_state += 1;
     }
 
     /// Updates task progress on `ti` at the current time and rate.
@@ -899,10 +1026,12 @@ impl<'a> Runner<'a> {
         if out.moved != 0 {
             self.tiles[ti].has = out.new_i;
             self.tiles[pj].has = out.new_j;
+            self.sabotage_conservation(ti);
             self.record_coins(ti);
             self.record_coins(pj);
             self.apply_coins(ti);
             self.apply_coins(pj);
+            self.audit_conservation(ti, || format!("pairwise exchange tiles {ti}<->{pj}"));
         }
 
         let significant = dt.is_significant(out.moved);
@@ -998,6 +1127,9 @@ impl<'a> Runner<'a> {
                     self.record_coins(ti);
                     self.record_coins(pj);
                     self.apply_coins(ti);
+                    self.audit_conservation(ti, || {
+                        format!("reclaim of fail-stopped tile {pj} by tile {ti}")
+                    });
                 }
             }
             Some(TileFaultKind::Stuck) => {}
@@ -1095,6 +1227,9 @@ impl<'a> Runner<'a> {
                 self.record_coins(k);
                 self.apply_coins(k);
             }
+        }
+        if moved_total != 0 {
+            self.audit_conservation(ti, || format!("4-way group exchange centered on tile {ti}"));
         }
         let significant = dt.is_significant(moved_total);
         let rt = &mut self.tiles[ti];
@@ -1550,6 +1685,11 @@ impl<'a> Runner<'a> {
 
         let total_tasks = self.sim.wl.len();
         while let Some(ev) = self.queue.pop() {
+            self.oracle.check_time_monotonic(
+                ev.time.as_noc_cycles(),
+                self.now.as_ps(),
+                ev.time.as_ps(),
+            );
             self.now = ev.time;
             self.events += 1;
             if self.now > self.cfg().horizon {
@@ -1598,6 +1738,7 @@ impl<'a> Runner<'a> {
                             self.freq_traces[slot].record(self.now, f);
                         }
                         self.record_power(tile);
+                        self.audit_actuation(tile);
                         self.schedule_completion(tile);
                     }
                 }
@@ -1666,6 +1807,8 @@ impl<'a> Runner<'a> {
             coins_quarantined,
             tasks_abandoned: self.abandoned,
             recovery_us,
+            oracle_violations: self.oracle.count(),
+            oracle_first: self.oracle.first_replay_line(),
         }
     }
 }

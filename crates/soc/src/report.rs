@@ -76,6 +76,16 @@ pub struct SimReport {
     /// re-converged with every fail-stopped tile drained (µs). `None` when
     /// no fault was injected or the manager never recovered.
     pub recovery_us: Option<f64>,
+    /// Invariant violations the runtime oracle recorded during the run
+    /// (coin conservation, budget ceiling, VF legality, event-time
+    /// monotonicity — see `blitzcoin_sim::oracle`). Always 0 in a healthy
+    /// run, and 0 by construction when the oracle is compiled out
+    /// (release builds without `--features oracle`).
+    pub oracle_violations: u64,
+    /// Replay line of the first oracle violation, in the
+    /// `check::forall_seeded` style: names the invariant, the offending
+    /// cycle, the site, expected/actual, and the seed to rerun with.
+    pub oracle_first: Option<String>,
 }
 
 impl SimReport {
@@ -232,6 +242,8 @@ mod tests {
             coins_quarantined: 0,
             tasks_abandoned: 0,
             recovery_us: None,
+            oracle_violations: 0,
+            oracle_first: None,
         }
     }
 

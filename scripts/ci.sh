@@ -12,15 +12,25 @@ cargo test -q --offline
 cargo fmt --all -- --check
 cargo clippy --all-targets --offline -- -D warnings
 
+# Oracle gate: the whole test suite again with the runtime invariant
+# auditing compiled into release code paths (debug/test builds audit by
+# default; this leg proves the --features oracle release configuration
+# builds and stays silent too).
+cargo test -q --release --offline -p blitzcoin-exp --features oracle
+
 # Sweep-engine smoke gate: a quick full run must succeed offline at
 # jobs=2, and its CSVs must be byte-identical to a jobs=1 run — the
 # executor's determinism contract, end to end. manifest.json is
 # excluded: it records wall-clock times, which legitimately differ.
+# Both runs audit with --features oracle (the binary exits nonzero if
+# any invariant fires, so this is also the zero-violations gate; the
+# per-experiment deltas are job-count-independent, keeping the CSV
+# comparison honest).
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
-cargo run --release --offline -q -p blitzcoin-exp -- \
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
     all --quick --jobs 1 --out "$smoke_dir/jobs1" > /dev/null
-cargo run --release --offline -q -p blitzcoin-exp -- \
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
     all --quick --jobs 2 --out "$smoke_dir/jobs2" > /dev/null
 for f in "$smoke_dir"/jobs1/*.csv; do
     cmp "$f" "$smoke_dir/jobs2/$(basename "$f")" || {

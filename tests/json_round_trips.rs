@@ -208,11 +208,13 @@ fn manifest_shape_matches_cli_output() {
     let text = r#"[
       {"id": "fig1", "title": "T", "claims": [
         {"id": "a", "paper": "p", "measured": "m", "holds": true}
-      ], "outputs": ["results/fig1.csv"], "wall_ms": 12.5, "jobs": 4}
+      ], "outputs": ["results/fig1.csv"], "wall_ms": 12.5, "jobs": 4,
+      "oracle_violations": 0}
     ]"#;
     let results: Vec<FigResult> = Vec::from_json(&Json::parse(text).unwrap()).unwrap();
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].claims[0].id, "a");
     assert_eq!(results[0].wall_ms, 12.5);
     assert_eq!(results[0].jobs, 4);
+    assert_eq!(results[0].oracle_violations, 0);
 }

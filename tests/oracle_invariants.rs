@@ -1,0 +1,205 @@
+//! Property tests for the runtime invariant oracle
+//! (`blitzcoin_sim::oracle`): across random SoC configurations and every
+//! fault-plan variant, the continuously audited invariants — coin
+//! conservation at each exchange commit, the budget ceiling at each
+//! actuation, VF legality, event-time monotonicity — must record zero
+//! violations; and a deliberately injected, self-cancelling conservation
+//! bug must be *caught*, with a replay line naming the invariant, even
+//! though the end-of-run ledger balances perfectly.
+//!
+//! Properties run on the seeded harness in `blitzcoin_sim::check`: each
+//! case derives an independent RNG from a fixed root seed, so failures
+//! reproduce exactly and name the case to replay.
+
+use blitzcoin_core::emulator::{Emulator, EmulatorConfig, ExchangeMode};
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::check::forall;
+use blitzcoin_sim::{ensure, FaultPlan, LinkOutage, SimRng, TileFault, TileFaultKind};
+use blitzcoin_soc::prelude::*;
+
+/// A random fault plan touching every [`FaultPlan`] dial: lossy planes,
+/// delayed hops, jittered messages, link outages, and scheduled tile
+/// faults of both kinds.
+fn any_plan(rng: &mut SimRng, n_tiles: usize) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: rng.next_u64(),
+        ..FaultPlan::default()
+    };
+    if rng.chance(0.6) {
+        plan.drop_prob = vec![rng.unit_f64() * 0.2];
+    }
+    if rng.chance(0.5) {
+        plan.extra_hop_delay_max_cycles = rng.range_u64(0..8);
+    }
+    if rng.chance(0.5) {
+        plan.msg_jitter_cycles = rng.range_u64(0..64);
+    }
+    if rng.chance(0.4) {
+        let from = rng.range_u64(0..30_000);
+        plan.outages.push(LinkOutage {
+            a: rng.range_usize(0..n_tiles),
+            b: rng.range_usize(0..n_tiles),
+            from_cycle: from,
+            until_cycle: from + rng.range_u64(1..20_000),
+        });
+    }
+    if rng.chance(0.7) {
+        plan.tile_faults.push(TileFault {
+            tile: rng.range_usize(0..n_tiles),
+            at_cycle: rng.range_u64(0..60_000),
+            kind: if rng.chance(0.5) {
+                TileFaultKind::FailStop
+            } else {
+                TileFaultKind::Stuck
+            },
+        });
+    }
+    plan
+}
+
+const MANAGERS: [ManagerKind; 4] = [
+    ManagerKind::BlitzCoin,
+    ManagerKind::BcCentralized,
+    ManagerKind::CentralizedRoundRobin,
+    ManagerKind::Static,
+];
+
+#[test]
+fn engine_oracle_is_clean_across_random_socs() {
+    // Any floorplan, budget, manager, and workload shape: the run's own
+    // oracle (conservation at every commit, ceiling at every actuation,
+    // VF legality, time monotonicity) must stay silent.
+    forall("engine oracle clean on random SoCs", 12, |rng| {
+        let four_by_four = rng.chance(0.3);
+        let (soc, budget) = if four_by_four {
+            (floorplan::soc_4x4(), 400.0 + rng.unit_f64() * 500.0)
+        } else {
+            (floorplan::soc_3x3(), 55.0 + rng.unit_f64() * 110.0)
+        };
+        let frames = rng.range_usize(1..3);
+        let dep = rng.chance(0.5);
+        let wl = match (four_by_four, dep) {
+            (false, false) => workload::av_parallel(&soc, frames),
+            (false, true) => workload::av_dependent(&soc, frames),
+            (true, false) => workload::vision_parallel(&soc, frames),
+            (true, true) => workload::vision_dependent(&soc, frames),
+        };
+        let manager = *rng.choose(&MANAGERS);
+        let seed = rng.next_u64();
+        let r = Simulation::new(soc, wl, SimConfig::new(manager, budget)).run(seed);
+        ensure!(
+            r.oracle_violations == 0,
+            "{manager} at {budget:.0} mW (seed {seed:#x}): {}",
+            r.oracle_first.unwrap_or_default()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn engine_oracle_is_clean_under_every_fault_plan_variant() {
+    // Faults drain, quarantine, drop, delay, and jitter — none of which
+    // may break conservation, the ceiling, or time monotonicity. The
+    // continuous oracle must agree with the end-of-run ledger audit.
+    forall("engine oracle clean under faults", 12, |rng| {
+        let soc = floorplan::soc_3x3();
+        let plan = any_plan(rng, 9);
+        let wl = workload::av_parallel(&soc, 2);
+        let seed = rng.next_u64();
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0))
+            .with_fault_plan(plan.clone())
+            .run(seed);
+        ensure!(
+            r.oracle_violations == 0,
+            "oracle fired under {plan:?} (seed {seed:#x}): {}",
+            r.oracle_first.unwrap_or_default()
+        );
+        ensure!(r.coins_leaked == 0, "leaked {} coins", r.coins_leaked);
+        Ok(())
+    });
+}
+
+#[test]
+fn emulator_oracle_conserves_for_both_exchange_modes() {
+    // The behavioural emulator audits the total coin ledger after every
+    // exchange step; any topology, mode, initial distribution, and fault
+    // plan must keep it exact.
+    forall("emulator oracle conservation", 20, |rng| {
+        let d = rng.range_usize(3..7);
+        let topo = if rng.chance(0.5) {
+            Topology::mesh(d, d)
+        } else {
+            Topology::torus(d, d)
+        };
+        let cfg = EmulatorConfig {
+            mode: if rng.chance(0.5) {
+                ExchangeMode::OneWay
+            } else {
+                ExchangeMode::FourWay
+            },
+            stop_at_convergence: false,
+            max_cycles: 150_000,
+            quiescence_exchanges: 1_500,
+            ..EmulatorConfig::default()
+        };
+        let mut emu =
+            Emulator::new(topo, vec![32; d * d], cfg).with_fault_plan(any_plan(rng, d * d));
+        emu.init_uniform_random(rng);
+        let before = emu.total_coins();
+        emu.run(rng);
+        ensure!(
+            emu.oracle().count() == 0,
+            "emulator oracle fired: {}",
+            emu.oracle().first_replay_line().unwrap_or_default()
+        );
+        ensure!(
+            emu.total_coins() == before,
+            "total drifted {} -> {}",
+            before,
+            emu.total_coins()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn injected_conservation_bug_is_caught_with_replay_line() {
+    // The proof the auditing is *continuous*: mint one coin mid-run and
+    // burn it on the next commit. The end-of-run ledger balances — the
+    // CoinAudit sees nothing — so only the per-commit oracle can catch
+    // the transient, and its first violation must carry a well-formed
+    // replay line.
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, 2);
+    let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0))
+        .with_conservation_bug(5_000)
+        .run(7);
+    assert!(
+        r.oracle_violations > 0,
+        "the oracle must catch the injected mint/burn"
+    );
+    assert_eq!(
+        r.coins_leaked, 0,
+        "the bug self-cancels: the end-of-run audit must stay blind to it"
+    );
+    let line = r.oracle_first.expect("first violation kept");
+    assert!(
+        line.contains("invariant `coin-conservation` violated at cycle"),
+        "replay line must name the invariant and cycle: {line}"
+    );
+    assert!(
+        line.contains("replay with blitzcoin-soc Simulation::run at seed"),
+        "replay line must say how to reproduce: {line}"
+    );
+}
+
+#[test]
+fn healthy_run_reports_zero_violations_in_its_report() {
+    // The field experiments assert on: a clean run carries an explicit
+    // zero and no replay line.
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, 2);
+    let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0)).run(7);
+    assert_eq!(r.oracle_violations, 0);
+    assert!(r.oracle_first.is_none());
+}
