@@ -116,6 +116,36 @@ impl TokenSmart {
         }
     }
 
+    /// Creates a ring whose tiles already hold `has` coins (the SoC
+    /// engine's boot state: budget pre-split across tiles, pool empty).
+    /// The engine drives this machine one [`TokenSmart::visit_once`] at a
+    /// time so the greedy/fair token-passing FSM exists exactly once.
+    pub fn with_holdings(max: Vec<u64>, has: Vec<i64>, pool: i64, config: TsConfig) -> Self {
+        assert_eq!(max.len(), has.len(), "max/has length mismatch");
+        let mut ts = TokenSmart::new(max, 0, config);
+        ts.pool = pool;
+        for (t, h) in ts.tiles.iter_mut().zip(has) {
+            t.has = h;
+        }
+        ts
+    }
+
+    /// Updates a ring stop's target (an activity change: the tile became
+    /// active with `max > 0`, or went idle with `max = 0`).
+    pub fn set_max(&mut self, idx: usize, max: u64) {
+        self.tiles[idx].max = max;
+    }
+
+    /// The ring stop the pool will visit next.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Greedy→fair mode switches observed so far.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
     /// Schedules tile `tile` to die at `at_cycle` (NoC cycles). The pool
     /// is passed sequentially, so when it next reaches the dead stop,
     /// circulation halts and every token still in transit is trapped with
@@ -199,20 +229,27 @@ impl TokenSmart {
         }
     }
 
-    /// One pool visit at the cursor tile; advances the ring.
-    fn visit(&mut self) {
+    /// One pool visit at the cursor tile; advances the ring. Returns the
+    /// signed token movement at the visited stop (positive = taken from
+    /// the pool, negative = deposited); zero means the visit left the
+    /// allocation untouched — the engine's settle detector counts a full
+    /// zero-movement revolution as quiescence.
+    pub fn visit_once(&mut self) -> i64 {
         let idx = self.cursor;
         self.cursor = (self.cursor + 1) % self.tiles.len();
         let target = self.target(idx);
         let t = &mut self.tiles[idx];
+        let mut moved: i64 = 0;
         if t.has < target {
             let take = (target - t.has).min(self.pool.max(0));
             t.has += take;
             self.pool -= take;
+            moved = take;
         } else if t.has > target {
             let give = t.has - target;
             t.has -= give;
             self.pool += give;
+            moved = -give;
         }
         // starvation accounting (greedy mode only)
         let starved = t.is_active() && t.has * 2 < t.max as i64;
@@ -237,6 +274,7 @@ impl TokenSmart {
                 }
             }
         }
+        moved
     }
 
     fn fair_hold(&self) -> u64 {
@@ -262,7 +300,7 @@ impl TokenSmart {
                     break;
                 }
             }
-            self.visit();
+            self.visit_once();
             cycles += self.config.visit_cycles;
             packets += 1;
             // the pool itself is undistributed budget: count it against

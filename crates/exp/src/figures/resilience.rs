@@ -172,6 +172,39 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
     }
     write_csv(ctx, &mut fig, "resilience_tokensmart.csv", &ts_csv);
 
+    // TokenSmart in the engine: the same single-tile fault as every other
+    // scheme, now with real packet timing — the token lands on the corpse
+    // and the circulating pool is trapped mid-transit. New CSV on purpose:
+    // `resilience_tokensmart.csv` (the abstract model) is golden-locked.
+    let ts_grid: Vec<Option<FaultPlan>> = vec![None, Some(kill(WORKER_TILE))];
+    let ts_engine = par_units(ctx, &ts_grid, |plan| {
+        run(ManagerKind::TokenSmart, plan.clone(), f, ctx.seed)
+    });
+    let (tse_healthy, tse_broken) = (&ts_engine[0], &ts_engine[1]);
+    let mut tse_csv = CsvTable::new([
+        "scenario",
+        "finished",
+        "exec_us",
+        "post_fault_responses",
+        "coins_leaked",
+        "coins_quarantined",
+        "rings_broken",
+        "pool_in_transit",
+    ]);
+    for (name, r) in [("healthy", tse_healthy), ("kill-ring-stop", tse_broken)] {
+        tse_csv.row([
+            name.to_string(),
+            r.finished.to_string(),
+            format!("{:.3}", r.exec_time_us()),
+            post_fault_responses(r).to_string(),
+            r.coins_leaked.to_string(),
+            r.coins_quarantined.to_string(),
+            format!("{:.0}", r.scheme_stat("ts_rings_broken").unwrap_or(0.0)),
+            format!("{:.0}", r.scheme_stat("ts_pool_in_transit").unwrap_or(0.0)),
+        ]);
+    }
+    write_csv(ctx, &mut fig, "resilience_ts_engine.csv", &tse_csv);
+
     // -- claims ----------------------------------------------------------
 
     fig.claim(
@@ -227,6 +260,23 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
             ts_healthy.converged, ts_healthy.cycles, ts_broken.converged, ts_broken.ring_broken
         ),
         ts_healthy.converged && !ts_broken.converged && ts_broken.ring_broken,
+    );
+    fig.claim(
+        "ring-collapse-engine",
+        "end to end, the dead ring stop halts TokenSmart's reallocation \
+         without leaking: the pool is trapped and quarantined, and no \
+         activity change after the break is ever answered",
+        format!(
+            "kill-ring-stop: rings_broken={:.0}, leaked={}, post-fault \
+             responses={} (healthy run finished={})",
+            tse_broken.scheme_stat("ts_rings_broken").unwrap_or(0.0),
+            tse_broken.coins_leaked,
+            post_fault_responses(tse_broken),
+            tse_healthy.finished
+        ),
+        tse_healthy.finished
+            && tse_broken.scheme_stat("ts_rings_broken") == Some(1.0)
+            && tse_broken.coins_leaked == 0,
     );
     fig.claim(
         "conservation-under-faults",

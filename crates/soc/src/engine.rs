@@ -8,7 +8,8 @@
 //! - **power management**: the configured manager reacts to activity
 //!   changes — BlitzCoin through per-tile FSMs exchanging coins over the
 //!   NoC model (with link contention), the centralized baselines through
-//!   notification + sequential update sweeps from the controller tile;
+//!   notification + sequential update sweeps from the controller tile,
+//!   TokenSmart through a single pool token circulating its ring;
 //! - **actuation**: a frequency-target write takes effect after the UVFR
 //!   actuation delay (LDO slew + TDC settling), constant and parallel
 //!   across tiles.
@@ -16,16 +17,25 @@
 //! Every quantity in the paper's SoC evaluation falls out of this loop:
 //! execution time, per-transition response time, power/coin/frequency
 //! traces, utilization, and NoC traffic.
+//!
+//! The engine itself is scheme-agnostic: all manager behavior lives in
+//! `crate::managers` behind the `ManagerPolicy` trait, and this module
+//! tree only runs the clockwork around it —
+//!
+//! - [`events`](self::events): the event vocabulary, boot sequence, main
+//!   loop, and task lifecycle;
+//! - [`actuation`](self::actuation): DVFS targets, task progress, and
+//!   trace recording;
+//! - [`accounting`](self::accounting): continuous invariant audits and
+//!   end-of-run report assembly;
+//! - [`faults`](self::faults): injected tile faults and task abandonment.
 
 use std::collections::VecDeque;
 
-use blitzcoin_core::exchange::{
-    four_way_allocation, pairwise_exchange, pairwise_exchange_stochastic,
-};
-use blitzcoin_core::{AllocationPolicy, DynamicTiming, ExchangeMode, TileState};
-use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, TileId};
+use blitzcoin_core::{AllocationPolicy, DynamicTiming, ExchangeMode};
+use blitzcoin_noc::{Network, NetworkConfig, TileId};
 use blitzcoin_power::{CoinLut, PowerModel};
-use blitzcoin_sim::oracle::{self, Invariant, Oracle};
+use blitzcoin_sim::oracle::Oracle;
 use blitzcoin_sim::{
     CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TileFaultKind,
 };
@@ -34,7 +44,13 @@ use crate::floorplan::SocConfig;
 use crate::manager::{ManagerKind, ManagerTiming};
 use crate::report::{ActivityChange, ResponseSample, SimReport};
 use crate::workload::{TaskId, Workload};
-use blitzcoin_baselines::{BccController, CrrController, CrrLevel};
+
+pub(crate) mod accounting;
+pub(crate) mod actuation;
+pub(crate) mod events;
+pub(crate) mod faults;
+
+pub(crate) use events::Ev;
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,9 +129,7 @@ impl SimConfig {
             horizon: SimTime::from_ms(400),
         }
     }
-}
 
-impl SimConfig {
     /// A configuration sized for a large SoC: the coin economy is scaled
     /// so the average managed tile still holds tens of coins.
     pub fn for_large_soc(manager: ManagerKind, budget_mw: f64, n_managed: usize) -> Self {
@@ -131,113 +145,67 @@ impl SimConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    TaskDone {
-        tile: usize,
-        gen: u64,
-    },
-    CoinFire {
-        tile: usize,
-        gen: u64,
-    },
-    NotifyArrive,
-    SweepWrite {
-        sweep: u64,
-        step: usize,
-    },
-    WriteArrive {
-        tile: usize,
-        freq_centi_mhz: u64,
-        coins: i64,
-        sweep: u64,
-        last: bool,
-    },
-    Rotate,
-    Actuate {
-        tile: usize,
-        gen: u64,
-    },
-    DmaBurst {
-        tile: usize,
-    },
-    TileFault {
-        tile: usize,
-    },
+#[derive(Debug, Clone)]
+pub(crate) struct Running {
+    pub(crate) task: TaskId,
+    pub(crate) remaining_kcycles: f64,
+    pub(crate) last: SimTime,
 }
 
-/// Consecutive failed exchanges with the same ring partner before a tile
-/// concludes the partner is gone and triggers recovery (reclaim the
-/// partner's coins if it fail-stopped, quarantine them if it is stuck).
-/// Random packet drops reset on any success, so only a persistently
-/// silent partner crosses this threshold.
-const HEARTBEAT_TIMEOUTS: u32 = 3;
-
-/// Actuation-transient envelope of the oracle's budget-ceiling check, as
-/// a fraction of the budget. During a reallocation the upgraded tile can
-/// reach its new operating point while the downgrade's UVFR write is
-/// still settling, so short overshoot up to this envelope is physical
-/// (the engine's own enforcement test bounds peak overshoot the same
-/// way); anything beyond it is an enforcement bug.
-const ORACLE_BUDGET_SLACK_FRAC: f64 = 0.15;
-
+/// Per-tile runtime state. The BlitzCoin FSM registers live here rather
+/// than in the policy object because they mirror real per-tile hardware
+/// (each tile carries its own exchange FSM); every other scheme keeps its
+/// state inside its `ManagerPolicy`.
 #[derive(Debug, Clone)]
-struct Running {
-    task: TaskId,
-    remaining_kcycles: f64,
-    last: SimTime,
-}
-
-#[derive(Debug, Clone)]
-struct TileRt {
-    model: Option<PowerModel>,
-    lut: Option<CoinLut>,
-    managed: bool,
+pub(crate) struct TileRt {
+    pub(crate) model: Option<PowerModel>,
+    pub(crate) lut: Option<CoinLut>,
+    pub(crate) managed: bool,
     // coin state (managed tiles)
-    has: i64,
-    max: u64,
+    pub(crate) has: i64,
+    pub(crate) max: u64,
     // frequency state
-    freq: f64,
-    target: f64,
-    actuate_gen: u64,
+    pub(crate) freq: f64,
+    pub(crate) target: f64,
+    pub(crate) actuate_gen: u64,
     // task state
-    running: Option<Running>,
-    queue: VecDeque<TaskId>,
-    done_gen: u64,
+    pub(crate) running: Option<Running>,
+    pub(crate) queue: VecDeque<TaskId>,
+    pub(crate) done_gen: u64,
     // BlitzCoin FSM state
-    interval: u64,
-    rr: usize,
-    zero_rot: u32,
-    fire_gen: u64,
-    next_pairing: SimTime,
-    pair_offset: usize,
-    partners: Vec<usize>,
+    pub(crate) interval: u64,
+    pub(crate) rr: usize,
+    pub(crate) zero_rot: u32,
+    pub(crate) fire_gen: u64,
+    pub(crate) next_pairing: SimTime,
+    pub(crate) pair_offset: usize,
+    pub(crate) partners: Vec<usize>,
     /// Consecutive failed exchanges per entry of `partners`.
-    suspect: Vec<u32>,
+    pub(crate) suspect: Vec<u32>,
     /// Set once the tile's scheduled fault fires.
-    faulted: Option<TileFaultKind>,
+    pub(crate) faulted: Option<TileFaultKind>,
 }
 
 /// A configured full-SoC simulation, ready to run.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    soc: SocConfig,
-    wl: Workload,
-    cfg: SimConfig,
-    coin_value_mw: f64,
-    pool: u64,
-    top_pmax: f64,
+    pub(crate) soc: SocConfig,
+    pub(crate) wl: Workload,
+    pub(crate) cfg: SimConfig,
+    pub(crate) coin_value_mw: f64,
+    pub(crate) pool: u64,
+    pub(crate) top_pmax: f64,
     /// Optional hierarchical PM clusters: a partition of the managed tile
     /// ids. Coin exchange (and hence budget sharing) stays within a
     /// cluster; each cluster owns a slice of the pool proportional to its
     /// accelerators' combined P_max.
-    clusters: Option<Vec<Vec<usize>>>,
+    pub(crate) clusters: Option<Vec<Vec<usize>>>,
     /// Faults injected into the run (empty by default).
-    fault: FaultPlan,
+    pub(crate) fault: FaultPlan,
     /// Test-only sabotage: from this cycle on, the next exchange commit
     /// mints one coin and the one after burns it again. The end-of-run
     /// audit balances perfectly — only the continuous oracle can see it.
-    conservation_bug_at: Option<u64>,
+    pub(crate) conservation_bug_at: Option<u64>,
 }
 
 impl Simulation {
@@ -362,59 +330,59 @@ impl Simulation {
 
     /// Runs the simulation with the given seed and returns the report.
     pub fn run(&self, seed: u64) -> SimReport {
-        Runner::new(self, SimRng::seed(seed)).run()
+        let mut core = Core::new(self, SimRng::seed(seed));
+        let mut policy = crate::managers::policy_for(self.cfg.manager);
+        events::run(&mut core, policy.as_mut());
+        accounting::finish(core, policy.as_mut())
     }
 }
 
-struct Runner<'a> {
-    sim: &'a Simulation,
-    rng: SimRng,
-    net: Network,
-    queue: EventQueue<Ev>,
-    tiles: Vec<TileRt>,
-    managed: Vec<usize>,
+/// Shared engine state: everything the scheme-agnostic event loop and
+/// the manager policies read and mutate. Scheme-specific state lives in
+/// the policy objects (`crate::managers`), never here — the split keeps
+/// each manager independently auditable.
+pub(crate) struct Core<'a> {
+    pub(crate) sim: &'a Simulation,
+    pub(crate) rng: SimRng,
+    pub(crate) net: Network,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) tiles: Vec<TileRt>,
+    pub(crate) managed: Vec<usize>,
     /// Cluster index per tile id (managed tiles only; usize::MAX elsewhere).
-    cluster_of: Vec<usize>,
-    n_clusters: usize,
-    now: SimTime,
+    pub(crate) cluster_of: Vec<usize>,
+    /// Managed tile ids per PM cluster (the exchange / ring domains).
+    pub(crate) cluster_members: Vec<Vec<usize>>,
+    pub(crate) now: SimTime,
     // workload progress
-    deps_left: Vec<usize>,
-    completed: usize,
-    exec_end: SimTime,
-    done_tasks: Vec<bool>,
-    abandoned_tasks: Vec<bool>,
-    abandoned: usize,
+    pub(crate) deps_left: Vec<usize>,
+    pub(crate) completed: usize,
+    pub(crate) exec_end: SimTime,
+    pub(crate) done_tasks: Vec<bool>,
+    pub(crate) abandoned_tasks: Vec<bool>,
+    pub(crate) abandoned: usize,
     // fault accounting
-    audit: CoinAudit,
-    fault_at: Option<SimTime>,
-    recovered_at: Option<SimTime>,
+    pub(crate) audit: CoinAudit,
+    pub(crate) fault_at: Option<SimTime>,
+    pub(crate) recovered_at: Option<SimTime>,
     // continuous invariant auditing
-    oracle: Oracle,
+    pub(crate) oracle: Oracle,
     /// Expected coin total per PM cluster (BlitzCoin conserves these at
     /// every exchange commit; exchanges never cross cluster boundaries).
-    cluster_expected: Vec<i128>,
+    pub(crate) cluster_expected: Vec<i128>,
     /// Test-only conservation-bug FSM: 0 armed, 1 minted, 2 burned.
-    bug_state: u8,
-    // centralized managers
-    sweep_gen: u64,
-    sweep_plan: Vec<(usize, u64, i64)>,
-    /// When the most recent sweep started; lets the rotation tell a
-    /// dropped notify IRQ (no sweep since the change) from a sweep that is
-    /// merely still in flight (sweeps outlast a rotation on large SoCs).
-    last_sweep_start: SimTime,
-    rotation_step: usize,
+    pub(crate) bug_state: u8,
     // response measurement
-    pending_changes: Vec<SimTime>,
-    responses: Vec<ResponseSample>,
-    activity_changes: Vec<ActivityChange>,
+    pub(crate) pending_changes: Vec<SimTime>,
+    pub(crate) responses: Vec<ResponseSample>,
+    pub(crate) activity_changes: Vec<ActivityChange>,
     // traces
-    coin_traces: Vec<StepTrace>,
-    freq_traces: Vec<StepTrace>,
-    power_traces: Vec<StepTrace>,
-    events: u64,
+    pub(crate) coin_traces: Vec<StepTrace>,
+    pub(crate) freq_traces: Vec<StepTrace>,
+    pub(crate) power_traces: Vec<StepTrace>,
+    pub(crate) events: u64,
 }
 
-impl<'a> Runner<'a> {
+impl<'a> Core<'a> {
     fn new(sim: &'a Simulation, rng: SimRng) -> Self {
         let soc = &sim.soc;
         let managed: Vec<usize> = soc.managed_tiles().iter().map(|t| t.index()).collect();
@@ -497,7 +465,6 @@ impl<'a> Runner<'a> {
                 tiles[ti].has = (base + extra) as i64;
             }
         }
-        let n_clusters = cluster_list.len();
         let coin_traces = managed
             .iter()
             .map(|&ti| {
@@ -516,7 +483,7 @@ impl<'a> Runner<'a> {
             .collect();
         let deps_left = sim.wl.tasks().iter().map(|t| t.deps.len()).collect();
         let initial_coins: i64 = tiles.iter().map(|t| t.has).sum();
-        let cluster_expected: Vec<i128> = (0..n_clusters)
+        let cluster_expected: Vec<i128> = (0..cluster_list.len())
             .map(|ci| {
                 managed
                     .iter()
@@ -529,7 +496,7 @@ impl<'a> Runner<'a> {
         let mut net = Network::new(soc.topology, NetworkConfig::default());
         net.set_fault_plan(sim.fault.clone());
         let n_tasks = sim.wl.len();
-        Runner {
+        Core {
             sim,
             rng,
             net,
@@ -537,7 +504,7 @@ impl<'a> Runner<'a> {
             tiles,
             managed,
             cluster_of,
-            n_clusters,
+            cluster_members: cluster_list,
             now: SimTime::ZERO,
             deps_left,
             completed: 0,
@@ -551,10 +518,6 @@ impl<'a> Runner<'a> {
             oracle,
             cluster_expected,
             bug_state: 0,
-            sweep_gen: 0,
-            sweep_plan: Vec::new(),
-            last_sweep_start: SimTime::ZERO,
-            rotation_step: 0,
             pending_changes: Vec::new(),
             responses: Vec::new(),
             activity_changes: Vec::new(),
@@ -565,13 +528,13 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn cfg(&self) -> &SimConfig {
+    pub(crate) fn cfg(&self) -> &SimConfig {
         &self.sim.cfg
     }
 
     /// The plane coin messages travel on: plane 5 normally, or the DMA
     /// plane under the plane-sharing ablation.
-    fn coin_plane(&self) -> blitzcoin_noc::Plane {
+    pub(crate) fn coin_plane(&self) -> blitzcoin_noc::Plane {
         if self.cfg().share_plane_with_dma {
             blitzcoin_noc::Plane::Dma1
         } else {
@@ -579,1662 +542,7 @@ impl<'a> Runner<'a> {
         }
     }
 
-    // -- helpers ------------------------------------------------------
-
-    fn plan(&self) -> &FaultPlan {
+    pub(crate) fn plan(&self) -> &FaultPlan {
         &self.sim.fault
-    }
-
-    /// Whether the centralized controller tile has faulted — after which
-    /// no sweep can ever run again (the single point of failure).
-    fn controller_down(&self) -> bool {
-        matches!(
-            self.cfg().manager,
-            ManagerKind::BcCentralized | ManagerKind::CentralizedRoundRobin
-        ) && self.tiles[self.sim.soc.controller_tile().index()]
-            .faulted
-            .is_some()
-    }
-
-    /// kcycles of work per microsecond at the tile's current clock.
-    fn rate(&self, ti: usize) -> f64 {
-        let rt = &self.tiles[ti];
-        let model = rt.model.as_ref().expect("accelerator tile");
-        if rt.freq > 0.0 {
-            rt.freq / 1000.0
-        } else {
-            // idle-floor clock: F_min scaled down 7.5x at minimum voltage
-            model.f_min() / 7.5 / 1000.0
-        }
-    }
-
-    fn tile_power(&self, ti: usize) -> f64 {
-        let rt = &self.tiles[ti];
-        if rt.faulted == Some(TileFaultKind::FailStop) {
-            return 0.0;
-        }
-        match (&rt.model, &rt.running) {
-            (Some(m), Some(_)) if rt.freq > 0.0 => m.power_at(rt.freq),
-            (Some(m), _) => m.idle_power(),
-            (None, _) => 0.0,
-        }
-    }
-
-    fn record_power(&mut self, ti: usize) {
-        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
-            let p = self.tile_power(ti);
-            self.power_traces[slot].record(self.now, p);
-        }
-    }
-
-    fn record_coins(&mut self, ti: usize) {
-        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
-            let h = self.tiles[ti].has as f64;
-            self.coin_traces[slot].record(self.now, h);
-        }
-    }
-
-    // -- continuous invariant auditing ---------------------------------
-
-    /// Coin conservation after an exchange-path commit touching `ti`'s
-    /// cluster: the cluster ledger (live and faulted holdings alike —
-    /// coins never travel inside packets, so in-flight is identically 0
-    /// even under faults) must still sum to its initial slice, exactly,
-    /// in i128. Only BlitzCoin owns a distributed economy this binds to;
-    /// BC-C rewrites ledgers per sweep and the others keep no coins.
-    fn audit_conservation(&mut self, ti: usize, site: impl FnOnce() -> String) {
-        if !oracle::enabled() || self.cfg().manager != ManagerKind::BlitzCoin {
-            return;
-        }
-        let ci = self.cluster_of[ti];
-        let actual: i128 = self
-            .managed
-            .iter()
-            .filter(|&&t| self.cluster_of[t] == ci)
-            .map(|&t| i128::from(self.tiles[t].has))
-            .sum();
-        self.oracle.check_eq_i128(
-            Invariant::CoinConservation,
-            self.now.as_noc_cycles(),
-            || format!("cluster {ci} coin ledger after {}", site()),
-            self.cluster_expected[ci],
-            actual,
-        );
-    }
-
-    /// VF legality and budget ceiling at an actuation instant — the only
-    /// moment tile clocks (and therefore power) change. The actuated
-    /// point must be a real operating point of the tile's model, and
-    /// total managed power must stay under the budget plus the
-    /// [`ORACLE_BUDGET_SLACK_FRAC`] transient envelope, plus one coin of
-    /// quantization per managed tile (each tile's allocation rounds to
-    /// coin quanta independently, so the aggregate can sit up to a coin
-    /// per tile over the envelope — C-RR at tight budgets reaches it).
-    fn audit_actuation(&mut self, ti: usize) {
-        if !oracle::enabled() {
-            return;
-        }
-        let cycle = self.now.as_noc_cycles();
-        let f = self.tiles[ti].freq;
-        if let Some(m) = &self.tiles[ti].model {
-            let f_max = m.f_max();
-            if !f.is_finite() || f < 0.0 || f > f_max * (1.0 + 1e-9) {
-                self.oracle.report(
-                    Invariant::VfLegality,
-                    cycle,
-                    format!("tile {ti} actuated clock"),
-                    format!("0 <= f <= {f_max} MHz"),
-                    format!("{f} MHz"),
-                );
-            }
-        }
-        let total: f64 = self.managed.iter().map(|&t| self.tile_power(t)).sum();
-        let ceiling = self.cfg().budget_mw * (1.0 + ORACLE_BUDGET_SLACK_FRAC)
-            + self.sim.coin_value_mw * self.managed.len() as f64;
-        self.oracle.check_le_f64(
-            Invariant::BudgetCeiling,
-            cycle,
-            || format!("managed power after tile {ti} actuated"),
-            total,
-            ceiling,
-        );
-    }
-
-    /// Test-only sabotage hook (see [`Simulation::with_conservation_bug`]):
-    /// mints one coin on the first commit at/after the armed cycle and
-    /// burns one on the next, so only continuous auditing can catch it.
-    fn sabotage_conservation(&mut self, ti: usize) {
-        let Some(at) = self.sim.conservation_bug_at else {
-            return;
-        };
-        if self.now.as_noc_cycles() < at || self.bug_state >= 2 {
-            return;
-        }
-        self.tiles[ti].has += if self.bug_state == 0 { 1 } else { -1 };
-        self.bug_state += 1;
-    }
-
-    /// Updates task progress on `ti` at the current time and rate.
-    fn update_progress(&mut self, ti: usize) {
-        let rate = if self.tiles[ti].running.is_some() {
-            self.rate(ti)
-        } else {
-            return;
-        };
-        let now = self.now;
-        if let Some(run) = self.tiles[ti].running.as_mut() {
-            let dt = (now - run.last).as_us_f64();
-            run.remaining_kcycles = (run.remaining_kcycles - dt * rate).max(0.0);
-            run.last = now;
-        }
-    }
-
-    fn schedule_completion(&mut self, ti: usize) {
-        self.tiles[ti].done_gen += 1;
-        let gen = self.tiles[ti].done_gen;
-        let rate = if self.tiles[ti].running.is_some() {
-            self.rate(ti)
-        } else {
-            return;
-        };
-        let remaining = self.tiles[ti]
-            .running
-            .as_ref()
-            .expect("running")
-            .remaining_kcycles;
-        let dur = SimTime::from_us_f64((remaining / rate).max(0.0));
-        self.queue
-            .schedule(self.now + dur, Ev::TaskDone { tile: ti, gen });
-    }
-
-    /// Commands a new frequency target; the tile clock follows after the
-    /// UVFR actuation delay.
-    fn set_target(&mut self, ti: usize, f_mhz: f64) {
-        if (self.tiles[ti].target - f_mhz).abs() < 1e-9 {
-            return;
-        }
-        self.tiles[ti].target = f_mhz;
-        self.tiles[ti].actuate_gen += 1;
-        let gen = self.tiles[ti].actuate_gen;
-        let delay = SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
-        self.queue
-            .schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
-    }
-
-    /// The RP/AP `max` target for a managed tile when active: RP scales
-    /// targets so the hungriest tile's is the full 6-bit range (the
-    /// proportions, not the coin value, encode the policy).
-    fn policy_max(&self, ti: usize) -> u64 {
-        let model = self.tiles[ti].model.as_ref().expect("managed tile");
-        match self.cfg().policy {
-            AllocationPolicy::AbsoluteProportional => 63,
-            AllocationPolicy::RelativeProportional => {
-                (63.0 * model.p_max() / self.sim.top_pmax).round().max(1.0) as u64
-            }
-        }
-    }
-
-    /// Applies a coin count to a managed tile's frequency target via its
-    /// LUT (only meaningful while it runs; idle tiles clock-gate).
-    fn apply_coins(&mut self, ti: usize) {
-        if self.tiles[ti].running.is_some() {
-            let f = {
-                let rt = &self.tiles[ti];
-                rt.lut.as_ref().expect("managed").f_target(rt.has as i32)
-            };
-            self.set_target(ti, f);
-        } else {
-            self.set_target(ti, 0.0);
-        }
-    }
-
-    // -- task lifecycle -------------------------------------------------
-
-    fn enqueue_task(&mut self, task: TaskId) {
-        let ti = self.sim.wl.tasks()[task.0].tile.index();
-        if self.tiles[ti].faulted.is_some() {
-            self.abandon_unreachable_tasks();
-            return;
-        }
-        self.tiles[ti].queue.push_back(task);
-        self.pump(ti);
-    }
-
-    /// Marks every task that can no longer complete — it targets a
-    /// faulted tile, or depends (transitively) on such a task — as
-    /// abandoned, so the run can terminate instead of waiting forever.
-    fn abandon_unreachable_tasks(&mut self) {
-        let n = self.sim.wl.len();
-        loop {
-            let mut changed = false;
-            for k in 0..n {
-                if self.done_tasks[k] || self.abandoned_tasks[k] {
-                    continue;
-                }
-                let t = &self.sim.wl.tasks()[k];
-                let tile_gone = self.tiles[t.tile.index()].faulted.is_some();
-                let dep_gone = t.deps.iter().any(|d| self.abandoned_tasks[d.0]);
-                if tile_gone || dep_gone {
-                    self.abandoned_tasks[k] = true;
-                    self.abandoned += 1;
-                    changed = true;
-                }
-            }
-            if !changed {
-                return;
-            }
-        }
-    }
-
-    fn pump(&mut self, ti: usize) {
-        if self.tiles[ti].running.is_some() {
-            return;
-        }
-        let Some(task) = self.tiles[ti].queue.pop_front() else {
-            // stream ended: deactivate
-            if self.tiles[ti].managed && self.tiles[ti].max != 0 {
-                self.tiles[ti].max = 0;
-                self.apply_coins(ti);
-                self.on_activity_change(ti);
-            }
-            self.record_power(ti);
-            return;
-        };
-        let work = self.sim.wl.tasks()[task.0].work_kcycles;
-        self.tiles[ti].running = Some(Running {
-            task,
-            remaining_kcycles: work,
-            last: self.now,
-        });
-        if self.tiles[ti].managed {
-            if self.tiles[ti].max == 0 {
-                // activation: execution begins on this tile
-                self.tiles[ti].max = self.policy_max(ti);
-                self.apply_coins(ti);
-                self.on_activity_change(ti);
-            }
-        } else {
-            // unmanaged accelerators always run at F_max
-            let fmax = self.tiles[ti].model.as_ref().expect("accelerator").f_max();
-            self.set_target(ti, fmax);
-        }
-        self.record_power(ti);
-        self.schedule_completion(ti);
-    }
-
-    fn on_task_done(&mut self, ti: usize, gen: u64) {
-        if gen != self.tiles[ti].done_gen {
-            return;
-        }
-        self.update_progress(ti);
-        let run = self.tiles[ti]
-            .running
-            .take()
-            .expect("completion without task");
-        debug_assert!(run.remaining_kcycles < 1e-6);
-        self.completed += 1;
-        self.exec_end = self.now;
-        // release dependents
-        let done_id = run.task;
-        self.done_tasks[done_id.0] = true;
-        let ready: Vec<TaskId> = self
-            .sim
-            .wl
-            .tasks()
-            .iter()
-            .filter(|t| t.deps.contains(&done_id))
-            .map(|t| t.id)
-            .filter(|t| {
-                self.deps_left[t.0] -= 1;
-                self.deps_left[t.0] == 0
-            })
-            .collect();
-        self.pump(ti);
-        for t in ready {
-            self.enqueue_task(t);
-        }
-    }
-
-    // -- manager reactions ----------------------------------------------
-
-    fn on_activity_change(&mut self, ti: usize) {
-        self.activity_changes.push(ActivityChange {
-            tile: ti,
-            at_us: self.now.as_us_f64(),
-            active: self.tiles[ti].max > 0,
-        });
-        self.pending_changes.push(self.now);
-        match self.cfg().manager {
-            ManagerKind::BlitzCoin => {
-                // the local FSM reacts immediately at the fast refresh rate
-                let min_cycles = self.cfg().exchange_timing.min_cycles;
-                let rt = &mut self.tiles[ti];
-                rt.interval = min_cycles;
-                rt.zero_rot = 0;
-                rt.fire_gen += 1;
-                let gen = rt.fire_gen;
-                let at = self.now + SimTime::from_noc_cycles(rt.interval);
-                self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-                // an activity change may already satisfy the tolerance
-                self.check_bc_response();
-            }
-            ManagerKind::BcCentralized | ManagerKind::CentralizedRoundRobin => {
-                let pkt = Packet::new(
-                    TileId(ti),
-                    self.sim.soc.controller_tile(),
-                    blitzcoin_noc::Plane::MmioIrq,
-                    PacketKind::RegWrite { value: ti as u64 },
-                );
-                // a dropped IRQ is a lost notification: no sweep starts
-                // until something else pokes the controller
-                if let Some(arrive) = self.net.send(self.now, &pkt).time() {
-                    self.queue.schedule(arrive, Ev::NotifyArrive);
-                }
-            }
-            ManagerKind::Static => {
-                // static allocation never responds; don't count a pending
-                // change that can never be drained
-                self.pending_changes.pop();
-            }
-        }
-    }
-
-    // -- BlitzCoin FSM ----------------------------------------------------
-
-    fn on_coin_fire(&mut self, ti: usize, gen: u64) {
-        if gen != self.tiles[ti].fire_gen || self.tiles[ti].faulted.is_some() {
-            return;
-        }
-        if self.cfg().exchange_mode == ExchangeMode::FourWay {
-            self.four_way_fire(ti);
-            return;
-        }
-        let dt = self.cfg().exchange_timing;
-        // partner selection: time-based random pairing, else round-robin
-        let pairing_iv =
-            SimTime::from_noc_cycles(self.cfg().pairing_period as u64 * dt.base_cycles);
-        let use_pairing = self.cfg().pairing_period > 0
-            && self.now >= self.tiles[ti].next_pairing
-            && self.managed.len() > 2;
-        let partner = if use_pairing {
-            self.tiles[ti].next_pairing = self.now + pairing_iv;
-            self.select_pairing_partner(ti)
-        } else {
-            let rt = &mut self.tiles[ti];
-            if rt.partners.is_empty() {
-                None
-            } else {
-                let p = rt.partners[rt.rr % rt.partners.len()];
-                rt.rr = (rt.rr + 1) % rt.partners.len();
-                Some(p)
-            }
-        };
-        let Some(pj) = partner else {
-            // nothing to exchange with; retry at base rate
-            let rt = &mut self.tiles[ti];
-            rt.fire_gen += 1;
-            let gen = rt.fire_gen;
-            let at = self.now + SimTime::from_noc_cycles(dt.base_cycles);
-            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-            return;
-        };
-
-        // status + update over the NoC (plane 5, with contention)
-        let me = TileId(ti);
-        let other = TileId(pj);
-        let status = Packet::new(
-            me,
-            other,
-            self.coin_plane(),
-            PacketKind::CoinStatus {
-                has: self.tiles[ti].has as i32,
-                max: self.tiles[ti].max as u32,
-            },
-        );
-        let d_status = self.net.send(self.now, &status);
-        // A faulted partner never answers and a dropped status is never
-        // seen; either way the initiator times out and backs off.
-        let partner_gone = self.tiles[pj].faulted.is_some();
-        let Some(t_status) = d_status.time().filter(|_| !partner_gone) else {
-            self.on_exchange_timeout(ti, pj);
-            return;
-        };
-        let a = TileState::new(self.tiles[ti].has, self.tiles[ti].max);
-        let b = TileState::new(self.tiles[pj].has, self.tiles[pj].max);
-        let out = pairwise_exchange_stochastic(a, b, &mut self.rng);
-        let update = Packet::new(
-            other,
-            me,
-            self.coin_plane(),
-            PacketKind::CoinUpdate {
-                delta: out.moved as i32,
-            },
-        );
-        // The exchange commits only once the update is delivered (the
-        // partner's ledger write is acknowledged at the link layer), so a
-        // dropped update aborts the whole exchange: no coins move on
-        // either side and conservation holds.
-        let Some(t_update) = self.net.send(t_status, &update).time() else {
-            self.on_exchange_timeout(ti, pj);
-            return;
-        };
-        let latency = (t_update - self.now) + SimTime::from_noc_cycles(1);
-        if let Some(idx) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
-            self.tiles[ti].suspect[idx] = 0; // partner demonstrably alive
-        }
-
-        if out.moved != 0 {
-            self.tiles[ti].has = out.new_i;
-            self.tiles[pj].has = out.new_j;
-            self.sabotage_conservation(ti);
-            self.record_coins(ti);
-            self.record_coins(pj);
-            self.apply_coins(ti);
-            self.apply_coins(pj);
-            self.audit_conservation(ti, || format!("pairwise exchange tiles {ti}<->{pj}"));
-        }
-
-        let significant = dt.is_significant(out.moved);
-        // own reschedule
-        {
-            let rt = &mut self.tiles[ti];
-            rt.interval = if significant {
-                rt.zero_rot = 0;
-                dt.next_interval(rt.interval, out.moved)
-            } else {
-                rt.zero_rot += 1;
-                let rot = rt.partners.len().max(1) as u32;
-                if rt.zero_rot.is_multiple_of(rot) {
-                    dt.next_interval(rt.interval, 0)
-                } else {
-                    rt.interval
-                }
-            };
-            rt.fire_gen += 1;
-            let gen = rt.fire_gen;
-            let at = self.now + latency + SimTime::from_noc_cycles(rt.interval);
-            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-        }
-        // partner wake-up on significant movement
-        if significant {
-            let rp = &mut self.tiles[pj];
-            rp.zero_rot = 0;
-            rp.interval = dt.next_interval(rp.interval, out.moved);
-            rp.fire_gen += 1;
-            let gen = rp.fire_gen;
-            let at = self.now + latency + SimTime::from_noc_cycles(rp.interval);
-            self.queue.schedule(at, Ev::CoinFire { tile: pj, gen });
-        }
-        self.check_bc_response();
-    }
-
-    /// The initiator waited for a reply that never came. Back off through
-    /// the zero-move dynamic-timing rule (the retry gets cheaper for the
-    /// NoC, not tighter), grow suspicion against ring partners, and after
-    /// [`HEARTBEAT_TIMEOUTS`] consecutive silences run the recovery path.
-    fn on_exchange_timeout(&mut self, ti: usize, pj: usize) {
-        self.note_partner_silent(ti, pj);
-        let dt = self.cfg().exchange_timing;
-        // timeout budget: a zero-load round trip plus a base interval of
-        // slack before the FSM declares the exchange lost
-        let rtt = self.net.latency_bound(TileId(ti), TileId(pj))
-            + self.net.latency_bound(TileId(pj), TileId(ti));
-        let timeout = rtt + SimTime::from_noc_cycles(dt.base_cycles);
-        let rt = &mut self.tiles[ti];
-        rt.zero_rot = 0;
-        rt.interval = dt.next_interval(rt.interval, 0);
-        rt.fire_gen += 1;
-        let gen = rt.fire_gen;
-        let at = self.now + timeout + SimTime::from_noc_cycles(rt.interval);
-        self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-        self.check_bc_response();
-    }
-
-    /// Records one failed exchange with `pj`; crossing the heartbeat
-    /// threshold triggers recovery.
-    fn note_partner_silent(&mut self, ti: usize, pj: usize) {
-        if let Some(idx) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
-            self.tiles[ti].suspect[idx] += 1;
-            if self.tiles[ti].suspect[idx] >= HEARTBEAT_TIMEOUTS {
-                self.give_up_on_partner(ti, pj, idx);
-            }
-        }
-    }
-
-    /// A ring partner has been silent for [`HEARTBEAT_TIMEOUTS`]
-    /// consecutive exchanges. If it fail-stopped, its coins are reclaimed
-    /// through the same drain rule an idle tile uses (`pairwise_exchange`
-    /// against `max == 0` relinquishes everything) and it leaves the
-    /// rotation. A stuck partner also leaves the rotation but keeps its
-    /// coins: they are quarantined — counted, never reallocated — so the
-    /// enforced budget cannot overshoot. A live partner that merely lost
-    /// packets gets its suspicion reset and stays.
-    fn give_up_on_partner(&mut self, ti: usize, pj: usize, idx: usize) {
-        match self.tiles[pj].faulted {
-            Some(TileFaultKind::FailStop) => {
-                let a = TileState::new(self.tiles[ti].has, self.tiles[ti].max);
-                let b = TileState::new(self.tiles[pj].has, 0);
-                let out = pairwise_exchange(a, b);
-                if out.moved == 0 && self.tiles[pj].has > 0 {
-                    // this tile is idle (max 0) and cannot absorb the
-                    // coins; keep polling so an active phase can drain
-                    return;
-                }
-                if out.moved != 0 {
-                    self.audit.record_reclaim(out.moved);
-                    self.tiles[ti].has = out.new_i;
-                    self.tiles[pj].has = out.new_j;
-                    self.record_coins(ti);
-                    self.record_coins(pj);
-                    self.apply_coins(ti);
-                    self.audit_conservation(ti, || {
-                        format!("reclaim of fail-stopped tile {pj} by tile {ti}")
-                    });
-                }
-            }
-            Some(TileFaultKind::Stuck) => {}
-            None => {
-                self.tiles[ti].suspect[idx] = 0;
-                return;
-            }
-        }
-        self.tiles[ti].partners.remove(idx);
-        self.tiles[ti].suspect.remove(idx);
-        let n = self.tiles[ti].partners.len();
-        if n > 0 {
-            self.tiles[ti].rr %= n;
-        }
-    }
-
-    /// One 4-way group exchange: the tile solicits all partners, applies
-    /// the 5-tile fair redistribution, and pushes updates — 12 messages
-    /// serialized through its injection port (Algorithm 1).
-    fn four_way_fire(&mut self, ti: usize) {
-        let dt = self.cfg().exchange_timing;
-        let partners = self.tiles[ti].partners.clone();
-        if partners.is_empty() {
-            return;
-        }
-        let me = TileId(ti);
-        // Request + status + update per partner over the NoC. A faulted
-        // partner is skipped (and suspected); any dropped message aborts
-        // the whole group exchange — the redistribution is atomic or it
-        // does not happen, so conservation survives arbitrary drops.
-        let mut live = Vec::with_capacity(partners.len());
-        let mut last_arrival = self.now;
-        for &pj in &partners {
-            if self.tiles[pj].faulted.is_some() {
-                self.note_partner_silent(ti, pj);
-                continue;
-            }
-            let req = Packet::coin(me, TileId(pj), PacketKind::CoinRequest);
-            let Some(t_req) = self.net.send(self.now, &req).time() else {
-                self.on_exchange_timeout(ti, pj);
-                return;
-            };
-            let status = Packet::coin(
-                TileId(pj),
-                me,
-                PacketKind::CoinStatus {
-                    has: self.tiles[pj].has as i32,
-                    max: self.tiles[pj].max as u32,
-                },
-            );
-            let Some(t_status) = self.net.send(t_req, &status).time() else {
-                self.on_exchange_timeout(ti, pj);
-                return;
-            };
-            let update = Packet::coin(me, TileId(pj), PacketKind::CoinUpdate { delta: 0 });
-            let Some(t_update) = self.net.send(t_status, &update).time() else {
-                self.on_exchange_timeout(ti, pj);
-                return;
-            };
-            last_arrival = last_arrival.max(t_update);
-            live.push(pj);
-        }
-        if live.is_empty() {
-            // every partner is gone; keep polling at a backed-off rate in
-            // case a stranded neighbor still needs its coins drained
-            let rt = &mut self.tiles[ti];
-            rt.interval = dt.next_interval(rt.interval, 0);
-            rt.fire_gen += 1;
-            let gen = rt.fire_gen;
-            let at = self.now + SimTime::from_noc_cycles(rt.interval);
-            self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-            return;
-        }
-        for &pj in &live {
-            if let Some(k) = self.tiles[ti].partners.iter().position(|&p| p == pj) {
-                self.tiles[ti].suspect[k] = 0;
-            }
-        }
-        let latency = (last_arrival - self.now) + SimTime::from_noc_cycles(2);
-
-        let mut idx = Vec::with_capacity(live.len() + 1);
-        idx.push(ti);
-        idx.extend(live.iter().copied());
-        let group: Vec<TileState> = idx
-            .iter()
-            .map(|&k| TileState::new(self.tiles[k].has, self.tiles[k].max))
-            .collect();
-        let alloc = four_way_allocation(&group);
-        let mut moved_total = 0i64;
-        for (slot, &k) in idx.iter().enumerate() {
-            let delta = alloc[slot] - self.tiles[k].has;
-            if delta != 0 {
-                moved_total += delta.abs();
-                self.tiles[k].has = alloc[slot];
-                self.record_coins(k);
-                self.apply_coins(k);
-            }
-        }
-        if moved_total != 0 {
-            self.audit_conservation(ti, || format!("4-way group exchange centered on tile {ti}"));
-        }
-        let significant = dt.is_significant(moved_total);
-        let rt = &mut self.tiles[ti];
-        rt.interval = if significant {
-            rt.zero_rot = 0;
-            dt.next_interval(rt.interval, moved_total)
-        } else {
-            rt.zero_rot += 1;
-            if rt.zero_rot.is_multiple_of(4) {
-                dt.next_interval(rt.interval, 0)
-            } else {
-                rt.interval
-            }
-        };
-        rt.fire_gen += 1;
-        let gen = rt.fire_gen;
-        let at = self.now + latency + SimTime::from_noc_cycles(rt.interval);
-        self.queue.schedule(at, Ev::CoinFire { tile: ti, gen });
-        if significant {
-            for &pj in &live {
-                let rp = &mut self.tiles[pj];
-                rp.zero_rot = 0;
-                rp.interval = dt.next_interval(rp.interval, moved_total);
-                rp.fire_gen += 1;
-                let gen = rp.fire_gen;
-                let at = self.now + latency + SimTime::from_noc_cycles(rp.interval);
-                self.queue.schedule(at, Ev::CoinFire { tile: pj, gen });
-            }
-        }
-        self.check_bc_response();
-    }
-
-    fn select_pairing_partner(&mut self, ti: usize) -> Option<usize> {
-        let pos = self.managed.iter().position(|&t| t == ti).expect("managed");
-        let n = self.managed.len();
-        for _ in 0..n {
-            let cand = self.managed[(pos + self.tiles[ti].pair_offset) % n];
-            self.tiles[ti].pair_offset = if self.tiles[ti].pair_offset + 1 >= n {
-                1
-            } else {
-                self.tiles[ti].pair_offset + 1
-            };
-            if cand != ti
-                && self.cluster_of[cand] == self.cluster_of[ti]
-                && !self.tiles[ti].partners.contains(&cand)
-            {
-                return Some(cand);
-            }
-        }
-        None
-    }
-
-    /// Whether the coin distribution matches the current activity's
-    /// proportional targets within tolerance; drains pending responses
-    /// and tracks post-fault recovery.
-    fn check_bc_response(&mut self) {
-        self.note_recovery();
-        if self.pending_changes.is_empty() {
-            return;
-        }
-        if self.bc_converged() {
-            let now = self.now;
-            for t0 in self.pending_changes.drain(..) {
-                self.responses.push(ResponseSample {
-                    at_us: t0.as_us_f64(),
-                    response_us: (now - t0).as_us_f64(),
-                });
-            }
-        }
-    }
-
-    /// Whether every *live* tile's coin count matches its cluster's
-    /// proportional target within tolerance. Convergence is per PM
-    /// cluster: each domain equalizes its own has/max ratio against its
-    /// own pool slice. Faulted tiles are excluded — a stuck tile's
-    /// quarantined coins shrink the live slice and the survivors
-    /// equalize over what remains.
-    fn bc_converged(&self) -> bool {
-        (0..self.n_clusters).all(|ci| {
-            let members: Vec<usize> = self
-                .managed
-                .iter()
-                .copied()
-                .filter(|&t| self.cluster_of[t] == ci && self.tiles[t].faulted.is_none())
-                .collect();
-            let total_max: u64 = members.iter().map(|&t| self.tiles[t].max).sum();
-            if total_max == 0 {
-                return true;
-            }
-            let total_has: i64 = members.iter().map(|&t| self.tiles[t].has).sum();
-            let alpha = total_has as f64 / total_max as f64;
-            members.iter().all(|&t| {
-                let target = alpha * self.tiles[t].max as f64;
-                (self.tiles[t].has as f64 - target).abs() <= self.cfg().response_tolerance
-            })
-        })
-    }
-
-    /// Marks the recovery point: the first instant after a fault at
-    /// which the survivors are converged again and every fail-stopped
-    /// tile has been fully drained by its neighbors.
-    fn note_recovery(&mut self) {
-        if self.fault_at.is_none() || self.recovered_at.is_some() {
-            return;
-        }
-        let drained = self.managed.iter().all(|&t| {
-            self.tiles[t].faulted != Some(TileFaultKind::FailStop) || self.tiles[t].has == 0
-        });
-        if drained && self.bc_converged() {
-            self.recovered_at = Some(self.now);
-        }
-    }
-
-    /// An injected tile fault fires and the tile leaves the protocol. A
-    /// fail-stop powers off: clock gone, running task lost, coins
-    /// stranded until a neighbor reclaims them (`max = 0` marks the tile
-    /// inactive, so the ordinary drain rule applies). A stuck tile
-    /// wedges mid-flight: it keeps burning power at its current
-    /// operating point and keeps its coins, but stops answering.
-    fn on_tile_fault(&mut self, ti: usize) {
-        if self.tiles[ti].faulted.is_some() {
-            return;
-        }
-        let kind = self
-            .plan()
-            .tile_fault(ti)
-            .expect("fault event implies a planned fault")
-            .kind;
-        self.update_progress(ti);
-        if self.fault_at.is_none() {
-            self.fault_at = Some(self.now);
-        }
-        {
-            let rt = &mut self.tiles[ti];
-            rt.faulted = Some(kind);
-            rt.done_gen += 1; // the running task will never complete
-            rt.fire_gen += 1; // the exchange FSM stops firing
-            rt.actuate_gen += 1; // in-flight DVFS writes are void
-            rt.queue.clear();
-            if kind == TileFaultKind::FailStop {
-                rt.running = None;
-                rt.freq = 0.0;
-                rt.target = 0.0;
-                rt.max = 0;
-            }
-        }
-        if kind == TileFaultKind::FailStop {
-            if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
-                self.freq_traces[slot].record(self.now, 0.0);
-            }
-        }
-        self.record_power(ti);
-        self.abandon_unreachable_tasks();
-    }
-
-    // -- centralized managers ---------------------------------------------
-
-    fn start_sweep(&mut self) {
-        if self.controller_down() {
-            return; // the single point of failure has failed
-        }
-        self.last_sweep_start = self.now;
-        self.sweep_gen += 1;
-        // Plan once per sweep (a per-step recompute could change mid-sweep)
-        // and write downgrades before upgrades so the cap is never
-        // transiently exceeded by a newly-granted tile actuating before a
-        // revoked one.
-        let mut plan: Vec<(usize, u64, i64)> = self
-            .managed
-            .iter()
-            .zip(self.compute_plan())
-            .map(|(&t, (f, c))| (t, f, c))
-            .collect();
-        plan.sort_by_key(|&(t, f, _)| {
-            let current = (self.tiles[t].target * 100.0).round() as u64;
-            (f > current, t)
-        });
-        self.sweep_plan = plan;
-        let service = match self.cfg().manager {
-            ManagerKind::BcCentralized => self.cfg().timing.bcc_service_cycles,
-            _ => self.cfg().timing.crr_service_cycles,
-        };
-        let at = self.now + SimTime::from_noc_cycles(service);
-        self.queue.schedule(
-            at,
-            Ev::SweepWrite {
-                sweep: self.sweep_gen,
-                step: 0,
-            },
-        );
-    }
-
-    /// The plan of one sweep: per managed tile, the commanded frequency
-    /// (centi-MHz, kept integral so events stay `Eq`) and coin bookkeeping.
-    fn compute_plan(&self) -> Vec<(u64, i64)> {
-        match self.cfg().manager {
-            ManagerKind::BcCentralized => {
-                let maxes: Vec<u64> = self.managed.iter().map(|&t| self.tiles[t].max).collect();
-                let alloc = BccController::new(self.sim.pool).allocate(&maxes);
-                self.managed
-                    .iter()
-                    .zip(&alloc)
-                    .map(|(&t, &coins)| {
-                        let rt = &self.tiles[t];
-                        let f = if rt.running.is_some() {
-                            rt.lut.as_ref().expect("managed").f_target(coins as i32)
-                        } else {
-                            0.0
-                        };
-                        ((f * 100.0).round() as u64, coins)
-                    })
-                    .collect()
-            }
-            ManagerKind::CentralizedRoundRobin => {
-                let p_max: Vec<f64> = self
-                    .managed
-                    .iter()
-                    .map(|&t| self.tiles[t].model.as_ref().expect("acc").p_max())
-                    .collect();
-                let p_min: Vec<f64> = self
-                    .managed
-                    .iter()
-                    .map(|&t| self.tiles[t].model.as_ref().expect("acc").p_min())
-                    .collect();
-                let active: Vec<bool> = self
-                    .managed
-                    .iter()
-                    .map(|&t| self.tiles[t].running.is_some() || !self.tiles[t].queue.is_empty())
-                    .collect();
-                let crr = CrrController::new(p_max, p_min, self.cfg().budget_mw);
-                let levels = crr.allocation(&active, self.rotation_step);
-                self.managed
-                    .iter()
-                    .zip(&levels)
-                    .map(|(&t, level)| {
-                        let m = self.tiles[t].model.as_ref().expect("acc");
-                        let f = match level {
-                            CrrLevel::Max => m.f_max(),
-                            CrrLevel::Min => m.f_min(),
-                            CrrLevel::Off => 0.0,
-                        };
-                        ((f * 100.0).round() as u64, 0)
-                    })
-                    .collect()
-            }
-            _ => unreachable!("sweeps only run for centralized managers"),
-        }
-    }
-
-    fn on_sweep_write(&mut self, sweep: u64, step: usize) {
-        if sweep != self.sweep_gen || self.controller_down() {
-            return; // superseded by a newer sweep, or the controller died
-        }
-        let (ti, freq_centi_mhz, coins) = self.sweep_plan[step];
-        let pkt = Packet::new(
-            self.sim.soc.controller_tile(),
-            TileId(ti),
-            blitzcoin_noc::Plane::MmioIrq,
-            PacketKind::RegWrite {
-                value: freq_centi_mhz,
-            },
-        );
-        let last = step + 1 == self.sweep_plan.len();
-        // a dropped register write silently loses this tile's command;
-        // the rest of the sweep proceeds (MMIO writes are posted)
-        if let Some(arrive) = self.net.send(self.now, &pkt).time() {
-            self.queue.schedule(
-                arrive,
-                Ev::WriteArrive {
-                    tile: ti,
-                    freq_centi_mhz,
-                    coins,
-                    sweep,
-                    last,
-                },
-            );
-        }
-        if !last {
-            let service = match self.cfg().manager {
-                ManagerKind::BcCentralized => self.cfg().timing.bcc_service_cycles,
-                _ => self.cfg().timing.crr_service_cycles,
-            };
-            let at = self.now + SimTime::from_noc_cycles(service);
-            self.queue.schedule(
-                at,
-                Ev::SweepWrite {
-                    sweep,
-                    step: step + 1,
-                },
-            );
-        }
-    }
-
-    fn on_write_arrive(
-        &mut self,
-        ti: usize,
-        freq_centi_mhz: u64,
-        coins: i64,
-        sweep: u64,
-        last: bool,
-    ) {
-        if self.tiles[ti].faulted.is_some() {
-            // a dead register file: the write lands on nothing, but the
-            // sweep still completes for the surviving tiles
-            if last && sweep == self.sweep_gen {
-                self.drain_sweep_responses();
-            }
-            return;
-        }
-        if self.cfg().manager == ManagerKind::BcCentralized {
-            self.tiles[ti].has = coins;
-            self.record_coins(ti);
-        }
-        let f = freq_centi_mhz as f64 / 100.0;
-        // apply only while the tile runs; idle tiles stay clock-gated
-        if self.tiles[ti].running.is_some() {
-            self.set_target(ti, f);
-        } else {
-            self.set_target(ti, 0.0);
-        }
-        if last && sweep == self.sweep_gen {
-            self.drain_sweep_responses();
-        }
-    }
-
-    /// A sweep's last write arrived: every pending activity change is
-    /// answered once the actuation delay elapses.
-    fn drain_sweep_responses(&mut self) {
-        let done = self.now + SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
-        let drained: Vec<SimTime> = self.pending_changes.drain(..).collect();
-        for t0 in drained {
-            self.responses.push(ResponseSample {
-                at_us: t0.as_us_f64(),
-                response_us: (done - t0).as_us_f64(),
-            });
-        }
-    }
-
-    /// Sends one DMA burst from `ti` to its nearest memory tile and
-    /// schedules the next.
-    fn on_dma_burst(&mut self, ti: usize) {
-        if self.tiles[ti].faulted.is_some() {
-            return; // a faulted engine issues no more bursts
-        }
-        let topo = self.sim.soc.topology;
-        let me = TileId(ti);
-        let mem = topo
-            .tiles()
-            .filter(|t| {
-                matches!(
-                    self.sim.soc.tiles[t.index()],
-                    crate::floorplan::TileKind::Memory
-                )
-            })
-            .min_by_key(|&t| topo.hop_distance(me, t));
-        if let Some(mem) = mem {
-            let burst = Packet::new(
-                me,
-                mem,
-                blitzcoin_noc::Plane::Dma1,
-                PacketKind::DmaBurst {
-                    flits: self.cfg().dma_burst_flits,
-                },
-            );
-            // fire-and-forget: a dropped burst is simply lost traffic
-            let _ = self.net.send(self.now, &burst);
-        }
-        let at = self.now + SimTime::from_noc_cycles(self.cfg().dma_period_cycles.max(1));
-        self.queue.schedule(at, Ev::DmaBurst { tile: ti });
-    }
-
-    // -- main loop ---------------------------------------------------------
-
-    fn run(mut self) -> SimReport {
-        // kick off the workload
-        let roots = self.sim.wl.roots();
-        for t in roots {
-            self.enqueue_task(t);
-        }
-        match self.cfg().manager {
-            ManagerKind::BlitzCoin => {
-                let base = self.cfg().exchange_timing.base_cycles;
-                let pairing_iv = self.cfg().pairing_period as u64 * base;
-                for k in 0..self.managed.len() {
-                    let ti = self.managed[k];
-                    let phase = self.rng.range_u64(0..base);
-                    let rt = &mut self.tiles[ti];
-                    rt.interval = base;
-                    rt.fire_gen += 1;
-                    let gen = rt.fire_gen;
-                    rt.next_pairing = SimTime::from_noc_cycles(phase + pairing_iv);
-                    self.queue.schedule(
-                        SimTime::from_noc_cycles(phase),
-                        Ev::CoinFire { tile: ti, gen },
-                    );
-                }
-            }
-            ManagerKind::CentralizedRoundRobin => {
-                let at = SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
-                self.queue.schedule(at, Ev::Rotate);
-            }
-            ManagerKind::BcCentralized => {}
-            ManagerKind::Static => {
-                // fixed design-time shares proportional to each tile's
-                // P_max, set once at boot and never revisited
-                let total_pmax: f64 = self
-                    .managed
-                    .iter()
-                    .map(|&t| self.tiles[t].model.as_ref().expect("managed").p_max())
-                    .sum();
-                for k in 0..self.managed.len() {
-                    let ti = self.managed[k];
-                    let (share, f) = {
-                        let m = self.tiles[ti].model.as_ref().expect("managed");
-                        let share = self.cfg().budget_mw * m.p_max() / total_pmax;
-                        let f = if share < m.p_min() {
-                            0.0
-                        } else {
-                            m.freq_for_power(share)
-                        };
-                        (share, f)
-                    };
-                    // a static tile runs at its share whenever it has work
-                    self.tiles[ti].has = (share / self.sim.coin_value_mw) as i64;
-                    if self.tiles[ti].running.is_some() {
-                        self.set_target(ti, f);
-                    }
-                }
-            }
-        }
-
-        if self.cfg().dma_burst_flits > 0 {
-            for k in 0..self.managed.len() {
-                let ti = self.managed[k];
-                let phase = self.rng.range_u64(0..self.cfg().dma_period_cycles.max(1));
-                self.queue
-                    .schedule(SimTime::from_noc_cycles(phase), Ev::DmaBurst { tile: ti });
-            }
-        }
-
-        // planned tile faults fire as ordinary events (earliest per tile)
-        let mut planned: Vec<(u64, usize)> = Vec::new();
-        for f in &self.sim.fault.tile_faults {
-            if !planned.iter().any(|&(_, t)| t == f.tile) {
-                let first = self.plan().tile_fault(f.tile).expect("listed");
-                planned.push((first.at_cycle, f.tile));
-            }
-        }
-        for (at_cycle, tile) in planned {
-            self.queue
-                .schedule(SimTime::from_noc_cycles(at_cycle), Ev::TileFault { tile });
-        }
-
-        let total_tasks = self.sim.wl.len();
-        while let Some(ev) = self.queue.pop() {
-            self.oracle.check_time_monotonic(
-                ev.time.as_noc_cycles(),
-                self.now.as_ps(),
-                ev.time.as_ps(),
-            );
-            self.now = ev.time;
-            self.events += 1;
-            if self.now > self.cfg().horizon {
-                break;
-            }
-            match ev.payload {
-                Ev::TaskDone { tile, gen } => self.on_task_done(tile, gen),
-                Ev::CoinFire { tile, gen } => self.on_coin_fire(tile, gen),
-                Ev::NotifyArrive => self.start_sweep(),
-                Ev::SweepWrite { sweep, step } => self.on_sweep_write(sweep, step),
-                Ev::WriteArrive {
-                    tile,
-                    freq_centi_mhz,
-                    coins,
-                    sweep,
-                    last,
-                } => self.on_write_arrive(tile, freq_centi_mhz, coins, sweep, last),
-                Ev::Rotate => {
-                    self.rotation_step += 1;
-                    let rotation = SimTime::from_noc_cycles(self.cfg().timing.crr_rotation_cycles);
-                    // A pending change normally means a notify-sweep is in
-                    // flight or about to be. One that is a whole rotation
-                    // old *and* has seen no sweep start since it arrived
-                    // had its IRQ dropped, so the periodic rotation doubles
-                    // as the retry path. (Age alone is not enough: on large
-                    // SoCs a sweep outlasts the rotation, and restarting it
-                    // here would cancel the in-flight writes forever.)
-                    let stale = self.pending_changes.first().is_some_and(|&t0| {
-                        self.now - t0 >= rotation && self.last_sweep_start <= t0
-                    });
-                    if self.pending_changes.is_empty() || stale {
-                        self.start_sweep();
-                    }
-                    if !self.controller_down() {
-                        self.queue.schedule(self.now + rotation, Ev::Rotate);
-                    }
-                }
-                Ev::DmaBurst { tile } => self.on_dma_burst(tile),
-                Ev::TileFault { tile } => self.on_tile_fault(tile),
-                Ev::Actuate { tile, gen } => {
-                    if gen == self.tiles[tile].actuate_gen {
-                        self.update_progress(tile);
-                        self.tiles[tile].freq = self.tiles[tile].target;
-                        let f = self.tiles[tile].freq;
-                        if let Some(slot) = self.managed.iter().position(|&t| t == tile) {
-                            self.freq_traces[slot].record(self.now, f);
-                        }
-                        self.record_power(tile);
-                        self.audit_actuation(tile);
-                        self.schedule_completion(tile);
-                    }
-                }
-            }
-            let settled = self.completed + self.abandoned == total_tasks;
-            if settled && self.pending_changes.is_empty() {
-                break;
-            }
-            // a static run never drains pending responses, and a dead
-            // controller never will again; stop at completion either way
-            if settled && (self.cfg().manager == ManagerKind::Static || self.controller_down()) {
-                break;
-            }
-        }
-
-        let finished = self.completed == total_tasks;
-        // Coin-economy audit: live plus faulted holdings must equal the
-        // initial pool. Only BlitzCoin owns a distributed economy the
-        // audit can bind to — BC-C rewrites every tile's coins per sweep
-        // and the others keep none.
-        let held_live: i64 = self
-            .managed
-            .iter()
-            .filter(|&&t| self.tiles[t].faulted.is_none())
-            .map(|&t| self.tiles[t].has)
-            .sum();
-        let held_faulted: i64 = self
-            .managed
-            .iter()
-            .filter(|&&t| self.tiles[t].faulted.is_some())
-            .map(|&t| self.tiles[t].has)
-            .sum();
-        let coins_quarantined: i64 = self
-            .managed
-            .iter()
-            .filter(|&&t| self.tiles[t].faulted == Some(TileFaultKind::Stuck))
-            .map(|&t| self.tiles[t].has)
-            .sum();
-        let audit = self.audit.check(held_live, held_faulted, 0);
-        let coins_leaked = if self.cfg().manager == ManagerKind::BlitzCoin {
-            audit.leaked
-        } else {
-            0
-        };
-        let recovery_us = match (self.fault_at, self.recovered_at) {
-            (Some(f), Some(r)) => Some((r - f).as_us_f64()),
-            _ => None,
-        };
-        let refs: Vec<&StepTrace> = self.power_traces.iter().collect();
-        let power = StepTrace::sum("power_total_mw", &refs);
-        SimReport {
-            finished,
-            exec_time: self.exec_end,
-            responses: self.responses,
-            activity_changes: self.activity_changes,
-            power,
-            tile_power: self.power_traces,
-            coin_traces: self.coin_traces,
-            freq_traces: self.freq_traces,
-            managed_tiles: self.managed,
-            budget_mw: self.sim.cfg.budget_mw,
-            noc: self.net.stats().clone(),
-            events: self.events,
-            coins_leaked,
-            coins_reclaimed: audit.reclaimed,
-            coins_quarantined,
-            tasks_abandoned: self.abandoned,
-            recovery_us,
-            oracle_violations: self.oracle.count(),
-            oracle_first: self.oracle.first_replay_line(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::floorplan::{soc_3x3, soc_4x4};
-    use crate::workload::{av_dependent, av_parallel};
-
-    #[test]
-    fn blitzcoin_survives_tile_death() {
-        // fail-stop the NVDLA (tile 4): its tasks are lost, but the
-        // survivors reclaim its coins, re-converge, and finish theirs
-        let r = fault_run(
-            ManagerKind::BlitzCoin,
-            kill_plan(4, TileFaultKind::FailStop),
-            7,
-        );
-        assert!(!r.finished, "the dead tile's tasks cannot complete");
-        assert_eq!(r.tasks_abandoned, 2, "both NVDLA frames abandoned");
-        assert_eq!(r.coins_leaked, 0, "conservation must survive the fault");
-        assert!(r.coins_reclaimed > 0, "neighbors should drain the corpse");
-        assert!(
-            r.recovery_us.is_some(),
-            "survivors should re-converge after the death"
-        );
-    }
-
-    #[test]
-    fn stuck_tile_coins_are_quarantined_not_leaked() {
-        let r = fault_run(
-            ManagerKind::BlitzCoin,
-            kill_plan(4, TileFaultKind::Stuck),
-            7,
-        );
-        assert_eq!(r.coins_leaked, 0);
-        assert_eq!(r.coins_reclaimed, 0, "stuck coins are never taken");
-        assert!(
-            r.coins_quarantined > 0,
-            "a wedged NVDLA holds its allocation"
-        );
-        assert_eq!(r.tasks_abandoned, 2);
-    }
-
-    #[test]
-    fn controller_death_collapses_centralized_managers() {
-        // same fault magnitude — one tile — but aimed at the controller:
-        // BlitzCoin degrades gracefully, the centralized schemes stop
-        // reallocating entirely
-        for m in [
-            ManagerKind::BcCentralized,
-            ManagerKind::CentralizedRoundRobin,
-        ] {
-            let healthy = run(m, 120.0, 2);
-            let hurt = fault_run(m, kill_plan(3, TileFaultKind::FailStop), 7);
-            assert!(
-                hurt.responses.len() < healthy.responses.len(),
-                "{m}: a dead controller must stop answering ({} vs {})",
-                hurt.responses.len(),
-                healthy.responses.len()
-            );
-        }
-        let bc = fault_run(
-            ManagerKind::BlitzCoin,
-            kill_plan(3, TileFaultKind::FailStop),
-            7,
-        );
-        assert!(
-            bc.finished,
-            "the CPU tile is not part of BlitzCoin's economy"
-        );
-    }
-
-    #[test]
-    fn packet_loss_never_deadlocks_or_leaks() {
-        // 20% loss on every plane: exchanges abort transactionally and
-        // retry with back-off, so the run still finishes and conserves
-        let mut plan = FaultPlan::none();
-        plan.seed = 99;
-        plan.drop_prob = vec![0.2];
-        let r = fault_run(ManagerKind::BlitzCoin, plan, 7);
-        assert!(r.finished, "drops must delay, not deadlock");
-        assert_eq!(r.coins_leaked, 0);
-        assert!(r.noc.total_dropped() > 0, "the plan should actually bite");
-    }
-
-    #[test]
-    fn faulted_runs_are_deterministic() {
-        let mut plan = kill_plan(4, TileFaultKind::FailStop);
-        plan.drop_prob = vec![0.1];
-        plan.seed = 5;
-        let a = fault_run(ManagerKind::BlitzCoin, plan.clone(), 9);
-        let b = fault_run(ManagerKind::BlitzCoin, plan, 9);
-        assert_eq!(a.exec_time, b.exec_time);
-        assert_eq!(a.events, b.events);
-        assert_eq!(a.responses, b.responses);
-        assert_eq!(a.coins_reclaimed, b.coins_reclaimed);
-        assert_eq!(a.recovery_us, b.recovery_us);
-    }
-
-    #[test]
-    fn dead_partner_exchange_times_out_and_backs_off() {
-        // an immediate fail-stop: every neighbor of tile 4 sees silence
-        // from the first exchange on, and the heartbeat machinery must
-        // both terminate and keep the survivors exchanging
-        let mut plan = FaultPlan::none();
-        plan.tile_faults.push(blitzcoin_sim::TileFault {
-            tile: 4,
-            at_cycle: 0,
-            kind: TileFaultKind::FailStop,
-        });
-        let r = fault_run(ManagerKind::BlitzCoin, plan, 3);
-        assert_eq!(r.coins_leaked, 0);
-        assert!(r.coins_reclaimed > 0, "boot-time corpse must be drained");
-        assert_eq!(r.tasks_abandoned, 2);
-    }
-
-    fn run(manager: ManagerKind, budget: f64, frames: usize) -> SimReport {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, frames);
-        Simulation::new(soc, wl, SimConfig::new(manager, budget)).run(7)
-    }
-
-    fn fault_run(manager: ManagerKind, plan: FaultPlan, seed: u64) -> SimReport {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 2);
-        Simulation::new(soc, wl, SimConfig::new(manager, 120.0))
-            .with_fault_plan(plan)
-            .run(seed)
-    }
-
-    /// Kill one tile at 30 us (mid-run for the 2-frame AV workload).
-    fn kill_plan(tile: usize, kind: TileFaultKind) -> FaultPlan {
-        let mut plan = FaultPlan::none();
-        plan.tile_faults.push(blitzcoin_sim::TileFault {
-            tile,
-            at_cycle: 24_000,
-            kind,
-        });
-        plan
-    }
-
-    #[test]
-    fn all_managers_finish_the_workload() {
-        for m in ManagerKind::ALL {
-            let r = run(m, 120.0, 1);
-            assert!(r.finished, "{m} did not finish");
-            assert!(r.exec_time_us() > 100.0, "{m}: {}", r.exec_time_us());
-        }
-    }
-
-    #[test]
-    fn bc_beats_crr_on_throughput() {
-        let bc = run(ManagerKind::BlitzCoin, 120.0, 2);
-        let crr = run(ManagerKind::CentralizedRoundRobin, 120.0, 2);
-        assert!(
-            bc.exec_time_us() < crr.exec_time_us(),
-            "BC {} vs C-RR {}",
-            bc.exec_time_us(),
-            crr.exec_time_us()
-        );
-    }
-
-    #[test]
-    fn bc_response_is_microseconds_and_faster_than_centralized() {
-        let bc = run(ManagerKind::BlitzCoin, 120.0, 2);
-        let bcc = run(ManagerKind::BcCentralized, 120.0, 2);
-        let crr = run(ManagerKind::CentralizedRoundRobin, 120.0, 2);
-        let (rb, rc, rr) = (
-            bc.mean_response_us().expect("bc responses"),
-            bcc.mean_response_us().expect("bcc responses"),
-            crr.mean_response_us().expect("crr responses"),
-        );
-        assert!(rb < rc, "BC {rb} vs BC-C {rc}");
-        assert!(rc < rr, "BC-C {rc} vs C-RR {rr}");
-        assert!(rb < 5.0, "BC response should be ~1 us scale: {rb}");
-    }
-
-    #[test]
-    fn budget_is_enforced_up_to_actuation_transients() {
-        for m in [ManagerKind::BlitzCoin, ManagerKind::BcCentralized] {
-            let r = run(m, 120.0, 2);
-            // allow one coin of quantization plus actuation transients
-            assert!(
-                r.peak_overshoot_mw() <= 0.15 * r.budget_mw,
-                "{m}: peak {} over budget {}",
-                r.peak_power_mw(),
-                r.budget_mw
-            );
-            assert!(
-                r.utilization() > 0.3,
-                "{m}: utilization {}",
-                r.utilization()
-            );
-        }
-    }
-
-    #[test]
-    fn higher_budget_runs_faster() {
-        let lo = run(ManagerKind::BlitzCoin, 60.0, 2);
-        let hi = run(ManagerKind::BlitzCoin, 120.0, 2);
-        assert!(hi.exec_time_us() < lo.exec_time_us());
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let soc = soc_3x3();
-        let wl = av_dependent(&soc, 2);
-        let cfg = SimConfig::new(ManagerKind::BlitzCoin, 60.0);
-        let a = Simulation::new(soc.clone(), wl.clone(), cfg).run(5);
-        let b = Simulation::new(soc, wl, cfg).run(5);
-        assert_eq!(a.exec_time, b.exec_time);
-        assert_eq!(a.responses, b.responses);
-        assert_eq!(a.events, b.events);
-    }
-
-    #[test]
-    fn dependent_workload_runs_under_low_budget() {
-        let soc = soc_3x3();
-        let wl = av_dependent(&soc, 2);
-        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 60.0)).run(3);
-        assert!(r.finished);
-        // WL-Dep at 60 mW is feasible because only a subset runs at a time
-        assert!(
-            r.utilization() > 0.2 && r.utilization() <= 1.1,
-            "{}",
-            r.utilization()
-        );
-    }
-
-    #[test]
-    fn coin_conservation_in_bc_runs() {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 1);
-        let sim = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0));
-        let pool = sim.pool() as f64;
-        let r = sim.run(11);
-        let total_end: f64 = r.coin_traces.iter().map(|t| t.last_value()).sum();
-        assert!(
-            (total_end - pool).abs() < 1e-9,
-            "pool {pool} ended as {total_end}"
-        );
-    }
-
-    #[test]
-    fn unmanaged_accelerators_run_at_fmax_outside_the_budget() {
-        // the FFT No-PM baseline tile of the fabricated SoC: it executes
-        // tasks at full speed and its power is not charged to the managed
-        // budget
-        use crate::floorplan::soc_6x6;
-        use crate::workload::WorkloadBuilder;
-        let soc = soc_6x6();
-        let no_pm = soc
-            .accelerator_tiles()
-            .into_iter()
-            .find(|t| {
-                matches!(
-                    soc.tiles[t.index()],
-                    crate::floorplan::TileKind::UnmanagedAccelerator(_)
-                )
-            })
-            .expect("6x6 has a No-PM tile");
-        let mut b = WorkloadBuilder::new();
-        b.task(no_pm, 128.0, vec![]);
-        let wl = b.build("no-pm-only", &soc);
-        let budget = soc.total_p_max() * 0.33;
-        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, budget)).run(2);
-        assert!(r.finished);
-        // 128 kcycles at the FFT's 800 MHz F_max = 160 us, plus actuation
-        assert!(
-            (r.exec_time_us() - 160.0).abs() < 5.0,
-            "No-PM tile should run at F_max: {} us",
-            r.exec_time_us()
-        );
-        // its power is not in the managed trace
-        assert!(r.avg_power_mw() < 0.05 * budget);
-    }
-
-    #[test]
-    fn clusters_partition_the_exchange() {
-        let soc = soc_3x3();
-        // two clusters: {0,1,2} (top row accs) and {4,6,7}
-        let clusters = vec![vec![0usize, 1, 2], vec![4, 6, 7]];
-        let wl = av_parallel(&soc, 1);
-        let sim = Simulation::with_clusters(
-            soc,
-            wl,
-            SimConfig::new(ManagerKind::BlitzCoin, 120.0),
-            clusters.clone(),
-        );
-        let r = sim.run(5);
-        assert!(r.finished);
-        // coins never cross the cluster boundary: each cluster's total is
-        // constant over the whole run
-        for members in &clusters {
-            let slots: Vec<usize> = members
-                .iter()
-                .map(|t| r.managed_tiles.iter().position(|&m| m == *t).unwrap())
-                .collect();
-            let at = |time: SimTime| -> f64 {
-                slots.iter().map(|&s| r.coin_traces[s].value_at(time)).sum()
-            };
-            let start = at(SimTime::ZERO);
-            let end = at(r.exec_time);
-            assert!(
-                (start - end).abs() < 1e-9,
-                "cluster total drifted: {start} -> {end}"
-            );
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "partition")]
-    fn bad_cluster_partition_rejected() {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 1);
-        Simulation::with_clusters(
-            soc,
-            wl,
-            SimConfig::new(ManagerKind::BlitzCoin, 120.0),
-            vec![vec![0, 1]], // misses tiles 2, 4, 6, 7
-        );
-    }
-
-    #[test]
-    fn plane5_isolation_protects_responses_from_dma() {
-        // Section IV-B's design point: coin messages on plane 5 do not
-        // contend with DMA bursts. Force them onto the DMA plane and the
-        // response time degrades; keep them isolated and it does not.
-        let run = |share: bool| -> f64 {
-            let soc = soc_3x3();
-            let wl = av_parallel(&soc, 2);
-            let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, 120.0);
-            cfg.dma_burst_flits = 256;
-            cfg.dma_period_cycles = 64;
-            cfg.share_plane_with_dma = share;
-            Simulation::new(soc, wl, cfg)
-                .run(21)
-                .mean_nontrivial_response_us(0.05)
-                .expect("responses measured")
-        };
-        let isolated = run(false);
-        let shared = run(true);
-        assert!(
-            shared > 1.5 * isolated,
-            "sharing the DMA plane should hurt responses: isolated {isolated:.2} vs shared {shared:.2}"
-        );
-    }
-
-    #[test]
-    fn crr_rotation_shares_the_max_grant_over_time() {
-        // over a long run, rotation gives every class some time above its
-        // minimum frequency (fairness), visible in the frequency traces
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 3);
-        let r = Simulation::new(
-            soc,
-            wl,
-            SimConfig::new(ManagerKind::CentralizedRoundRobin, 120.0),
-        )
-        .run(9);
-        assert!(r.finished);
-        let mut upgraded = 0;
-        for (slot, trace) in r.freq_traces.iter().enumerate() {
-            let max_seen = trace.points().iter().fold(0.0f64, |m, p| m.max(p.value));
-            // every FFT/Viterbi tile gets at least one Max grant; count them
-            let _ = slot;
-            if max_seen >= 590.0 {
-                upgraded += 1;
-            }
-        }
-        assert!(
-            upgraded >= 3,
-            "rotation should upgrade several tiles, got {upgraded}"
-        );
-    }
-
-    #[test]
-    fn horizon_aborts_unfinishable_runs() {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 4);
-        let mut cfg = SimConfig::new(ManagerKind::Static, 120.0);
-        cfg.horizon = SimTime::from_us(50); // way too short
-        let r = Simulation::new(soc, wl, cfg).run(1);
-        assert!(!r.finished);
-    }
-
-    #[test]
-    fn bcc_coin_traces_reflect_central_allocations() {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 1);
-        let sim = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BcCentralized, 120.0));
-        let pool = sim.pool() as i64;
-        let r = sim.run(3);
-        // mid-run, the recorded coin counts sum to the pool (the central
-        // unit redistributes but conserves)
-        let mid = SimTime::from_us_f64(r.exec_time_us() / 2.0);
-        let total: f64 = r.coin_traces.iter().map(|t| t.value_at(mid)).sum();
-        assert!(
-            (total - pool as f64).abs() <= 1.0,
-            "total {total} vs pool {pool}"
-        );
-    }
-
-    #[test]
-    fn four_way_exchange_mode_works_in_engine() {
-        let soc = soc_3x3();
-        let wl = av_parallel(&soc, 1);
-        let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, 120.0);
-        cfg.exchange_mode = blitzcoin_core::ExchangeMode::FourWay;
-        let sim = Simulation::new(soc, wl, cfg);
-        let pool = sim.pool() as f64;
-        let r = sim.run(13);
-        assert!(r.finished);
-        assert!(r.mean_response_us().is_some());
-        let total_end: f64 = r.coin_traces.iter().map(|t| t.last_value()).sum();
-        assert!((total_end - pool).abs() < 1e-9, "conservation under 4-way");
-    }
-
-    #[test]
-    fn four_by_four_runs() {
-        let soc = soc_4x4();
-        let wl = crate::workload::vision_parallel(&soc, 1);
-        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 450.0)).run(1);
-        assert!(r.finished);
-        assert!(r.mean_response_us().is_some());
     }
 }

@@ -1,0 +1,141 @@
+//! DVFS targets, task progress, and trace recording.
+//!
+//! Power, coin, and frequency state changes flow through here for every
+//! scheme: a policy decides *what* to command, this module models *when*
+//! it takes effect (the UVFR actuation delay) and keeps the traces the
+//! paper's figures are built from.
+
+use blitzcoin_core::AllocationPolicy;
+use blitzcoin_sim::{SimTime, TileFaultKind};
+
+use crate::engine::{Core, Ev};
+
+impl Core<'_> {
+    /// kcycles of work per microsecond at the tile's current clock.
+    fn rate(&self, ti: usize) -> f64 {
+        let rt = &self.tiles[ti];
+        let model = rt.model.as_ref().expect("accelerator tile");
+        if rt.freq > 0.0 {
+            rt.freq / 1000.0
+        } else {
+            // idle-floor clock: F_min scaled down 7.5x at minimum voltage
+            model.f_min() / 7.5 / 1000.0
+        }
+    }
+
+    pub(crate) fn tile_power(&self, ti: usize) -> f64 {
+        let rt = &self.tiles[ti];
+        if rt.faulted == Some(TileFaultKind::FailStop) {
+            return 0.0;
+        }
+        match (&rt.model, &rt.running) {
+            (Some(m), Some(_)) if rt.freq > 0.0 => m.power_at(rt.freq),
+            (Some(m), _) => m.idle_power(),
+            (None, _) => 0.0,
+        }
+    }
+
+    pub(crate) fn record_power(&mut self, ti: usize) {
+        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+            let p = self.tile_power(ti);
+            self.power_traces[slot].record(self.now, p);
+        }
+    }
+
+    pub(crate) fn record_coins(&mut self, ti: usize) {
+        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+            let h = self.tiles[ti].has as f64;
+            self.coin_traces[slot].record(self.now, h);
+        }
+    }
+
+    /// Updates task progress on `ti` at the current time and rate.
+    pub(crate) fn update_progress(&mut self, ti: usize) {
+        let rate = if self.tiles[ti].running.is_some() {
+            self.rate(ti)
+        } else {
+            return;
+        };
+        let now = self.now;
+        if let Some(run) = self.tiles[ti].running.as_mut() {
+            let dt = (now - run.last).as_us_f64();
+            run.remaining_kcycles = (run.remaining_kcycles - dt * rate).max(0.0);
+            run.last = now;
+        }
+    }
+
+    pub(crate) fn schedule_completion(&mut self, ti: usize) {
+        self.tiles[ti].done_gen += 1;
+        let gen = self.tiles[ti].done_gen;
+        let rate = if self.tiles[ti].running.is_some() {
+            self.rate(ti)
+        } else {
+            return;
+        };
+        let remaining = self.tiles[ti]
+            .running
+            .as_ref()
+            .expect("running")
+            .remaining_kcycles;
+        let dur = SimTime::from_us_f64((remaining / rate).max(0.0));
+        self.queue
+            .schedule(self.now + dur, Ev::TaskDone { tile: ti, gen });
+    }
+
+    /// Commands a new frequency target; the tile clock follows after the
+    /// UVFR actuation delay.
+    pub(crate) fn set_target(&mut self, ti: usize, f_mhz: f64) {
+        if (self.tiles[ti].target - f_mhz).abs() < 1e-9 {
+            return;
+        }
+        self.tiles[ti].target = f_mhz;
+        self.tiles[ti].actuate_gen += 1;
+        let gen = self.tiles[ti].actuate_gen;
+        let delay = SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
+        self.queue
+            .schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
+    }
+
+    /// The RP/AP `max` target for a managed tile when active: RP scales
+    /// targets so the hungriest tile's is the full 6-bit range (the
+    /// proportions, not the coin value, encode the policy).
+    pub(crate) fn policy_max(&self, ti: usize) -> u64 {
+        let model = self.tiles[ti].model.as_ref().expect("managed tile");
+        match self.cfg().policy {
+            AllocationPolicy::AbsoluteProportional => 63,
+            AllocationPolicy::RelativeProportional => {
+                (63.0 * model.p_max() / self.sim.top_pmax).round().max(1.0) as u64
+            }
+        }
+    }
+
+    /// Applies a coin count to a managed tile's frequency target via its
+    /// LUT (only meaningful while it runs; idle tiles clock-gate).
+    pub(crate) fn apply_coins(&mut self, ti: usize) {
+        if self.tiles[ti].running.is_some() {
+            let f = {
+                let rt = &self.tiles[ti];
+                rt.lut.as_ref().expect("managed").f_target(rt.has as i32)
+            };
+            self.set_target(ti, f);
+        } else {
+            self.set_target(ti, 0.0);
+        }
+    }
+
+    /// A commanded frequency target settles: the tile clock changes, the
+    /// traces record it, and the budget-ceiling/VF-legality oracle runs.
+    pub(crate) fn on_actuate(&mut self, ti: usize, gen: u64) {
+        if gen == self.tiles[ti].actuate_gen {
+            self.update_progress(ti);
+            self.tiles[ti].freq = self.tiles[ti].target;
+            let f = self.tiles[ti].freq;
+            if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+                self.freq_traces[slot].record(self.now, f);
+            }
+            self.record_power(ti);
+            self.audit_actuation(ti);
+            self.schedule_completion(ti);
+        }
+    }
+}

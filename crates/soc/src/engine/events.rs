@@ -1,0 +1,243 @@
+//! The event vocabulary, boot sequence, main loop, and task lifecycle.
+//!
+//! Everything here is scheme-agnostic: manager-specific events are
+//! wrapped in [`Ev::Manager`] and routed to the active
+//! [`ManagerPolicy`](crate::managers::ManagerPolicy) untouched, so the
+//! loop neither knows nor cares which scheme is running.
+
+use blitzcoin_noc::{Packet, PacketKind, TileId};
+use blitzcoin_sim::SimTime;
+
+use crate::engine::{Core, Running};
+use crate::managers::ManagerPolicy;
+use crate::report::ActivityChange;
+use crate::workload::TaskId;
+
+/// One scheduled simulation event. Equal-time events pop FIFO by
+/// scheduling order, so the payload never participates in ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ev {
+    /// Tile `tile`'s running task completes (stale unless `gen` matches).
+    TaskDone { tile: usize, gen: u64 },
+    /// A manager-policy event, routed verbatim to
+    /// `ManagerPolicy::on_event`.
+    Manager(ManagerEv),
+    /// Tile `tile`'s UVFR settles on its commanded frequency target.
+    Actuate { tile: usize, gen: u64 },
+    /// Tile `tile` emits its next background DMA burst.
+    DmaBurst { tile: usize },
+    /// Tile `tile`'s planned fault fires.
+    TileFault { tile: usize },
+}
+
+/// Events owned by the manager policies. The engine schedules and
+/// delivers them without interpreting them; each scheme only ever
+/// receives the variants it scheduled itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ManagerEv {
+    /// BlitzCoin: tile `tile`'s exchange-FSM refresh timer fires.
+    CoinFire { tile: usize, gen: u64 },
+    /// Centralized: an activity-change IRQ reached the controller.
+    Notify,
+    /// Centralized: the controller services step `step` of sweep `sweep`.
+    SweepWrite { sweep: u64, step: usize },
+    /// Centralized: a sweep's register write arrives at a tile.
+    WriteArrive {
+        tile: usize,
+        freq_centi_mhz: u64,
+        coins: i64,
+        sweep: u64,
+        last: bool,
+    },
+    /// C-RR: the periodic fairness rotation fires.
+    Rotate,
+    /// TokenSmart: the circulating pool token arrives at ring `ring`'s
+    /// stop `stop`.
+    TokenHop { ring: usize, stop: usize },
+    /// TokenSmart: retransmit the pool token toward stop `stop` after the
+    /// link dropped the hop packet.
+    TokenResend { ring: usize, stop: usize },
+}
+
+/// Boots the run and drives the event loop to completion. Order matters
+/// and is part of the determinism contract: workload roots first (their
+/// activity changes reach the policy before its boot init), then the
+/// policy's boot init (which may consume RNG), then DMA phases (RNG),
+/// then planned faults.
+pub(crate) fn run(core: &mut Core, policy: &mut dyn ManagerPolicy) {
+    // kick off the workload
+    let roots = core.sim.wl.roots();
+    for t in roots {
+        enqueue_task(core, policy, t);
+    }
+    policy.init(core);
+
+    if core.cfg().dma_burst_flits > 0 {
+        for k in 0..core.managed.len() {
+            let ti = core.managed[k];
+            let phase = core.rng.range_u64(0..core.cfg().dma_period_cycles.max(1));
+            core.queue
+                .schedule(SimTime::from_noc_cycles(phase), Ev::DmaBurst { tile: ti });
+        }
+    }
+
+    core.schedule_planned_faults();
+
+    let total_tasks = core.sim.wl.len();
+    while let Some(ev) = core.queue.pop() {
+        core.oracle.check_time_monotonic(
+            ev.time.as_noc_cycles(),
+            core.now.as_ps(),
+            ev.time.as_ps(),
+        );
+        core.now = ev.time;
+        core.events += 1;
+        if core.now > core.cfg().horizon {
+            break;
+        }
+        match ev.payload {
+            Ev::TaskDone { tile, gen } => on_task_done(core, policy, tile, gen),
+            Ev::Manager(me) => policy.on_event(core, me),
+            Ev::Actuate { tile, gen } => core.on_actuate(tile, gen),
+            Ev::DmaBurst { tile } => core.on_dma_burst(tile),
+            Ev::TileFault { tile } => core.on_tile_fault(tile),
+        }
+        let settled = core.completed + core.abandoned == total_tasks;
+        // Stop once the work is settled and every pending response is
+        // answered — or will never be (a static run never drains pending
+        // responses, a dead controller never will again, a broken token
+        // ring cannot circulate).
+        if settled && (core.pending_changes.is_empty() || policy.halts_when_settled(core)) {
+            break;
+        }
+    }
+}
+
+// -- task lifecycle -------------------------------------------------
+
+pub(crate) fn enqueue_task(core: &mut Core, policy: &mut dyn ManagerPolicy, task: TaskId) {
+    let ti = core.sim.wl.tasks()[task.0].tile.index();
+    if core.tiles[ti].faulted.is_some() {
+        core.abandon_unreachable_tasks();
+        return;
+    }
+    core.tiles[ti].queue.push_back(task);
+    pump(core, policy, ti);
+}
+
+fn pump(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize) {
+    if core.tiles[ti].running.is_some() {
+        return;
+    }
+    let Some(task) = core.tiles[ti].queue.pop_front() else {
+        // stream ended: deactivate
+        if core.tiles[ti].managed && core.tiles[ti].max != 0 {
+            core.tiles[ti].max = 0;
+            core.apply_coins(ti);
+            activity_changed(core, policy, ti);
+        }
+        core.record_power(ti);
+        return;
+    };
+    let work = core.sim.wl.tasks()[task.0].work_kcycles;
+    core.tiles[ti].running = Some(Running {
+        task,
+        remaining_kcycles: work,
+        last: core.now,
+    });
+    if core.tiles[ti].managed {
+        if core.tiles[ti].max == 0 {
+            // activation: execution begins on this tile
+            core.tiles[ti].max = core.policy_max(ti);
+            core.apply_coins(ti);
+            activity_changed(core, policy, ti);
+        }
+    } else {
+        // unmanaged accelerators always run at F_max
+        let fmax = core.tiles[ti].model.as_ref().expect("accelerator").f_max();
+        core.set_target(ti, fmax);
+    }
+    core.record_power(ti);
+    core.schedule_completion(ti);
+}
+
+fn on_task_done(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize, gen: u64) {
+    if gen != core.tiles[ti].done_gen {
+        return;
+    }
+    core.update_progress(ti);
+    let run = core.tiles[ti]
+        .running
+        .take()
+        .expect("completion without task");
+    debug_assert!(run.remaining_kcycles < 1e-6);
+    core.completed += 1;
+    core.exec_end = core.now;
+    // release dependents
+    let done_id = run.task;
+    core.done_tasks[done_id.0] = true;
+    let ready: Vec<TaskId> = core
+        .sim
+        .wl
+        .tasks()
+        .iter()
+        .filter(|t| t.deps.contains(&done_id))
+        .map(|t| t.id)
+        .filter(|t| {
+            core.deps_left[t.0] -= 1;
+            core.deps_left[t.0] == 0
+        })
+        .collect();
+    pump(core, policy, ti);
+    for t in ready {
+        enqueue_task(core, policy, t);
+    }
+}
+
+/// Records an activity transition and hands it to the manager policy.
+/// The generic bookkeeping (the change log and the pending-response
+/// clock) happens before the policy reacts, for every scheme.
+fn activity_changed(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize) {
+    core.activity_changes.push(ActivityChange {
+        tile: ti,
+        at_us: core.now.as_us_f64(),
+        active: core.tiles[ti].max > 0,
+    });
+    core.pending_changes.push(core.now);
+    policy.on_activity_change(core, ti);
+}
+
+impl Core<'_> {
+    /// Sends one DMA burst from `ti` to its nearest memory tile and
+    /// schedules the next.
+    fn on_dma_burst(&mut self, ti: usize) {
+        if self.tiles[ti].faulted.is_some() {
+            return; // a faulted engine issues no more bursts
+        }
+        let topo = self.sim.soc.topology;
+        let me = TileId(ti);
+        let mem = topo
+            .tiles()
+            .filter(|t| {
+                matches!(
+                    self.sim.soc.tiles[t.index()],
+                    crate::floorplan::TileKind::Memory
+                )
+            })
+            .min_by_key(|&t| topo.hop_distance(me, t));
+        if let Some(mem) = mem {
+            let burst = Packet::new(
+                me,
+                mem,
+                blitzcoin_noc::Plane::Dma1,
+                PacketKind::DmaBurst {
+                    flits: self.cfg().dma_burst_flits,
+                },
+            );
+            // fire-and-forget: a dropped burst is simply lost traffic
+            let _ = self.net.send(self.now, &burst);
+        }
+        let at = self.now + SimTime::from_noc_cycles(self.cfg().dma_period_cycles.max(1));
+        self.queue.schedule(at, Ev::DmaBurst { tile: ti });
+    }
+}

@@ -13,6 +13,8 @@
 //! - **BC** — decentralized BlitzCoin coin exchange (the paper's design);
 //! - **BC-C** — the same proportional allocation, centralized;
 //! - **C-RR** — centralized round-robin max/min rotation;
+//! - **TS** — TokenSmart's decentralized token ring (the Fig 4
+//!   competitor, promoted from the behavioural baseline);
 //! - **Static** — fixed equal shares (the Fig 19 silicon baseline).
 //!
 //! The simulation reports exactly what the paper measures: workload
@@ -25,7 +27,11 @@
 //!   cluster).
 //! - [`workload`]: task DAGs (WL-Par / WL-Dep, Fig 14) for each SoC.
 //! - [`manager`]: the power-manager configurations.
-//! - [`engine`]: the discrete-event simulation engine.
+//! - [`engine`]: the scheme-agnostic discrete-event loop (events,
+//!   actuation, accounting, faults).
+//! - `managers` (internal): one `ManagerPolicy` implementation per
+//!   scheme — all scheme-specific behavior lives there, not in the
+//!   engine.
 //! - [`report`]: run reports and derived metrics.
 //!
 //! # Example
@@ -47,6 +53,7 @@
 pub mod engine;
 pub mod floorplan;
 pub mod manager;
+pub(crate) mod managers;
 pub mod report;
 pub mod thermal;
 pub mod workload;

@@ -1,12 +1,14 @@
 //! Power-manager configurations.
 //!
-//! The engine plugs in one of four managers (Section V-C):
+//! The engine plugs in one of five managers (Section V-C; each one is a
+//! `ManagerPolicy` implementation in `crate::managers`):
 //!
 //! | Manager | Control | Allocation | Response scaling |
 //! |---|---|---|---|
 //! | `BlitzCoin` | decentralized HW FSMs | proportional (coin exchange) | O(√N) |
 //! | `BcCentralized` | central HW unit | proportional (computed centrally) | O(N) |
 //! | `CentralizedRoundRobin` | central FW controller | greedy max/min rotation | O(N) |
+//! | `TokenSmart` | decentralized token ring | greedy/fair ring targets | O(N) |
 //! | `Static` | none | fixed equal shares | — |
 //!
 //! The timing constants below are the DESIGN.md §5 calibration: they are
@@ -24,16 +26,20 @@ pub enum ManagerKind {
     BcCentralized,
     /// Centralized round-robin max/min rotation (C-RR).
     CentralizedRoundRobin,
+    /// TokenSmart single-token ring passing (the Fig 4 competitor,
+    /// promoted from the behavioural baseline to a cycle-level manager).
+    TokenSmart,
     /// Fixed equal power shares (the Fig 19 silicon baseline).
     Static,
 }
 
 impl ManagerKind {
     /// All managers, in the order the paper's figures list them.
-    pub const ALL: [ManagerKind; 4] = [
+    pub const ALL: [ManagerKind; 5] = [
         ManagerKind::BlitzCoin,
         ManagerKind::BcCentralized,
         ManagerKind::CentralizedRoundRobin,
+        ManagerKind::TokenSmart,
         ManagerKind::Static,
     ];
 
@@ -43,6 +49,7 @@ impl ManagerKind {
             ManagerKind::BlitzCoin => "BC",
             ManagerKind::BcCentralized => "BC-C",
             ManagerKind::CentralizedRoundRobin => "C-RR",
+            ManagerKind::TokenSmart => "TS",
             ManagerKind::Static => "Static",
         }
     }
@@ -70,6 +77,24 @@ pub struct ManagerTiming {
     /// clock settling (LDO slew + TDC windows); constant and parallel
     /// across tiles.
     pub actuation_cycles: u64,
+    /// TokenSmart: FSM service time per ring visit (examine the pool,
+    /// take/deposit, forward the token). The ring hop itself travels as a
+    /// real NoC packet on top of this.
+    pub ts_visit_cycles: u64,
+}
+
+impl ManagerTiming {
+    /// Per-tile service time of one manager step: a sweep write for the
+    /// centralized schemes, a ring visit for TokenSmart. C-RR's firmware
+    /// service time is the conservative default for any future scheme
+    /// without its own calibration.
+    pub fn service_cycles(&self, kind: ManagerKind) -> u64 {
+        match kind {
+            ManagerKind::BcCentralized => self.bcc_service_cycles,
+            ManagerKind::TokenSmart => self.ts_visit_cycles,
+            _ => self.crr_service_cycles,
+        }
+    }
 }
 
 impl Default for ManagerTiming {
@@ -79,6 +104,7 @@ impl Default for ManagerTiming {
             crr_rotation_cycles: 16_384, // ~20.5 us between rotations
             bcc_service_cycles: 160,
             actuation_cycles: 128, // ~160 ns
+            ts_visit_cycles: 6,    // matches the behavioural model's TsConfig
         }
     }
 }
@@ -92,7 +118,23 @@ mod tests {
         assert_eq!(ManagerKind::BlitzCoin.to_string(), "BC");
         assert_eq!(ManagerKind::BcCentralized.to_string(), "BC-C");
         assert_eq!(ManagerKind::CentralizedRoundRobin.to_string(), "C-RR");
+        assert_eq!(ManagerKind::TokenSmart.to_string(), "TS");
         assert_eq!(ManagerKind::Static.to_string(), "Static");
+        assert_eq!(ManagerKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn service_cycle_lookup_matches_per_scheme_calibration() {
+        let t = ManagerTiming::default();
+        assert_eq!(
+            t.service_cycles(ManagerKind::BcCentralized),
+            t.bcc_service_cycles
+        );
+        assert_eq!(
+            t.service_cycles(ManagerKind::CentralizedRoundRobin),
+            t.crr_service_cycles
+        );
+        assert_eq!(t.service_cycles(ManagerKind::TokenSmart), t.ts_visit_cycles);
     }
 
     #[test]

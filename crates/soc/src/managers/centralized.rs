@@ -1,0 +1,251 @@
+//! The shared centralized-manager machinery: notify IRQs, sweeps, and
+//! register writes from one controller tile.
+//!
+//! BC-C and C-RR differ only in *what* a sweep commands, so the
+//! notify→plan→write→actuate pipeline lives here once and each scheme
+//! plugs its allocation in through [`SweepScheme`]. The controller tile
+//! is the single point of failure the paper contrasts against: when it
+//! faults, no sweep ever runs again and [`controller_down`] tells the
+//! event loop the survivors are on their own.
+
+use blitzcoin_noc::{Packet, PacketKind, TileId};
+use blitzcoin_sim::SimTime;
+
+use crate::engine::events::ManagerEv;
+use crate::engine::{Core, Ev};
+use crate::manager::ManagerKind;
+use crate::managers::ManagerPolicy;
+use crate::report::ResponseSample;
+
+/// What one centralized scheme contributes to the shared sweep loop.
+pub(crate) trait SweepScheme {
+    /// The [`ManagerKind`] this scheme implements (selects its calibrated
+    /// per-tile service time).
+    const KIND: ManagerKind;
+    /// Whether a sweep's register writes also rewrite tile coin ledgers
+    /// (BC-C redistributes the pool every sweep; C-RR keeps no coins).
+    const WRITES_COINS: bool;
+
+    /// One-time boot work (C-RR arms its fairness rotation here).
+    fn boot(&mut self, core: &mut Core);
+
+    /// The plan of one sweep: per managed tile, the commanded frequency
+    /// (centi-MHz, kept integral so events stay `Eq`) and coin
+    /// bookkeeping.
+    fn compute_plan(&self, core: &Core, rotation_step: usize) -> Vec<(u64, i64)>;
+}
+
+/// Whether the centralized controller tile has faulted — after which no
+/// sweep can ever run again (the single point of failure). Only the
+/// centralized policies consult this, so no kind check is needed.
+pub(crate) fn controller_down(core: &Core) -> bool {
+    core.tiles[core.sim.soc.controller_tile().index()]
+        .faulted
+        .is_some()
+}
+
+/// A centralized manager: the sweep state machine around a
+/// [`SweepScheme`]. This state lived in controller hardware before the
+/// scheme split; it is per-run, not per-tile, so it lives on the policy.
+pub(crate) struct Centralized<S> {
+    scheme: S,
+    sweep_gen: u64,
+    sweep_plan: Vec<(usize, u64, i64)>,
+    last_sweep_start: SimTime,
+    rotation_step: usize,
+}
+
+impl<S: SweepScheme> Centralized<S> {
+    pub(crate) fn new(scheme: S) -> Self {
+        Centralized {
+            scheme,
+            sweep_gen: 0,
+            sweep_plan: Vec::new(),
+            last_sweep_start: SimTime::ZERO,
+            rotation_step: 0,
+        }
+    }
+
+    fn start_sweep(&mut self, core: &mut Core) {
+        if controller_down(core) {
+            return; // the single point of failure has failed
+        }
+        self.last_sweep_start = core.now;
+        self.sweep_gen += 1;
+        // Plan once per sweep (a per-step recompute could change mid-sweep)
+        // and write downgrades before upgrades so the cap is never
+        // transiently exceeded by a newly-granted tile actuating before a
+        // revoked one.
+        let mut plan: Vec<(usize, u64, i64)> = core
+            .managed
+            .iter()
+            .zip(self.scheme.compute_plan(core, self.rotation_step))
+            .map(|(&t, (f, c))| (t, f, c))
+            .collect();
+        plan.sort_by_key(|&(t, f, _)| {
+            let current = (core.tiles[t].target * 100.0).round() as u64;
+            (f > current, t)
+        });
+        self.sweep_plan = plan;
+        let service = core.cfg().timing.service_cycles(S::KIND);
+        let at = core.now + SimTime::from_noc_cycles(service);
+        core.queue.schedule(
+            at,
+            Ev::Manager(ManagerEv::SweepWrite {
+                sweep: self.sweep_gen,
+                step: 0,
+            }),
+        );
+    }
+
+    fn on_sweep_write(&mut self, core: &mut Core, sweep: u64, step: usize) {
+        if sweep != self.sweep_gen || controller_down(core) {
+            return; // superseded by a newer sweep, or the controller died
+        }
+        let (ti, freq_centi_mhz, coins) = self.sweep_plan[step];
+        let pkt = Packet::new(
+            core.sim.soc.controller_tile(),
+            TileId(ti),
+            blitzcoin_noc::Plane::MmioIrq,
+            PacketKind::RegWrite {
+                value: freq_centi_mhz,
+            },
+        );
+        let last = step + 1 == self.sweep_plan.len();
+        // a dropped register write silently loses this tile's command;
+        // the rest of the sweep proceeds (MMIO writes are posted)
+        if let Some(arrive) = core.net.send(core.now, &pkt).time() {
+            core.queue.schedule(
+                arrive,
+                Ev::Manager(ManagerEv::WriteArrive {
+                    tile: ti,
+                    freq_centi_mhz,
+                    coins,
+                    sweep,
+                    last,
+                }),
+            );
+        }
+        if !last {
+            let service = core.cfg().timing.service_cycles(S::KIND);
+            let at = core.now + SimTime::from_noc_cycles(service);
+            core.queue.schedule(
+                at,
+                Ev::Manager(ManagerEv::SweepWrite {
+                    sweep,
+                    step: step + 1,
+                }),
+            );
+        }
+    }
+
+    fn on_write_arrive(
+        &mut self,
+        core: &mut Core,
+        ti: usize,
+        freq_centi_mhz: u64,
+        coins: i64,
+        sweep: u64,
+        last: bool,
+    ) {
+        if core.tiles[ti].faulted.is_some() {
+            // a dead register file: the write lands on nothing, but the
+            // sweep still completes for the surviving tiles
+            if last && sweep == self.sweep_gen {
+                drain_sweep_responses(core);
+            }
+            return;
+        }
+        if S::WRITES_COINS {
+            core.tiles[ti].has = coins;
+            core.record_coins(ti);
+        }
+        let f = freq_centi_mhz as f64 / 100.0;
+        // apply only while the tile runs; idle tiles stay clock-gated
+        if core.tiles[ti].running.is_some() {
+            core.set_target(ti, f);
+        } else {
+            core.set_target(ti, 0.0);
+        }
+        if last && sweep == self.sweep_gen {
+            drain_sweep_responses(core);
+        }
+    }
+
+    fn on_rotate(&mut self, core: &mut Core) {
+        self.rotation_step += 1;
+        let rotation = SimTime::from_noc_cycles(core.cfg().timing.crr_rotation_cycles);
+        // A pending change normally means a notify-sweep is in
+        // flight or about to be. One that is a whole rotation
+        // old *and* has seen no sweep start since it arrived
+        // had its IRQ dropped, so the periodic rotation doubles
+        // as the retry path. (Age alone is not enough: on large
+        // SoCs a sweep outlasts the rotation, and restarting it
+        // here would cancel the in-flight writes forever.)
+        let stale = core
+            .pending_changes
+            .first()
+            .is_some_and(|&t0| core.now - t0 >= rotation && self.last_sweep_start <= t0);
+        if core.pending_changes.is_empty() || stale {
+            self.start_sweep(core);
+        }
+        if !controller_down(core) {
+            core.queue
+                .schedule(core.now + rotation, Ev::Manager(ManagerEv::Rotate));
+        }
+    }
+}
+
+/// A sweep's last write arrived: every pending activity change is
+/// answered once the actuation delay elapses.
+fn drain_sweep_responses(core: &mut Core) {
+    let done = core.now + SimTime::from_noc_cycles(core.cfg().timing.actuation_cycles);
+    let drained: Vec<SimTime> = core.pending_changes.drain(..).collect();
+    for t0 in drained {
+        core.responses.push(ResponseSample {
+            at_us: t0.as_us_f64(),
+            response_us: (done - t0).as_us_f64(),
+        });
+    }
+}
+
+impl<S: SweepScheme> ManagerPolicy for Centralized<S> {
+    fn init(&mut self, core: &mut Core) {
+        self.scheme.boot(core);
+    }
+
+    fn on_activity_change(&mut self, core: &mut Core, ti: usize) {
+        let pkt = Packet::new(
+            TileId(ti),
+            core.sim.soc.controller_tile(),
+            blitzcoin_noc::Plane::MmioIrq,
+            PacketKind::RegWrite { value: ti as u64 },
+        );
+        // a dropped IRQ is a lost notification: no sweep starts
+        // until something else pokes the controller
+        if let Some(arrive) = core.net.send(core.now, &pkt).time() {
+            core.queue.schedule(arrive, Ev::Manager(ManagerEv::Notify));
+        }
+    }
+
+    fn on_event(&mut self, core: &mut Core, ev: ManagerEv) {
+        match ev {
+            ManagerEv::Notify => self.start_sweep(core),
+            ManagerEv::SweepWrite { sweep, step } => self.on_sweep_write(core, sweep, step),
+            ManagerEv::WriteArrive {
+                tile,
+                freq_centi_mhz,
+                coins,
+                sweep,
+                last,
+            } => self.on_write_arrive(core, tile, freq_centi_mhz, coins, sweep, last),
+            ManagerEv::Rotate => self.on_rotate(core),
+            _ => unreachable!("centralized managers schedule only sweep events"),
+        }
+    }
+
+    fn halts_when_settled(&self, core: &Core) -> bool {
+        // a dead controller will never drain the pending responses
+        controller_down(core)
+    }
+}

@@ -1,0 +1,58 @@
+//! C-RR: the centralized round-robin baseline. Active tiles rotate
+//! through Max/Min/Off power levels on a fixed period, so fairness is
+//! temporal rather than proportional.
+
+use blitzcoin_baselines::{CrrController, CrrLevel};
+use blitzcoin_sim::SimTime;
+
+use crate::engine::events::ManagerEv;
+use crate::engine::{Core, Ev};
+use crate::manager::ManagerKind;
+use crate::managers::centralized::SweepScheme;
+
+/// The C-RR sweep scheme: the behavioural [`CrrController`]'s rotating
+/// Max/Min/Off levels, advanced by the periodic `Rotate` event.
+pub(crate) struct Crr;
+
+impl SweepScheme for Crr {
+    const KIND: ManagerKind = ManagerKind::CentralizedRoundRobin;
+    const WRITES_COINS: bool = false;
+
+    fn boot(&mut self, core: &mut Core) {
+        let at = SimTime::from_noc_cycles(core.cfg().timing.crr_rotation_cycles);
+        core.queue.schedule(at, Ev::Manager(ManagerEv::Rotate));
+    }
+
+    fn compute_plan(&self, core: &Core, rotation_step: usize) -> Vec<(u64, i64)> {
+        let p_max: Vec<f64> = core
+            .managed
+            .iter()
+            .map(|&t| core.tiles[t].model.as_ref().expect("acc").p_max())
+            .collect();
+        let p_min: Vec<f64> = core
+            .managed
+            .iter()
+            .map(|&t| core.tiles[t].model.as_ref().expect("acc").p_min())
+            .collect();
+        let active: Vec<bool> = core
+            .managed
+            .iter()
+            .map(|&t| core.tiles[t].running.is_some() || !core.tiles[t].queue.is_empty())
+            .collect();
+        let crr = CrrController::new(p_max, p_min, core.cfg().budget_mw);
+        let levels = crr.allocation(&active, rotation_step);
+        core.managed
+            .iter()
+            .zip(&levels)
+            .map(|(&t, level)| {
+                let m = core.tiles[t].model.as_ref().expect("acc");
+                let f = match level {
+                    CrrLevel::Max => m.f_max(),
+                    CrrLevel::Min => m.f_min(),
+                    CrrLevel::Off => 0.0,
+                };
+                ((f * 100.0).round() as u64, 0)
+            })
+            .collect()
+    }
+}

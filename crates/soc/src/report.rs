@@ -86,6 +86,10 @@ pub struct SimReport {
     /// `check::forall_seeded` style: names the invariant, the offending
     /// cycle, the site, expected/actual, and the seed to rerun with.
     pub oracle_first: Option<String>,
+    /// Scheme-specific extras the manager policy reported at the end of
+    /// the run, as `(name, value)` pairs — e.g. TokenSmart's ring and
+    /// mode statistics. Empty for schemes with nothing extra to say.
+    pub scheme_stats: Vec<(String, f64)>,
 }
 
 impl SimReport {
@@ -206,6 +210,14 @@ impl SimReport {
     pub fn speedup_vs(&self, other: &SimReport) -> f64 {
         other.exec_time_us() / self.exec_time_us()
     }
+
+    /// Looks up a scheme-specific stat by name (see `scheme_stats`).
+    pub fn scheme_stat(&self, name: &str) -> Option<f64> {
+        self.scheme_stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +256,7 @@ mod tests {
             recovery_us: None,
             oracle_violations: 0,
             oracle_first: None,
+            scheme_stats: vec![],
         }
     }
 
@@ -292,6 +305,14 @@ mod tests {
         assert_eq!(r.response_at(60.0), None);
         assert_eq!(r.mean_nontrivial_response_us(2.0), Some(3.0));
         assert_eq!(r.responses_us(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn scheme_stat_lookup() {
+        let mut r = dummy(10, 60.0);
+        assert_eq!(r.scheme_stat("ts_rings_broken"), None);
+        r.scheme_stats.push(("ts_rings_broken".into(), 1.0));
+        assert_eq!(r.scheme_stat("ts_rings_broken"), Some(1.0));
     }
 
     #[test]

@@ -12,6 +12,20 @@ cargo test -q --offline
 cargo fmt --all -- --check
 cargo clippy --all-targets --offline -- -D warnings
 
+# Architecture gate: the engine stays a scheme-agnostic event loop. The
+# hub file must not regrow (the pre-split engine was 2,240 lines), and no
+# scheme dispatch may creep back into the engine tree — every
+# `match`-on-manager belongs in crates/soc/src/managers/.
+engine_lines=$(wc -l < crates/soc/src/engine.rs)
+if [ "$engine_lines" -ge 900 ]; then
+    echo "ci: crates/soc/src/engine.rs is $engine_lines lines (gate: < 900)" >&2
+    exit 1
+fi
+if grep -rn "match .*manager" crates/soc/src/engine.rs crates/soc/src/engine/; then
+    echo "ci: scheme dispatch found in the engine; move it to crates/soc/src/managers/" >&2
+    exit 1
+fi
+
 # Oracle gate: the whole test suite again with the runtime invariant
 # auditing compiled into release code paths (debug/test builds audit by
 # default; this leg proves the --features oracle release configuration

@@ -1,0 +1,71 @@
+//! Golden-CSV regression lock for the scheme-as-policy refactor.
+//!
+//! Quick-mode experiment CSVs for the four pre-refactor managers were
+//! captured at their fixed seeds before `engine.rs` was split behind the
+//! `ManagerPolicy` trait; the post-refactor engine must reproduce them
+//! byte for byte, at `--jobs 1` and `--jobs 8` alike. TokenSmart's
+//! engine-level results deliberately live in *separate* CSV files so
+//! these stay frozen.
+//!
+//! Regenerate (only for an intentional result change, with the deviation
+//! recorded in CHANGES.md) with:
+//! `BLITZCOIN_BLESS=1 cargo test -p blitzcoin-exp --test golden_csv`
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use blitzcoin_exp::{run_experiment, Ctx};
+
+/// (experiment id, csv files it writes that are locked here)
+const LOCKED: [(&str, &[&str]); 2] = [
+    ("fig17", &["fig17_soc3x3.csv"]),
+    (
+        "resilience",
+        &["resilience.csv", "resilience_tokensmart.csv"],
+    ),
+];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn run_quick_into(dir: &Path, jobs: usize) {
+    fs::create_dir_all(dir).expect("create output dir");
+    let ctx = Ctx {
+        out_dir: dir.to_path_buf(),
+        quick: true,
+        jobs,
+        ..Ctx::default()
+    };
+    for (id, _) in LOCKED {
+        run_experiment(id, &ctx);
+    }
+}
+
+#[test]
+fn quick_mode_csvs_byte_identical_to_pre_refactor_goldens() {
+    let golden = golden_dir();
+    let base = std::env::temp_dir().join(format!("bc_golden_csv_{}", std::process::id()));
+    for jobs in [1usize, 8] {
+        let dir = base.join(format!("jobs{jobs}"));
+        run_quick_into(&dir, jobs);
+        for (_, files) in LOCKED {
+            for name in files.iter().copied() {
+                let got = fs::read(dir.join(name)).expect("experiment wrote the locked csv");
+                let gold_path = golden.join(name);
+                if jobs == 1 && std::env::var_os("BLITZCOIN_BLESS").is_some() {
+                    fs::create_dir_all(&golden).unwrap();
+                    fs::write(&gold_path, &got).unwrap();
+                    continue;
+                }
+                let want =
+                    fs::read(&gold_path).expect("golden csv missing; bless with BLITZCOIN_BLESS=1");
+                assert_eq!(
+                    got, want,
+                    "{name} at --jobs {jobs} drifted from the pre-refactor golden"
+                );
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&base);
+}

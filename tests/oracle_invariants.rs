@@ -57,10 +57,11 @@ fn any_plan(rng: &mut SimRng, n_tiles: usize) -> FaultPlan {
     plan
 }
 
-const MANAGERS: [ManagerKind; 4] = [
+const MANAGERS: [ManagerKind; 5] = [
     ManagerKind::BlitzCoin,
     ManagerKind::BcCentralized,
     ManagerKind::CentralizedRoundRobin,
+    ManagerKind::TokenSmart,
     ManagerKind::Static,
 ];
 
@@ -115,6 +116,47 @@ fn engine_oracle_is_clean_under_every_fault_plan_variant() {
             r.oracle_first.unwrap_or_default()
         );
         ensure!(r.coins_leaked == 0, "leaked {} coins", r.coins_leaked);
+        Ok(())
+    });
+}
+
+#[test]
+fn tokensmart_oracle_is_clean_even_when_the_ring_breaks() {
+    // TokenSmart's conservation story is harder than BlitzCoin's: coins
+    // travel *outside* tile ledgers in the circulating pool, and a fault
+    // can trap that pool mid-transit forever. The per-visit conservation
+    // audit (ledger + pool) and the end-of-run leak check must both stay
+    // silent under every fault-plan variant, including plans that
+    // provably break the ring.
+    forall("tokensmart oracle clean under ring faults", 12, |rng| {
+        let soc = floorplan::soc_3x3();
+        let mut plan = any_plan(rng, 9);
+        if rng.chance(0.6) {
+            // aim squarely at a ring stop so the token lands on a corpse
+            plan.tile_faults.push(TileFault {
+                tile: *rng.choose(&[0usize, 1, 2, 4, 6, 7]),
+                at_cycle: rng.range_u64(0..40_000),
+                kind: if rng.chance(0.5) {
+                    TileFaultKind::FailStop
+                } else {
+                    TileFaultKind::Stuck
+                },
+            });
+        }
+        let wl = workload::av_parallel(&soc, 2);
+        let seed = rng.next_u64();
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::TokenSmart, 120.0))
+            .with_fault_plan(plan.clone())
+            .run(seed);
+        ensure!(
+            r.oracle_violations == 0,
+            "TS oracle fired under {plan:?} (seed {seed:#x}): {}",
+            r.oracle_first.unwrap_or_default()
+        );
+        ensure!(r.coins_leaked == 0, "TS leaked {} coins", r.coins_leaked);
+        // the end-of-run audit already binds ledger + trapped pool to the
+        // initial total (owns_coin_economy), so leaked == 0 covers the
+        // broken-ring case: the trapped pool is counted, not minted away
         Ok(())
     });
 }
