@@ -5,7 +5,10 @@ use blitzcoin_bench::harness::Criterion;
 use blitzcoin_bench::{criterion_group, criterion_main};
 use blitzcoin_core::exchange::{four_way_allocation, pairwise_exchange_stochastic};
 use blitzcoin_core::{global_error, pairwise_exchange, DynamicTiming, TileState};
-use blitzcoin_noc::{Network, NetworkConfig, Packet, PacketKind, RoundRobinArbiter, Topology};
+use blitzcoin_noc::wormhole::{WormholeConfig, WormholeNetwork};
+use blitzcoin_noc::{
+    Network, NetworkConfig, Packet, PacketKind, Plane, RoundRobinArbiter, TileId, Topology,
+};
 use blitzcoin_power::{AcceleratorClass, CoinLut, PowerModel, Uvfr, UvfrConfig};
 use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
 use std::hint::black_box;
@@ -67,6 +70,36 @@ fn noc_kernels(c: &mut Criterion) {
         let reqs = [true, false, true];
         b.iter(|| black_box(arb.grant(black_box(&reqs))))
     });
+    // One wormhole cycle on an 8x8 mesh under sustained uniform-random
+    // load (one 4-flit burst every 4th cycle keeps the routers busy
+    // without saturating) — the flit-level hot loop in isolation.
+    c.bench_function("kernel/wormhole_step_loaded", |b| {
+        let wtopo = Topology::mesh(8, 8);
+        let mut net = WormholeNetwork::new(wtopo, WormholeConfig::default());
+        let mut lcg = 0x5ABCu64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (lcg >> 33) as usize % 64
+        };
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            if tick.is_multiple_of(4) {
+                let a = next();
+                let mut d = next();
+                if a == d {
+                    d = (d + 1) % 64;
+                }
+                net.inject(Packet::new(
+                    TileId(a),
+                    TileId(d),
+                    Plane::Dma1,
+                    PacketKind::DmaBurst { flits: 4 },
+                ));
+            }
+            black_box(net.step().len())
+        })
+    });
 }
 
 fn power_kernels(c: &mut Criterion) {
@@ -100,6 +133,23 @@ fn sim_kernels(c: &mut Criterion) {
             }
         })
     });
+    // steady-state schedule+pop with a deep heap: sift cost grows with
+    // log(pending), so the two depths bracket small and huge SoC runs
+    for pending in [1_000usize, 100_000] {
+        c.bench_function(format!("kernel/event_queue_schedule_pop_{pending}"), |b| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(pending + 1);
+            let mut i = 0u64;
+            while q.len() < pending {
+                i += 1;
+                q.schedule(SimTime::from_noc_cycles(i % 8192), i);
+            }
+            b.iter(|| {
+                i += 1;
+                q.schedule(SimTime::from_noc_cycles(i % 8192), i);
+                black_box(q.pop())
+            })
+        });
+    }
     c.bench_function("kernel/step_trace_record_query", |b| {
         let mut tr = StepTrace::new("bench");
         let mut t = 0u64;

@@ -1,0 +1,75 @@
+//! Per-policy engine throughput: every [`ManagerKind`] (plus BlitzCoin's
+//! 4-way group-exchange mode) runs the same fixed floorplan/workload/seed
+//! and reports engine events/sec, so a scheme-level cost regression shows
+//! up as a bench delta rather than a whole-figure drift. The wormhole
+//! NoC's cycles/sec under sustained load rides along as the second
+//! throughput axis the sweeps depend on.
+//!
+//! `scripts/bench.sh` runs this group and snapshots the numbers into
+//! `BENCH_*.json`.
+
+use blitzcoin_bench::harness::Criterion;
+use blitzcoin_bench::{
+    criterion_group, criterion_main, policy_bench_sim, POLICY_BENCH_CONFIGS, POLICY_BENCH_SEED,
+};
+use blitzcoin_noc::wormhole::{WormholeConfig, WormholeNetwork};
+use blitzcoin_noc::{Packet, PacketKind, Plane, TileId, Topology};
+use std::hint::black_box;
+
+fn policy_throughput(c: &mut Criterion) {
+    for (name, kind, mode) in POLICY_BENCH_CONFIGS {
+        let sim = policy_bench_sim(kind, mode);
+        // deterministic: every timed run processes exactly this many events
+        let events = sim.run(POLICY_BENCH_SEED).events;
+        let ns = c.bench_function(format!("policy/{name}/run"), |b| {
+            b.iter(|| black_box(sim.run(POLICY_BENCH_SEED)))
+        });
+        if ns > 0.0 {
+            c.report_metric(
+                format!("policy/{name}/events_per_sec"),
+                events as f64 * 1e9 / ns,
+                "events/s",
+            );
+        }
+    }
+}
+
+fn noc_cycle_throughput(c: &mut Criterion) {
+    // One iteration = one wormhole cycle on an 8x8 mesh held under
+    // sustained uniform-random load (a 4-flit burst every 4th cycle —
+    // 1 flit/cycle network-wide, well below saturation, so buffers stay
+    // busy without growing unboundedly).
+    let topo = Topology::mesh(8, 8);
+    let mut net = WormholeNetwork::new(topo, WormholeConfig::default());
+    let mut lcg = 0xBC5Au64;
+    let mut next = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (lcg >> 33) as usize % 64
+    };
+    let mut tick = 0u64;
+    let ns = c.bench_function("policy/noc/wormhole_step_8x8_loaded", |b| {
+        b.iter(|| {
+            tick += 1;
+            if tick.is_multiple_of(4) {
+                let a = next();
+                let mut b_ = next();
+                if a == b_ {
+                    b_ = (b_ + 1) % 64;
+                }
+                net.inject(Packet::new(
+                    TileId(a),
+                    TileId(b_),
+                    Plane::Dma1,
+                    PacketKind::DmaBurst { flits: 4 },
+                ));
+            }
+            black_box(net.step().len())
+        })
+    });
+    if ns > 0.0 {
+        c.report_metric("policy/noc/cycles_per_sec", 1e9 / ns, "cycles/s");
+    }
+}
+
+criterion_group!(policies, policy_throughput, noc_cycle_throughput);
+criterion_main!(policies);

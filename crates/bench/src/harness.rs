@@ -60,6 +60,7 @@ pub struct Criterion {
     filter: Option<String>,
     smoke: bool,
     ran: usize,
+    record: Option<std::fs::File>,
 }
 
 impl Criterion {
@@ -68,6 +69,10 @@ impl Criterion {
     /// Pins the sweep executor to one job for the whole bench process:
     /// wall-clock numbers must measure the kernels, not how many cores
     /// the build machine happens to have.
+    ///
+    /// When `BLITZCOIN_BENCH_OUT` names a file, every measurement is also
+    /// appended there as a machine-readable `name\tvalue\tunit` line —
+    /// this is what `scripts/bench.sh` collects into `BENCH_*.json`.
     pub fn from_args() -> Self {
         blitzcoin_sim::exec::pin_jobs(1);
         let mut filter = None;
@@ -80,22 +85,47 @@ impl Criterion {
                 a => filter = Some(a.to_string()),
             }
         }
+        let record = std::env::var_os("BLITZCOIN_BENCH_OUT").map(|p| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .expect("open BLITZCOIN_BENCH_OUT for appending")
+        });
         Criterion {
             filter,
             smoke,
             ran: 0,
+            record,
         }
     }
 
-    /// Runs (or skips, if filtered out) one named benchmark.
-    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F)
+    /// Whether the harness is in `--test` smoke mode (bodies run once,
+    /// nothing is timed).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    fn record_line(&mut self, name: &str, value: f64, unit: &str) {
+        if let Some(f) = &mut self.record {
+            use std::io::Write as _;
+            let _ = writeln!(f, "{name}\t{value}\t{unit}");
+        }
+    }
+
+    /// Runs (or skips, if filtered out) one named benchmark. Returns the
+    /// measured mean time per iteration in nanoseconds (0.0 when the
+    /// benchmark was filtered out or ran in smoke mode), so callers can
+    /// derive throughput metrics and report them via
+    /// [`Criterion::report_metric`].
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> f64
     where
         F: FnMut(&mut Bencher),
     {
         let name = name.to_string();
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return;
+                return 0.0;
             }
         }
         let mut b = Bencher {
@@ -108,7 +138,26 @@ impl Criterion {
             println!("{name:<48} ok (smoke)");
         } else {
             println!("{name:<48} {:>14}/iter", format_ns(b.per_iter_ns));
+            self.record_line(&name, b.per_iter_ns, "ns/iter");
         }
+        b.per_iter_ns
+    }
+
+    /// Reports a derived metric (e.g. events/sec computed from a
+    /// benchmark's time per iteration). No-op in smoke mode, where no
+    /// timing exists to derive from.
+    pub fn report_metric(&mut self, name: impl std::fmt::Display, value: f64, unit: &str) {
+        if self.smoke {
+            return;
+        }
+        let name = name.to_string();
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!("{name:<48} {value:>14.0} {unit}");
+        self.record_line(&name, value, unit);
     }
 
     /// Opens a named benchmark group (names become `group/bench`).
@@ -143,21 +192,22 @@ impl Group<'_> {
         self
     }
 
-    /// Runs one benchmark inside the group.
-    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F)
+    /// Runs one benchmark inside the group; returns ns/iter as
+    /// [`Criterion::bench_function`] does.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> f64
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.prefix, name);
-        self.c.bench_function(full, f);
+        self.c.bench_function(full, f)
     }
 
     /// Runs one parameterized benchmark inside the group.
-    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> f64
     where
         F: FnMut(&mut Bencher, &I),
     {
-        self.bench_function(id, |b| f(b, input));
+        self.bench_function(id, |b| f(b, input))
     }
 
     /// Ends the group (no-op, for API compatibility).

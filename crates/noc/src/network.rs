@@ -18,12 +18,18 @@
 //! payloads and use the returned delivery time to schedule delivery events
 //! in their own event queue.
 
-use std::collections::HashMap;
-
 use blitzcoin_sim::{ConfigError, FaultPlan, SimTime};
 
 use crate::packet::Packet;
 use crate::topology::{TileId, Topology};
+
+/// Number of physical NoC planes (matches `Plane::index()` and the per-plane
+/// arrays in [`TrafficStats`]).
+const PLANES: usize = 6;
+
+/// Outgoing link directions per tile for the dense reservation table: every
+/// mesh link is uniquely `(source tile, one of 4 directions)`.
+const LINK_DIRS: usize = 4;
 
 /// The outcome of offering a packet to the NoC.
 ///
@@ -171,8 +177,11 @@ impl TrafficStats {
 pub struct Network {
     topo: Topology,
     config: NetworkConfig,
-    /// `(from, to, plane) -> earliest time the link is free`.
-    link_free: HashMap<(TileId, TileId, usize), SimTime>,
+    /// Earliest time each `(link, plane)` is free, as a dense array indexed
+    /// by [`Network::link_slot`]. Replaces a `HashMap` keyed on
+    /// `(from, to, plane)`: `send` probes this table once per hop, and the
+    /// hash+probe dominated the analytic model's profile.
+    link_free: Vec<SimTime>,
     stats: TrafficStats,
     fault: FaultPlan,
 }
@@ -184,10 +193,27 @@ impl Network {
         Network {
             topo,
             config,
-            link_free: HashMap::new(),
+            link_free: vec![SimTime::ZERO; topo.len() * LINK_DIRS * PLANES],
             stats: TrafficStats::default(),
             fault: FaultPlan::none(),
         }
+    }
+
+    /// Dense index of the `(prev -> next, plane)` reservation slot.
+    ///
+    /// The direction code only has to be injective per source tile, not
+    /// meaningful: `+1`/`-1`/`+width`/`-width` id deltas map to the four
+    /// slots. (On a 1-wide mesh `+1 == +width`, but then east links don't
+    /// exist, so the shared slot still names a unique physical link.)
+    #[inline]
+    fn link_slot(&self, prev: TileId, next: TileId, plane: usize) -> usize {
+        let dir = match next.0.wrapping_sub(prev.0) {
+            1 => 0,
+            d if d == self.topo.width() => 1,
+            d if d == usize::MAX => 2, // -1: westbound
+            _ => 3,                    // -width: northbound
+        };
+        (prev.0 * LINK_DIRS + dir) * PLANES + plane
     }
 
     /// Installs a fault plan; subsequent sends are subject to its drops,
@@ -245,31 +271,30 @@ impl Network {
             self.stats.coin_packets += 1;
         }
 
-        let route = self.topo.xy_route(packet.src, packet.dst);
-        self.stats.hops += route.len() as u64;
+        let hops = self.topo.hop_distance(packet.src, packet.dst) as u64;
+        self.stats.hops += hops;
         let faults = !self.fault.is_empty();
 
         let mut cursor = now + SimTime::from_noc_cycles(self.config.inject_cycles);
         if self.config.contention {
             let mut prev = packet.src;
-            for &next in &route {
-                let key = (prev, next, plane);
-                let free_at = self.link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
+            for next in self.topo.xy_hops(packet.src, packet.dst) {
+                let slot = self.link_slot(prev, next, plane);
+                let free_at = self.link_free[slot];
                 let depart = cursor.max(free_at);
                 if faults && self.fault.link_down(prev.0, next.0, depart.as_noc_cycles()) {
                     self.stats.dropped[plane] += 1;
                     return Delivery::Dropped;
                 }
                 self.stats.contention_cycles += (depart - cursor).as_noc_cycles();
-                self.link_free
-                    .insert(key, depart + SimTime::from_noc_cycles(flits));
+                self.link_free[slot] = depart + SimTime::from_noc_cycles(flits);
                 cursor = depart + SimTime::from_noc_cycles(self.config.hop_cycles);
                 prev = next;
             }
         } else {
             if faults {
                 let mut prev = packet.src;
-                for &next in &route {
+                for next in self.topo.xy_hops(packet.src, packet.dst) {
                     if self.fault.link_down(prev.0, next.0, cursor.as_noc_cycles()) {
                         self.stats.dropped[plane] += 1;
                         return Delivery::Dropped;
@@ -277,7 +302,7 @@ impl Network {
                     prev = next;
                 }
             }
-            cursor += SimTime::from_noc_cycles(self.config.hop_cycles * route.len() as u64);
+            cursor += SimTime::from_noc_cycles(self.config.hop_cycles * hops);
         }
         if faults {
             let cycle = now.as_noc_cycles();
@@ -286,9 +311,7 @@ impl Network {
                 self.stats.dropped[plane] += 1;
                 return Delivery::Dropped;
             }
-            let extra = self
-                .fault
-                .extra_hop_delay_cycles(src, dst, cycle, route.len() as u64)
+            let extra = self.fault.extra_hop_delay_cycles(src, dst, cycle, hops)
                 + self.fault.msg_jitter(src, dst, cycle);
             cursor += SimTime::from_noc_cycles(extra);
         }

@@ -344,20 +344,22 @@ impl Topology {
     /// routing does. Returns the sequence of tiles visited, excluding `a`,
     /// including `b`. Empty when `a == b`.
     pub fn xy_route(&self, a: TileId, b: TileId) -> Vec<TileId> {
+        self.xy_hops(a, b).collect()
+    }
+
+    /// Iterator form of [`Topology::xy_route`]: yields the same tile
+    /// sequence hop by hop without allocating, for the per-packet routing
+    /// walk in the timing model's hot path.
+    pub fn xy_hops(&self, a: TileId, b: TileId) -> XyHops {
         let ca = self.coord(a);
         let cb = self.coord(b);
-        let mut route = Vec::with_capacity(self.hop_distance(a, b));
-        let mut x = ca.x;
-        while x != cb.x {
-            x = if cb.x > x { x + 1 } else { x - 1 };
-            route.push(self.tile(x, ca.y));
+        XyHops {
+            width: self.width,
+            x: ca.x,
+            y: ca.y,
+            tx: cb.x,
+            ty: cb.y,
         }
-        let mut y = ca.y;
-        while y != cb.y {
-            y = if cb.y > y { y + 1 } else { y - 1 };
-            route.push(self.tile(cb.x, y));
-        }
-        route
     }
 
     /// The mesh diameter (max hop distance between any two tiles).
@@ -365,6 +367,46 @@ impl Topology {
         (self.width - 1) + (self.height - 1)
     }
 }
+
+/// Allocation-free XY-route iterator; see [`Topology::xy_hops`].
+#[derive(Debug, Clone)]
+pub struct XyHops {
+    width: usize,
+    x: usize,
+    y: usize,
+    tx: usize,
+    ty: usize,
+}
+
+impl Iterator for XyHops {
+    type Item = TileId;
+
+    fn next(&mut self) -> Option<TileId> {
+        if self.x != self.tx {
+            self.x = if self.tx > self.x {
+                self.x + 1
+            } else {
+                self.x - 1
+            };
+        } else if self.y != self.ty {
+            self.y = if self.ty > self.y {
+                self.y + 1
+            } else {
+                self.y - 1
+            };
+        } else {
+            return None;
+        }
+        Some(TileId(self.y * self.width + self.x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.x.abs_diff(self.tx) + self.y.abs_diff(self.ty);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for XyHops {}
 
 #[cfg(test)]
 mod tests {
@@ -468,6 +510,24 @@ mod tests {
         assert_eq!(route[2], t.tile(3, 0));
         assert_eq!(route[3], t.tile(3, 1));
         assert_eq!(t.xy_route(a, a), Vec::<TileId>::new());
+    }
+
+    #[test]
+    fn xy_hops_matches_xy_route_everywhere() {
+        for topo in [
+            Topology::mesh(5, 3),
+            Topology::mesh(1, 6),
+            Topology::mesh(7, 1),
+        ] {
+            for a in topo.tiles() {
+                for b in topo.tiles() {
+                    let route = topo.xy_route(a, b);
+                    let hops: Vec<TileId> = topo.xy_hops(a, b).collect();
+                    assert_eq!(hops, route, "{a} -> {b}");
+                    assert_eq!(topo.xy_hops(a, b).len(), topo.hop_distance(a, b));
+                }
+            }
+        }
     }
 
     #[test]

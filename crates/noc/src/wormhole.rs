@@ -114,10 +114,29 @@ pub struct WormholeNetwork {
     /// Flights waiting at their source NI to start injecting.
     inject_queue: Vec<VecDeque<usize>>,
     cycle: u64,
-    delivered_flits: Vec<u32>,
+    /// Flits of all packets whose tail has ejected (running counter; feeds
+    /// [`WormholeNetwork::accepted_throughput`]).
+    delivered_flit_total: u64,
+    /// Packets whose tail has ejected.
+    delivered_packets: u64,
     /// Every flit that left the network at a local port (head, body and
     /// tail alike) — one side of the conservation ledger.
     ejected_flits: u64,
+    /// `route_tbl[r * n + dst]`: the XY output port out of router `r`
+    /// toward tile `dst`, precomputed so the per-flit routing decision in
+    /// `step` is a table lookup instead of two coordinate decompositions.
+    route_tbl: Vec<u8>,
+    /// `next_tbl[r][port]`: the neighbor router behind each non-local
+    /// output port (`usize::MAX` at a mesh edge, which XY routing never
+    /// asks for).
+    next_tbl: Vec<[usize; 4]>,
+    /// Per-cycle scratch, owned by the network so `step` allocates
+    /// nothing: free buffer slots and same-cycle claims per router/port,
+    /// flits crossing links this cycle, and this cycle's deliveries.
+    scratch_free: Vec<[usize; PORTS]>,
+    scratch_claimed: Vec<[usize; PORTS]>,
+    scratch_incoming: Vec<(usize, usize, Flit)>,
+    deliveries: Vec<Delivery>,
     /// Continuous flit-conservation auditor (no-op unless the oracle is
     /// compiled in; see `blitzcoin_sim::oracle`).
     oracle: Oracle,
@@ -127,15 +146,53 @@ impl WormholeNetwork {
     /// Creates an idle network over `topo`.
     pub fn new(topo: Topology, config: WormholeConfig) -> Self {
         assert!(config.buffer_flits >= 1, "buffers need at least one slot");
+        let n = topo.len();
+        let mut route_tbl = vec![0u8; n * n];
+        for r in 0..n {
+            let here = topo.coord(TileId(r));
+            for d in 0..n {
+                let there = topo.coord(TileId(d));
+                route_tbl[r * n + d] = if here.x < there.x {
+                    2
+                } else if here.x > there.x {
+                    3
+                } else if here.y < there.y {
+                    1
+                } else if here.y > there.y {
+                    0
+                } else {
+                    LOCAL as u8
+                };
+            }
+        }
+        let next_tbl = (0..n)
+            .map(|r| {
+                use crate::topology::Direction::*;
+                let mut row = [usize::MAX; 4];
+                for (port, dir) in [North, South, East, West].into_iter().enumerate() {
+                    if let Some(t) = topo.neighbor(TileId(r), dir) {
+                        row[port] = t.index();
+                    }
+                }
+                row
+            })
+            .collect();
         WormholeNetwork {
             topo,
             config,
-            routers: (0..topo.len()).map(|_| Router::new()).collect(),
+            routers: (0..n).map(|_| Router::new()).collect(),
             flights: Vec::new(),
-            inject_queue: vec![VecDeque::new(); topo.len()],
+            inject_queue: vec![VecDeque::new(); n],
             cycle: 0,
-            delivered_flits: Vec::new(),
+            delivered_flit_total: 0,
+            delivered_packets: 0,
             ejected_flits: 0,
+            route_tbl,
+            next_tbl,
+            scratch_free: vec![[0; PORTS]; n],
+            scratch_claimed: vec![[0; PORTS]; n],
+            scratch_incoming: Vec::new(),
+            deliveries: Vec::new(),
             oracle: Oracle::new("noc::wormhole::WormholeNetwork", 0),
         }
     }
@@ -167,29 +224,30 @@ impl WormholeNetwork {
     }
 
     /// Advances one cycle; returns packets whose tail ejected this cycle.
-    pub fn step(&mut self) -> Vec<Delivery> {
+    ///
+    /// The returned slice borrows scratch storage owned by the network and
+    /// is valid until the next `step` call; `step` itself performs no heap
+    /// allocation once the per-cycle scratch buffers have reached their
+    /// steady-state capacity.
+    pub fn step(&mut self) -> &[Delivery] {
         self.cycle += 1;
         let n = self.topo.len();
-        let mut deliveries = Vec::new();
+        self.deliveries.clear();
+        self.scratch_incoming.clear();
 
         // Phase 1: each router arbitrates each output port and moves at
         // most one flit from the granted input into the neighbor's input
         // buffer (or ejects at the local port). To keep the update order
         // deterministic and single-cycle-consistent, moves are computed
         // against buffer occupancies snapshotted at cycle start.
-        let free_slots: Vec<[usize; PORTS]> = self
-            .routers
-            .iter()
-            .map(|r| {
-                let mut s = [0; PORTS];
-                for (p, buf) in r.inputs.iter().enumerate() {
-                    s[p] = self.config.buffer_flits - buf.len().min(self.config.buffer_flits);
-                }
-                s
-            })
-            .collect();
-        let mut incoming: Vec<Vec<(usize, Flit)>> = vec![Vec::new(); n];
-        let mut claimed: Vec<[usize; PORTS]> = vec![[0; PORTS]; n];
+        for (router, free) in self.routers.iter().zip(self.scratch_free.iter_mut()) {
+            for (p, buf) in router.inputs.iter().enumerate() {
+                free[p] = self.config.buffer_flits - buf.len().min(self.config.buffer_flits);
+            }
+        }
+        for claimed in self.scratch_claimed.iter_mut() {
+            *claimed = [0; PORTS];
+        }
 
         for r in 0..n {
             for out in 0..PORTS {
@@ -221,12 +279,14 @@ impl WormholeNetwork {
                     if f.is_tail {
                         self.routers[r].out_owner[out] = None;
                         let flight = &self.flights[f.flight];
-                        deliveries.push(Delivery {
+                        let delivery = Delivery {
                             packet: flight.packet,
                             at_cycle: self.cycle,
                             latency_cycles: self.cycle - flight.injected_at,
-                        });
-                        self.delivered_flits.push(flight.packet.flits());
+                        };
+                        self.delivered_flit_total += u64::from(flight.packet.flits());
+                        self.delivered_packets += 1;
+                        self.deliveries.push(delivery);
                     } else {
                         self.routers[r].out_owner[out] = Some(inp);
                     }
@@ -235,19 +295,22 @@ impl WormholeNetwork {
                 }
                 // forward to the neighbor if it has buffer space
                 let (next, next_port) = self.next_hop(r, out);
-                if free_slots[next][next_port] > claimed[next][next_port] {
-                    claimed[next][next_port] += 1;
+                if self.scratch_free[next][next_port] > self.scratch_claimed[next][next_port] {
+                    self.scratch_claimed[next][next_port] += 1;
                     let f = self.routers[r].inputs[inp].pop_front().expect("head");
                     self.routers[r].out_owner[out] = if f.is_tail { None } else { Some(inp) };
                     self.routers[r].rr[out] = (inp + 1) % PORTS;
-                    incoming[next].push((next_port, f));
+                    self.scratch_incoming.push((next, next_port, f));
                 }
             }
         }
-        for (r, flits) in incoming.into_iter().enumerate() {
-            for (port, flit) in flits {
-                self.routers[r].inputs[port].push_back(flit);
-            }
+        // Each (router, port) receives at most one flit per cycle (its
+        // sending neighbor forwards one flit per output), so applying the
+        // link crossings in discovery order lands every flit in the same
+        // buffer slot the per-router grouping used to.
+        for i in 0..self.scratch_incoming.len() {
+            let (r, port, flit) = self.scratch_incoming[i];
+            self.routers[r].inputs[port].push_back(flit);
         }
 
         // Phase 2: source injection, one flit per tile per cycle.
@@ -277,7 +340,7 @@ impl WormholeNetwork {
         if oracle::enabled() {
             self.audit_flits();
         }
-        deliveries
+        &self.deliveries
     }
 
     /// Per-cycle flit ledger: every flit that entered the network is
@@ -323,7 +386,7 @@ impl WormholeNetwork {
         let mut out = Vec::new();
         let total: usize = self.flights.len();
         for _ in 0..max_cycles {
-            out.extend(self.step());
+            out.extend_from_slice(self.step());
             if out.len() == total && self.is_idle() {
                 break;
             }
@@ -341,8 +404,12 @@ impl WormholeNetwork {
         if self.cycle == 0 || self.topo.is_empty() {
             return 0.0;
         }
-        let flits: u64 = self.delivered_flits.iter().map(|&f| f as u64).sum();
-        flits as f64 / self.cycle as f64 / self.topo.len() as f64
+        self.delivered_flit_total as f64 / self.cycle as f64 / self.topo.len() as f64
+    }
+
+    /// Packets fully delivered (tail flit ejected) so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
     }
 
     /// Whether no flits remain anywhere.
@@ -355,46 +422,20 @@ impl WormholeNetwork {
     }
 
     /// The output port a flight's packet takes out of router `r` (XY
-    /// dimension-ordered): 0=N, 1=S, 2=E, 3=W, 4=local.
+    /// dimension-ordered): 0=N, 1=S, 2=E, 3=W, 4=local. A lookup into the
+    /// route table built at construction.
+    #[inline]
     fn route_port(&self, r: usize, flight: usize) -> usize {
-        let dst = self.flights[flight].packet.dst;
-        let here = self.topo.coord(TileId(r));
-        let there = self.topo.coord(dst);
-        if here.x < there.x {
-            2
-        } else if here.x > there.x {
-            3
-        } else if here.y < there.y {
-            1
-        } else if here.y > there.y {
-            0
-        } else {
-            LOCAL
-        }
+        let dst = self.flights[flight].packet.dst.index();
+        self.route_tbl[r * self.topo.len() + dst] as usize
     }
 
     /// The neighbor reached through output `port` of router `r`, and the
-    /// input port it arrives on there.
+    /// input port it arrives on there (the opposite direction; the N/S and
+    /// E/W port codes are bit-flips of each other).
+    #[inline]
     fn next_hop(&self, r: usize, port: usize) -> (usize, usize) {
-        use crate::topology::Direction::*;
-        let dir = match port {
-            0 => North,
-            1 => South,
-            2 => East,
-            _ => West,
-        };
-        let next = self
-            .topo
-            .neighbor(TileId(r), dir)
-            .expect("XY routing never runs off the mesh edge");
-        // arriving from the opposite direction's input port
-        let in_port = match port {
-            0 => 1,
-            1 => 0,
-            2 => 3,
-            _ => 2,
-        };
-        (next.index(), in_port)
+        (self.next_tbl[r][port], port ^ 1)
     }
 }
 

@@ -5,6 +5,13 @@
 //! (and ours) averages Monte-Carlo sweeps over seeds, so a given seed must
 //! always produce the same run. Events scheduled at the same timestamp are
 //! therefore delivered in FIFO order of scheduling, never in heap order.
+//!
+//! The heap stores `(time, seq)` packed into one `u128` key — lexical
+//! order on the pair and integer order on the packed key are the same
+//! order, so every sift compares a single integer instead of chaining two
+//! `cmp`s. This is the hottest comparison in the whole simulator (every
+//! schedule and pop sifts through it), which is why it gets the packed
+//! representation.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -37,12 +44,57 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 }
 
 impl<E> Ord for ScheduledEvent<E> {
-    // Reversed so that BinaryHeap (a max-heap) pops the earliest event.
+    // Reversed so that a max-heap pops the earliest event.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
             .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A heap entry: `(time, seq)` packed into one integer key. `time` in the
+/// high 64 bits and `seq` in the low 64 gives exactly the lexicographic
+/// `(time, seq)` order when comparing keys as plain `u128`s.
+#[derive(Debug, Clone)]
+struct HeapEntry<E> {
+    key: u128,
+    payload: E,
+}
+
+fn pack(time: SimTime, seq: u64) -> u128 {
+    (u128::from(time.as_ps()) << 64) | u128::from(seq)
+}
+
+impl<E> HeapEntry<E> {
+    fn time(&self) -> SimTime {
+        SimTime::from_ps((self.key >> 64) as u64)
+    }
+
+    fn seq(&self) -> u64 {
+        self.key as u64
+    }
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    // Reversed so that BinaryHeap (a max-heap) pops the smallest key,
+    // i.e. the earliest (time, seq).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
     }
 }
 
@@ -63,7 +115,7 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -77,8 +129,14 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `cap` events before the heap
+    /// reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             scheduled_total: 0,
         }
@@ -91,17 +149,24 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { time, seq, payload });
+        self.heap.push(HeapEntry {
+            key: pack(time, seq),
+            payload,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop()
+        self.heap.pop().map(|e| ScheduledEvent {
+            time: e.time(),
+            seq: e.seq(),
+            payload: e.payload,
+        })
     }
 
     /// The firing time of the earliest event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(HeapEntry::time)
     }
 
     /// Number of events currently pending.
@@ -122,6 +187,22 @@ impl<E> EventQueue<E> {
     /// Discards all pending events without resetting the sequence counter.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Returns the queue to its freshly-constructed state — no pending
+    /// events, sequence and scheduled counters at zero — while keeping the
+    /// heap's allocation. A queue reset and reused across trials behaves
+    /// bit-identically to a new one, without re-growing the heap each
+    /// trial.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+    }
+
+    /// Room for events before the heap reallocates.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 }
 
@@ -183,5 +264,61 @@ mod tests {
         q.schedule(SimTime::from_ns(3), 9);
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(3)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn packed_key_round_trips_time_and_seq() {
+        // the packed representation must hand back exact time/seq pairs,
+        // including extreme timestamps
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(u64::MAX), 'z');
+        q.schedule(SimTime::ZERO, 'a');
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, SimTime::ZERO);
+        assert_eq!(first.seq, 1);
+        assert_eq!(first.payload, 'a');
+        let last = q.pop().unwrap();
+        assert_eq!(last.time, SimTime::from_ps(u64::MAX));
+        assert_eq!(last.seq, 0);
+    }
+
+    #[test]
+    fn packed_order_matches_lexicographic_pair_order() {
+        // exhaustive cross-check on a grid of (time, seq) pairs: the
+        // single-integer key must order exactly like (time, then seq)
+        let times = [0u64, 1, 1250, u64::MAX / 2, u64::MAX];
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            for j in 0..3u64 {
+                q.schedule(SimTime::from_ps(t), (i, j));
+                expected.push((t, q.scheduled_total() - 1));
+            }
+        }
+        expected.sort_unstable();
+        let popped: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.time.as_ps(), e.seq))).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_replays_identically() {
+        let run = |q: &mut EventQueue<u64>| -> Vec<(u64, u64, u64)> {
+            for i in 0..512u64 {
+                q.schedule(SimTime::from_ns(i * 7 % 64), i);
+            }
+            std::iter::from_fn(|| q.pop().map(|e| (e.time.as_ps(), e.seq, e.payload))).collect()
+        };
+        let mut fresh = EventQueue::new();
+        let want = run(&mut fresh);
+        let mut reused = EventQueue::new();
+        let _ = run(&mut reused);
+        let cap = reused.capacity();
+        assert!(cap >= 512);
+        reused.reset();
+        assert!(reused.is_empty());
+        assert_eq!(reused.scheduled_total(), 0);
+        assert_eq!(reused.capacity(), cap, "reset must keep the allocation");
+        assert_eq!(run(&mut reused), want, "a reset queue must replay exactly");
     }
 }

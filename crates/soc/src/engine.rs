@@ -52,6 +52,34 @@ pub(crate) mod faults;
 
 pub(crate) use events::Ev;
 
+thread_local! {
+    /// Recycled event-queue allocation. Each `Simulation::run` trial uses
+    /// a logically fresh queue, but sweeps run thousands of trials per
+    /// worker thread and the heap buffer is worth keeping warm. A reset
+    /// queue is observationally identical to a new one (same seq numbers,
+    /// same pop order), so reuse cannot perturb determinism.
+    static QUEUE_POOL: std::cell::RefCell<Option<EventQueue<Ev>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Takes the thread's recycled queue (reset to pristine state), or a new
+/// one the first time.
+fn take_recycled_queue() -> EventQueue<Ev> {
+    QUEUE_POOL
+        .with(|p| p.borrow_mut().take())
+        .map(|mut q| {
+            q.reset();
+            q
+        })
+        .unwrap_or_default()
+}
+
+/// Hands a finished run's queue back to the thread pool for the next
+/// trial.
+pub(crate) fn recycle_queue(q: EventQueue<Ev>) {
+    QUEUE_POOL.with(|p| *p.borrow_mut() = Some(q));
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -348,6 +376,14 @@ pub(crate) struct Core<'a> {
     pub(crate) queue: EventQueue<Ev>,
     pub(crate) tiles: Vec<TileRt>,
     pub(crate) managed: Vec<usize>,
+    /// Slot of each tile id within `managed` (`usize::MAX` for unmanaged
+    /// tiles) — the trace arrays are indexed per managed slot, and the
+    /// recording paths run on every power/coin/frequency change.
+    pub(crate) managed_slot: Vec<usize>,
+    /// Nearest memory tile per tile id (ties broken toward the lowest
+    /// id), precomputed for the background-DMA path. Empty when the
+    /// workload runs without DMA bursts.
+    pub(crate) nearest_mem: Vec<Option<TileId>>,
     /// Cluster index per tile id (managed tiles only; usize::MAX elsewhere).
     pub(crate) cluster_of: Vec<usize>,
     /// Managed tile ids per PM cluster (the exchange / ring domains).
@@ -496,13 +532,34 @@ impl<'a> Core<'a> {
         let mut net = Network::new(soc.topology, NetworkConfig::default());
         net.set_fault_plan(sim.fault.clone());
         let n_tasks = sim.wl.len();
+        let mut managed_slot = vec![usize::MAX; soc.topology.len()];
+        for (slot, &ti) in managed.iter().enumerate() {
+            managed_slot[ti] = slot;
+        }
+        let nearest_mem: Vec<Option<TileId>> = if sim.cfg.dma_burst_flits > 0 {
+            soc.topology
+                .tiles()
+                .map(|me| {
+                    soc.topology
+                        .tiles()
+                        .filter(|t| {
+                            matches!(soc.tiles[t.index()], crate::floorplan::TileKind::Memory)
+                        })
+                        .min_by_key(|&t| soc.topology.hop_distance(me, t))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Core {
             sim,
             rng,
             net,
-            queue: EventQueue::new(),
+            queue: take_recycled_queue(),
             tiles,
             managed,
+            managed_slot,
+            nearest_mem,
             cluster_of,
             cluster_members: cluster_list,
             now: SimTime::ZERO,

@@ -111,7 +111,9 @@ impl Core<'_> {
 /// coin-economy audit binds only to schemes that own one
 /// ([`ManagerPolicy::owns_coin_economy`]): live plus faulted holdings
 /// plus the policy's in-flight coins must equal the initial pool.
-pub(crate) fn finish(core: Core, policy: &mut dyn ManagerPolicy) -> SimReport {
+pub(crate) fn finish(mut core: Core, policy: &mut dyn ManagerPolicy) -> SimReport {
+    // hand the drained queue's allocation back for the thread's next trial
+    crate::engine::recycle_queue(std::mem::take(&mut core.queue));
     let finished = core.completed == core.sim.wl.len();
     let held_live: i64 = core
         .managed

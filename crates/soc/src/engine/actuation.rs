@@ -36,14 +36,16 @@ impl Core<'_> {
     }
 
     pub(crate) fn record_power(&mut self, ti: usize) {
-        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+        let slot = self.managed_slot[ti];
+        if slot != usize::MAX {
             let p = self.tile_power(ti);
             self.power_traces[slot].record(self.now, p);
         }
     }
 
     pub(crate) fn record_coins(&mut self, ti: usize) {
-        if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+        let slot = self.managed_slot[ti];
+        if slot != usize::MAX {
             let h = self.tiles[ti].has as f64;
             self.coin_traces[slot].record(self.now, h);
         }
@@ -130,7 +132,8 @@ impl Core<'_> {
             self.update_progress(ti);
             self.tiles[ti].freq = self.tiles[ti].target;
             let f = self.tiles[ti].freq;
-            if let Some(slot) = self.managed.iter().position(|&t| t == ti) {
+            let slot = self.managed_slot[ti];
+            if slot != usize::MAX {
                 self.freq_traces[slot].record(self.now, f);
             }
             self.record_power(ti);

@@ -214,18 +214,8 @@ impl Core<'_> {
         if self.tiles[ti].faulted.is_some() {
             return; // a faulted engine issues no more bursts
         }
-        let topo = self.sim.soc.topology;
         let me = TileId(ti);
-        let mem = topo
-            .tiles()
-            .filter(|t| {
-                matches!(
-                    self.sim.soc.tiles[t.index()],
-                    crate::floorplan::TileKind::Memory
-                )
-            })
-            .min_by_key(|&t| topo.hop_distance(me, t));
-        if let Some(mem) = mem {
+        if let Some(mem) = self.nearest_mem[ti] {
             let burst = Packet::new(
                 me,
                 mem,

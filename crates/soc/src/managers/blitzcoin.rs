@@ -295,8 +295,13 @@ fn give_up_on_partner(core: &mut Core, ti: usize, pj: usize, idx: usize) {
 /// serialized through its injection port (Algorithm 1).
 fn four_way_fire(core: &mut Core, ti: usize) {
     let dt = core.cfg().exchange_timing;
-    let partners = core.tiles[ti].partners.clone();
-    if partners.is_empty() {
+    // Snapshot the partner list onto the stack (at most 4 by
+    // construction): recovery inside the loop may shrink `partners`, and
+    // the group exchange must keep addressing the set it started with.
+    let mut partners = [0usize; 4];
+    let n_partners = core.tiles[ti].partners.len().min(4);
+    partners[..n_partners].copy_from_slice(&core.tiles[ti].partners[..n_partners]);
+    if n_partners == 0 {
         return;
     }
     let me = TileId(ti);
@@ -304,9 +309,10 @@ fn four_way_fire(core: &mut Core, ti: usize) {
     // partner is skipped (and suspected); any dropped message aborts
     // the whole group exchange — the redistribution is atomic or it
     // does not happen, so conservation survives arbitrary drops.
-    let mut live = Vec::with_capacity(partners.len());
+    let mut live = [0usize; 4];
+    let mut n_live = 0;
     let mut last_arrival = core.now;
-    for &pj in &partners {
+    for &pj in &partners[..n_partners] {
         if core.tiles[pj].faulted.is_some() {
             note_partner_silent(core, ti, pj);
             continue;
@@ -334,8 +340,10 @@ fn four_way_fire(core: &mut Core, ti: usize) {
             return;
         };
         last_arrival = last_arrival.max(t_update);
-        live.push(pj);
+        live[n_live] = pj;
+        n_live += 1;
     }
+    let live = &live[..n_live];
     if live.is_empty() {
         // every partner is gone; keep polling at a backed-off rate in
         // case a stranded neighbor still needs its coins drained
@@ -348,21 +356,23 @@ fn four_way_fire(core: &mut Core, ti: usize) {
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
         return;
     }
-    for &pj in &live {
+    for &pj in live {
         if let Some(k) = core.tiles[ti].partners.iter().position(|&p| p == pj) {
             core.tiles[ti].suspect[k] = 0;
         }
     }
     let latency = (last_arrival - core.now) + SimTime::from_noc_cycles(2);
 
-    let mut idx = Vec::with_capacity(live.len() + 1);
-    idx.push(ti);
-    idx.extend(live.iter().copied());
-    let group: Vec<TileState> = idx
-        .iter()
-        .map(|&k| TileState::new(core.tiles[k].has, core.tiles[k].max))
-        .collect();
-    let alloc = four_way_allocation(&group);
+    // self + up to 4 live partners, on the stack
+    let mut idx = [0usize; 5];
+    idx[0] = ti;
+    idx[1..=live.len()].copy_from_slice(live);
+    let idx = &idx[..live.len() + 1];
+    let mut group = [TileState::default(); 5];
+    for (slot, &k) in idx.iter().enumerate() {
+        group[slot] = TileState::new(core.tiles[k].has, core.tiles[k].max);
+    }
+    let alloc = four_way_allocation(&group[..idx.len()]);
     let mut moved_total = 0i64;
     for (slot, &k) in idx.iter().enumerate() {
         let delta = alloc[slot] - core.tiles[k].has;
@@ -397,7 +407,7 @@ fn four_way_fire(core: &mut Core, ti: usize) {
     core.queue
         .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
     if significant {
-        for &pj in &live {
+        for &pj in live {
             let rp = &mut core.tiles[pj];
             rp.zero_rot = 0;
             rp.interval = dt.next_interval(rp.interval, moved_total);
@@ -412,7 +422,8 @@ fn four_way_fire(core: &mut Core, ti: usize) {
 }
 
 fn select_pairing_partner(core: &mut Core, ti: usize) -> Option<usize> {
-    let pos = core.managed.iter().position(|&t| t == ti).expect("managed");
+    let pos = core.managed_slot[ti];
+    debug_assert_ne!(pos, usize::MAX, "pairing from an unmanaged tile");
     let n = core.managed.len();
     for _ in 0..n {
         let cand = core.managed[(pos + core.tiles[ti].pair_offset) % n];
@@ -457,23 +468,28 @@ fn check_bc_response(core: &mut Core) {
 /// quarantined coins shrink the live slice and the survivors
 /// equalize over what remains.
 fn bc_converged(core: &Core) -> bool {
+    // called on every coin fire — walk the managed list twice per cluster
+    // rather than collecting the live members
     (0..core.cluster_members.len()).all(|ci| {
-        let members: Vec<usize> = core
-            .managed
-            .iter()
-            .copied()
-            .filter(|&t| core.cluster_of[t] == ci && core.tiles[t].faulted.is_none())
-            .collect();
-        let total_max: u64 = members.iter().map(|&t| core.tiles[t].max).sum();
+        let mut total_max = 0u64;
+        let mut total_has = 0i64;
+        for &t in &core.managed {
+            if core.cluster_of[t] == ci && core.tiles[t].faulted.is_none() {
+                total_max += core.tiles[t].max;
+                total_has += core.tiles[t].has;
+            }
+        }
         if total_max == 0 {
             return true;
         }
-        let total_has: i64 = members.iter().map(|&t| core.tiles[t].has).sum();
         let alpha = total_has as f64 / total_max as f64;
-        members.iter().all(|&t| {
-            let target = alpha * core.tiles[t].max as f64;
-            (core.tiles[t].has as f64 - target).abs() <= core.cfg().response_tolerance
-        })
+        core.managed
+            .iter()
+            .filter(|&&t| core.cluster_of[t] == ci && core.tiles[t].faulted.is_none())
+            .all(|&t| {
+                let target = alpha * core.tiles[t].max as f64;
+                (core.tiles[t].has as f64 - target).abs() <= core.cfg().response_tolerance
+            })
     })
 }
 

@@ -75,18 +75,18 @@ impl<S: SweepScheme> Centralized<S> {
         // Plan once per sweep (a per-step recompute could change mid-sweep)
         // and write downgrades before upgrades so the cap is never
         // transiently exceeded by a newly-granted tile actuating before a
-        // revoked one.
-        let mut plan: Vec<(usize, u64, i64)> = core
-            .managed
-            .iter()
-            .zip(self.scheme.compute_plan(core, self.rotation_step))
-            .map(|(&t, (f, c))| (t, f, c))
-            .collect();
-        plan.sort_by_key(|&(t, f, _)| {
+        // revoked one. The plan buffer is reused sweep to sweep.
+        self.sweep_plan.clear();
+        self.sweep_plan.extend(
+            core.managed
+                .iter()
+                .zip(self.scheme.compute_plan(core, self.rotation_step))
+                .map(|(&t, (f, c))| (t, f, c)),
+        );
+        self.sweep_plan.sort_by_key(|&(t, f, _)| {
             let current = (core.tiles[t].target * 100.0).round() as u64;
             (f > current, t)
         });
-        self.sweep_plan = plan;
         let service = core.cfg().timing.service_cycles(S::KIND);
         let at = core.now + SimTime::from_noc_cycles(service);
         core.queue.schedule(
@@ -200,13 +200,17 @@ impl<S: SweepScheme> Centralized<S> {
 /// answered once the actuation delay elapses.
 fn drain_sweep_responses(core: &mut Core) {
     let done = core.now + SimTime::from_noc_cycles(core.cfg().timing.actuation_cycles);
-    let drained: Vec<SimTime> = core.pending_changes.drain(..).collect();
-    for t0 in drained {
+    // take the list whole (the response push borrows `core` too), then
+    // hand its cleared allocation back for the next batch of changes
+    let mut drained = std::mem::take(&mut core.pending_changes);
+    for &t0 in &drained {
         core.responses.push(ResponseSample {
             at_us: t0.as_us_f64(),
             response_us: (done - t0).as_us_f64(),
         });
     }
+    drained.clear();
+    core.pending_changes = drained;
 }
 
 impl<S: SweepScheme> ManagerPolicy for Centralized<S> {

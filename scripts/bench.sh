@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Benchmark snapshot: runs the per-policy throughput bench and the kernel
+# microbenchmarks in release mode and collects every reported metric into
+# BENCH_5.json at the repo root (or the path given as $1).
+#
+# The bench harness pins the sweep executor to one job, so the numbers
+# measure the kernels rather than the machine's core count; the JSON
+# records that alongside the git revision so snapshots from different
+# checkouts stay comparable.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+tsv=$(mktemp)
+trap 'rm -f "$tsv"' EXIT
+
+cargo build -q --release --offline -p blitzcoin-bench --benches
+
+BLITZCOIN_BENCH_OUT="$tsv" cargo bench -q --offline -p blitzcoin-bench --bench policies
+BLITZCOIN_BENCH_OUT="$tsv" cargo bench -q --offline -p blitzcoin-bench --bench kernels
+
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+{
+    printf '{\n'
+    printf '  "bench": 5,\n'
+    printf '  "git_rev": "%s",\n' "$rev"
+    printf '  "jobs": 1,\n'
+    printf '  "metrics": {\n'
+    awk -F'\t' '
+        { printf "%s    \"%s\": { \"value\": %s, \"unit\": \"%s\" }", sep, $1, $2, $3; sep = ",\n" }
+        END { printf "\n" }
+    ' "$tsv"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "bench: wrote $out ($(wc -l < "$tsv") metrics)"
