@@ -10,7 +10,7 @@ use blitzcoin_noc::{
     Network, NetworkConfig, Packet, PacketKind, Plane, RoundRobinArbiter, TileId, Topology,
 };
 use blitzcoin_power::{AcceleratorClass, CoinLut, PowerModel, Uvfr, UvfrConfig};
-use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace};
+use blitzcoin_sim::{EventQueue, SimRng, SimTime, StepTrace, TieBreak};
 use std::hint::black_box;
 
 fn exchange_kernels(c: &mut Criterion) {
@@ -150,6 +150,23 @@ fn sim_kernels(c: &mut Criterion) {
             })
         });
     }
+    // the fuzzing tie-break must cost nothing on the default path (the
+    // `_1000` bench above IS the FIFO baseline) and only two extra
+    // splitmix rounds per event when shuffling
+    c.bench_function("kernel/event_queue_schedule_pop_1000_permuted", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(1_001);
+        q.set_tie_break(TieBreak::Permuted(0x5EED));
+        let mut i = 0u64;
+        while q.len() < 1_000 {
+            i += 1;
+            q.schedule(SimTime::from_noc_cycles(i % 8192), i);
+        }
+        b.iter(|| {
+            i += 1;
+            q.schedule(SimTime::from_noc_cycles(i % 8192), i);
+            black_box(q.pop())
+        })
+    });
     c.bench_function("kernel/step_trace_record_query", |b| {
         let mut tr = StepTrace::new("bench");
         let mut t = 0u64;

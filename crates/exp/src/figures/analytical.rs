@@ -114,7 +114,7 @@ fn fit_taus(ctx: &Ctx) -> Vec<(Strategy, TauFit, TauFit)> {
         .enumerate()
         {
             let r =
-                Simulation::new(soc.clone(), wl.clone(), SimConfig::new(*m, budget)).run(ctx.seed);
+                Simulation::new(soc.clone(), wl.clone(), ctx.sim_config(*m, budget)).run(ctx.seed);
             if let Some(resp) = r.mean_nontrivial_response_us(0.05) {
                 meas[slot].1.push((n, resp));
             }

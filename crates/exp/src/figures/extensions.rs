@@ -34,7 +34,7 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
     let run = Simulation::new(
         soc.clone(),
         wl,
-        SimConfig::new(ManagerKind::BlitzCoin, 120.0),
+        ctx.sim_config(ManagerKind::BlitzCoin, 120.0),
     )
     .run(ctx.seed);
     let envelope = thermal::analyze(&soc, &run, ThermalConfig::default());
@@ -159,7 +159,7 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
         .collect();
     let runs = par_units(ctx, &units, |&(i, scale, frames, m)| {
         let wl = workload::av_dependent_scaled(&soc, frames, scale);
-        Simulation::new(soc.clone(), wl, SimConfig::new(m, 120.0)).run(ctx.subseed(i))
+        Simulation::new(soc.clone(), wl, ctx.sim_config(m, 120.0)).run(ctx.subseed(i))
     });
 
     let mut csv = CsvTable::new([
@@ -418,7 +418,10 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
 
     // the global/clustered pair shares ctx.seed (same imbalanced
     // workload draw) and runs concurrently
-    let cfg = SimConfig::for_large_soc(ManagerKind::BlitzCoin, budget, n);
+    let cfg = SimConfig {
+        tie_break: ctx.tie_break,
+        ..SimConfig::for_large_soc(ManagerKind::BlitzCoin, budget, n)
+    };
     let pair = par_units(ctx, &[false, true], |&use_clusters| {
         if use_clusters {
             Simulation::with_clusters(soc.clone(), wl.clone(), cfg, quads.clone()).run(ctx.seed)
@@ -491,7 +494,10 @@ pub fn scaling_sim(ctx: &Ctx) -> FigResult {
     let responses = par_units(ctx, &units, |&(i, d, m, s)| {
         let soc = floorplan::synthetic(d);
         let wl = workload::parallel_all(&soc, 2);
-        let cfg = SimConfig::for_large_soc(m, soc.total_p_max() * 0.3, soc.n_managed());
+        let cfg = SimConfig {
+            tie_break: ctx.tie_break,
+            ..SimConfig::for_large_soc(m, soc.total_p_max() * 0.3, soc.n_managed())
+        };
         let seed = SimRng::seed(ctx.subseed(i)).derive(s).root_seed();
         Simulation::new(soc, wl, cfg)
             .run(seed)

@@ -1,0 +1,188 @@
+//! The interleaving fuzzer as an experiment: "no single point of
+//! failure" must also mean "no hidden ordering dependency".
+//!
+//! Every SoC run pops same-timestamp events in FIFO scheduling order —
+//! one legal serialization of what real concurrent hardware would do in
+//! parallel. This experiment re-runs every cycle-level manager, healthy
+//! and with its mid-run worker kill, under [`Ctx::orderings`] seeded
+//! [`TieBreak::Permuted`] shuffles of those same-timestamp batches, and
+//! asserts that nothing the reproduction *claims* depends on the one
+//! ordering FIFO happens to pick:
+//!
+//! - the runtime oracle (coin conservation, budget ceiling, VF legality,
+//!   flit conservation) stays silent under every ordering, and
+//! - the order-independent report facts — the run settles, the economy
+//!   leaks nothing — match the FIFO baseline exactly.
+//!
+//! Trajectories legally diverge (a different interleaving actuates
+//! different frequencies at different instants, so execution times and
+//! response latencies shift); a forbidden divergence is reported through
+//! the oracle as [`Invariant::OrderIndependence`], which makes the CLI
+//! exit nonzero — the CI smoke leg in `scripts/ci.sh` rides on exactly
+//! that. Each divergence is bisected to the first event pop where the
+//! shuffled run departed from FIFO and printed as a one-paste replay
+//! line.
+
+use blitzcoin_sim::csv::CsvTable;
+use blitzcoin_sim::interleave::{self, RunFacts};
+use blitzcoin_sim::oracle::{Invariant, Oracle};
+use blitzcoin_sim::{FaultPlan, TieBreak, TileFault, TileFaultKind};
+use blitzcoin_soc::prelude::*;
+
+use crate::sweep::{par_units, write_csv};
+use crate::{Ctx, FigResult};
+
+/// Mid-run fail-stop instant (NoC cycles), matching the `resilience`
+/// experiment so the fuzzed fault scenario is the measured one.
+const FAULT_AT_CYCLE: u64 = 24_000;
+/// The victim accelerator (the 3x3 AV floorplan's NVDLA).
+const WORKER_TILE: usize = 4;
+
+fn kill_worker() -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    plan.tile_faults.push(TileFault {
+        tile: WORKER_TILE,
+        at_cycle: FAULT_AT_CYCLE,
+        kind: TileFaultKind::FailStop,
+    });
+    plan
+}
+
+fn build(manager: ManagerKind, faulted: bool, frames: usize, tie: TieBreak) -> Simulation {
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, frames);
+    let cfg = SimConfig {
+        tie_break: tie,
+        ..SimConfig::new(manager, 120.0)
+    };
+    let sim = Simulation::new(soc, wl, cfg);
+    if faulted {
+        sim.with_fault_plan(kill_worker())
+    } else {
+        sim
+    }
+}
+
+/// The order-independent facts of one run. Everything else in the report
+/// (execution time, response samples, abandoned-task counts under the
+/// fault) may legally differ between orderings; these must not.
+fn facts_of(r: &SimReport, faulted: bool) -> RunFacts {
+    let mut facts = vec![("coins-leaked".to_string(), r.coins_leaked.to_string())];
+    if faulted {
+        // the dead tile's tasks are abandoned, not completed — what must
+        // hold is that the run settles instead of hitting the horizon
+        facts.push((
+            "settled".to_string(),
+            (r.finished || r.tasks_abandoned > 0).to_string(),
+        ));
+    } else {
+        facts.push(("finished".to_string(), r.finished.to_string()));
+    }
+    RunFacts {
+        facts,
+        violations: r.oracle_violations,
+        first_violation: r.oracle_first.clone(),
+    }
+}
+
+/// The `interleave` experiment: every cycle-level manager, healthy and
+/// with a mid-run worker kill, fuzzed across `ctx.orderings()` shuffled
+/// same-timestamp orderings.
+pub fn interleave(ctx: &Ctx) -> FigResult {
+    let mut fig = FigResult::new(
+        "interleave",
+        "Interleaving fuzzer: invariants across shuffled event orderings",
+    );
+    let frames = if ctx.quick { 2 } else { 4 };
+    let orderings = ctx.orderings();
+    let scenarios = [("healthy", false), ("kill-worker", true)];
+
+    // All (manager, scenario, ordering) runs are independent
+    // simulations, so the whole grid fans out at once; the FIFO baseline
+    // is index 0 of each point's tie slice.
+    let ties: Vec<TieBreak> = std::iter::once(TieBreak::Fifo)
+        .chain(interleave::tie_breaks(ctx.seed, orderings))
+        .collect();
+    let mut grid: Vec<(ManagerKind, usize, TieBreak)> = Vec::new();
+    for m in ManagerKind::ALL {
+        for si in 0..scenarios.len() {
+            for &tie in &ties {
+                grid.push((m, si, tie));
+            }
+        }
+    }
+    let all_facts = par_units(ctx, &grid, |&(m, si, tie)| {
+        facts_of(
+            &build(m, scenarios[si].1, frames, tie).run(ctx.seed),
+            scenarios[si].1,
+        )
+    });
+
+    // Forbidden divergences surface through the oracle: the CLI (and the
+    // CI interleave leg) exits nonzero whenever the per-experiment
+    // violation delta is nonzero, so a divergence can never pass silently.
+    let mut oracle =
+        Oracle::new("blitzcoin-exp interleave", ctx.seed).with_tie_break(ctx.tie_break);
+    let mut csv = CsvTable::new([
+        "manager",
+        "scenario",
+        "orderings",
+        "divergences",
+        "violations",
+    ]);
+    let per_tie = ties.len();
+    let mut per_manager: Vec<(ManagerKind, u64)> = Vec::new();
+    for (mi, m) in ManagerKind::ALL.into_iter().enumerate() {
+        let mut manager_divergences = 0u64;
+        for (si, &(scenario, faulted)) in scenarios.iter().enumerate() {
+            let base_idx = (mi * scenarios.len() + si) * per_tie;
+            let slice = &all_facts[base_idx..base_idx + per_tie];
+            let baseline = &slice[0];
+            let runs: Vec<(TieBreak, RunFacts)> = ties[1..]
+                .iter()
+                .zip(&slice[1..])
+                .map(|(&tie, f)| (tie, f.clone()))
+                .collect();
+            let name = format!("interleave {m}/{scenario}");
+            let outcome = interleave::compare(&name, ctx.seed, baseline, &runs, |tie, cap| {
+                build(m, faulted, frames, tie).run_traced(ctx.seed, cap).1
+            });
+            for d in &outcome.divergences {
+                eprintln!("{}", d.replay_line());
+                oracle.report(
+                    Invariant::OrderIndependence,
+                    d.first_diff.map_or(0, |(t, _)| t / 1250),
+                    format!("{}: `{}`", d.name, d.fact),
+                    d.expected.clone(),
+                    format!("{} under {}", d.actual, d.tie_break),
+                );
+            }
+            manager_divergences += outcome.divergences.len() as u64;
+            csv.row([
+                m.to_string(),
+                scenario.to_string(),
+                orderings.to_string(),
+                outcome.divergences.len().to_string(),
+                outcome.violations.to_string(),
+            ]);
+        }
+        per_manager.push((m, manager_divergences));
+    }
+    write_csv(ctx, &mut fig, "interleave.csv", &csv);
+
+    for (m, divergences) in per_manager {
+        fig.claim(
+            format!("interleave.{m}"),
+            "no result depends on the FIFO serialization of same-timestamp \
+             events: invariants and order-independent facts hold under \
+             every shuffled ordering",
+            format!(
+                "{divergences} divergences across {orderings} shuffled \
+                 orderings x {} scenarios",
+                scenarios.len()
+            ),
+            divergences == 0,
+        );
+    }
+    fig
+}

@@ -3,6 +3,7 @@
 pub mod analytical;
 pub mod behavioural;
 pub mod extensions;
+pub mod interleave;
 pub mod oracle_diff;
 pub mod power;
 pub mod resilience;

@@ -34,10 +34,10 @@ const SETTLE_US: f64 = 10.0;
 /// Ledger sampling cadence, in µs.
 const SAMPLE_US: f64 = 1.0;
 
-fn run(manager: ManagerKind, frames: usize, seed: u64) -> SimReport {
+fn run(ctx: &Ctx, manager: ManagerKind, frames: usize, seed: u64) -> SimReport {
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, frames);
-    Simulation::new(soc, wl, SimConfig::new(manager, 120.0)).run(seed)
+    Simulation::new(soc, wl, ctx.sim_config(manager, 120.0)).run(seed)
 }
 
 /// Whether sample time `t` is steady state for one run: at least
@@ -88,7 +88,7 @@ pub fn oracle_diff(ctx: &Ctx) -> FigResult {
             [ManagerKind::BlitzCoin, ManagerKind::BcCentralized].map(|m| (ctx.subseed(i), m))
         })
         .collect();
-    let reports = par_units(ctx, &grid, |(seed, m)| run(*m, frames, *seed));
+    let reports = par_units(ctx, &grid, |(seed, m)| run(ctx, *m, frames, *seed));
 
     let mut csv = CsvTable::new([
         "seed",

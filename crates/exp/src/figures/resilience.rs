@@ -41,15 +41,15 @@ fn kill(tile: usize) -> FaultPlan {
     plan
 }
 
-fn run(manager: ManagerKind, plan: Option<FaultPlan>, frames: usize, seed: u64) -> SimReport {
+fn run(ctx: &Ctx, manager: ManagerKind, plan: Option<FaultPlan>, frames: usize) -> SimReport {
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, frames);
-    let sim = Simulation::new(soc, wl, SimConfig::new(manager, 120.0));
+    let sim = Simulation::new(soc, wl, ctx.sim_config(manager, 120.0));
     let sim = match plan {
         Some(p) => sim.with_fault_plan(p),
         None => sim,
     };
-    sim.run(seed)
+    sim.run(ctx.seed)
 }
 
 /// Responses to activity changes that happened *after* the fault: the
@@ -113,7 +113,7 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
         [None, Some(kill(WORKER_TILE)), Some(kill(CONTROLLER_TILE))].map(|plan| (m, plan))
     })
     .collect();
-    let reports = par_units(ctx, &grid, |(m, plan)| run(*m, plan.clone(), f, ctx.seed));
+    let reports = par_units(ctx, &grid, |(m, plan)| run(ctx, *m, plan.clone(), f));
 
     // BlitzCoin: healthy, worker killed, and — for symmetry with the
     // centralized runs — the CPU tile killed (it plays no role in the
@@ -178,7 +178,7 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
     // `resilience_tokensmart.csv` (the abstract model) is golden-locked.
     let ts_grid: Vec<Option<FaultPlan>> = vec![None, Some(kill(WORKER_TILE))];
     let ts_engine = par_units(ctx, &ts_grid, |plan| {
-        run(ManagerKind::TokenSmart, plan.clone(), f, ctx.seed)
+        run(ctx, ManagerKind::TokenSmart, plan.clone(), f)
     });
     let (tse_healthy, tse_broken) = (&ts_engine[0], &ts_engine[1]);
     let mut tse_csv = CsvTable::new([

@@ -33,14 +33,15 @@ fn frames(ctx: &Ctx) -> usize {
     }
 }
 
-fn run_3x3(manager: ManagerKind, budget: f64, dep: bool, frames: usize, seed: u64) -> SimReport {
+fn run_3x3(ctx: &Ctx, manager: ManagerKind, budget: f64, dep: bool, seed: u64) -> SimReport {
     let soc = floorplan::soc_3x3();
+    let f = frames(ctx);
     let wl = if dep {
-        workload::av_dependent(&soc, frames)
+        workload::av_dependent(&soc, f)
     } else {
-        workload::av_parallel(&soc, frames)
+        workload::av_parallel(&soc, f)
     };
-    Simulation::new(soc, wl, SimConfig::new(manager, budget)).run(seed)
+    Simulation::new(soc, wl, ctx.sim_config(manager, budget)).run(seed)
 }
 
 /// Fig 16: power traces of the AV workload on the 3x3 SoC (WL-Par at
@@ -48,7 +49,6 @@ fn run_3x3(manager: ManagerKind, budget: f64, dep: bool, frames: usize, seed: u6
 pub fn fig16(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig16", "3x3 SoC power traces (WL-Par@120mW, WL-Dep@60mW)");
     let combos = [("wlpar_120mw", false, 120.0), ("wldep_60mw", true, 60.0)];
-    let f = frames(ctx);
     // the whole 2x3 (workload x manager) grid runs concurrently
     let units: Vec<(u64, bool, f64, ManagerKind)> = combos
         .iter()
@@ -56,7 +56,7 @@ pub fn fig16(ctx: &Ctx) -> FigResult {
         .flat_map(|(i, &(_, dep, budget))| MANAGERS.map(|m| (i as u64, dep, budget, m)))
         .collect();
     let all_reports = par_units(ctx, &units, |&(i, dep, budget, m)| {
-        run_3x3(m, budget, dep, f, ctx.subseed(i))
+        run_3x3(ctx, m, budget, dep, ctx.subseed(i))
     });
     for (i, (label, _, budget)) in combos.iter().enumerate() {
         let budget = *budget;
@@ -315,12 +315,11 @@ fn soc_grid(
 /// Fig 17: execution and response times on the 3x3 SoC.
 pub fn fig17(ctx: &Ctx) -> FigResult {
     let mut fig = FigResult::new("fig17", "3x3 SoC: execution time and response time");
-    let f = frames(ctx);
     soc_grid(
         &mut fig,
         ctx,
         "3x3",
-        |m, b, dep, seed| run_3x3(m, b, dep, f, seed),
+        |m, b, dep, seed| run_3x3(ctx, m, b, dep, seed),
         &[(120.0, false), (60.0, false), (120.0, true), (60.0, true)],
         "BC-C provides on average 24% speedup vs C-RR",
         "BC improves response 10.1x vs BC-C and 12.1x vs C-RR",
@@ -341,7 +340,7 @@ pub fn fig18(ctx: &Ctx) -> FigResult {
         } else {
             workload::vision_parallel(&soc, f)
         };
-        Simulation::new(soc, wl, SimConfig::new(m, b)).run(seed)
+        Simulation::new(soc, wl, ctx.sim_config(m, b)).run(seed)
     };
     soc_grid(
         &mut fig,
@@ -376,7 +375,7 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
         .collect();
     let reports = par_units(ctx, &units, |&(i, n, m)| {
         let wl = workload::pm_cluster(&soc, f, n);
-        Simulation::new(soc.clone(), wl, SimConfig::new(m, budget)).run(ctx.subseed(i))
+        Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)).run(ctx.subseed(i))
     });
 
     // 7-accelerator run: utilization + coin allocation before/after
@@ -473,7 +472,7 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
     // three runs are independent and execute concurrently
     let reports = par_units(ctx, &MANAGERS, |&m| {
         let wl = workload::pm_cluster(&soc, f, 7);
-        Simulation::new(soc.clone(), wl, SimConfig::new(m, budget)).run(ctx.seed)
+        Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)).run(ctx.seed)
     });
     let measured: Vec<(ManagerKind, Option<f64>, Option<f64>)> = MANAGERS
         .iter()
@@ -547,7 +546,7 @@ pub fn ap_vs_rp(ctx: &Ctx) -> FigResult {
     let runs = par_units(ctx, &units, |&(i, budget, policy)| {
         let soc = floorplan::soc_3x3();
         let wl = workload::av_parallel(&soc, f);
-        let mut cfg = SimConfig::new(ManagerKind::BlitzCoin, budget);
+        let mut cfg = ctx.sim_config(ManagerKind::BlitzCoin, budget);
         cfg.policy = policy;
         Simulation::new(soc, wl, cfg).run(ctx.subseed(i))
     });

@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use blitzcoin_sim::{Executor, SimRng};
+use blitzcoin_sim::{Executor, SimRng, TieBreak};
 
 pub mod figures;
 pub mod sweep;
@@ -37,6 +37,15 @@ pub struct Ctx {
     /// Parallel worker count for sweep execution; 0 resolves from the
     /// environment (`BLITZCOIN_JOBS`, then available parallelism).
     pub jobs: usize,
+    /// Same-timestamp event ordering for every SoC-engine run
+    /// (`--tie-break`). FIFO is the golden default; anything else is a
+    /// fuzzed replay, and the active mode is stamped into
+    /// `manifest.json` so a CSV produced under fuzzing can never be
+    /// mistaken for golden data.
+    pub tie_break: TieBreak,
+    /// Shuffled orderings per point for the `interleave` experiment
+    /// (`--orderings`); 0 resolves the default (16 full, 4 quick).
+    pub orderings: u32,
 }
 
 impl Default for Ctx {
@@ -46,6 +55,8 @@ impl Default for Ctx {
             quick: false,
             seed: 2024,
             jobs: 0,
+            tie_break: TieBreak::Fifo,
+            orderings: 0,
         }
     }
 }
@@ -88,6 +99,31 @@ impl Ctx {
     /// different points never consume correlated RNG streams.
     pub fn subseed(&self, point_idx: u64) -> u64 {
         SimRng::seed(self.seed).derive(point_idx).root_seed()
+    }
+
+    /// A [`blitzcoin_soc::SimConfig`] for `manager` at `budget_mw` with
+    /// this run's tie-break installed. Every SoC-engine figure builds
+    /// its configs through here (or stamps `ctx.tie_break` by hand), so
+    /// a pasted `--tie-break` replay reaches the engine's event queue.
+    pub fn sim_config(
+        &self,
+        manager: blitzcoin_soc::ManagerKind,
+        budget_mw: f64,
+    ) -> blitzcoin_soc::SimConfig {
+        blitzcoin_soc::SimConfig {
+            tie_break: self.tie_break,
+            ..blitzcoin_soc::SimConfig::new(manager, budget_mw)
+        }
+    }
+
+    /// Shuffled orderings per `interleave` point: `--orderings` when
+    /// given, else 16 (full) / 4 (quick — the CI smoke floor).
+    pub fn orderings(&self) -> u32 {
+        match self.orderings {
+            0 if self.quick => 4,
+            0 => 16,
+            n => n,
+        }
     }
 }
 
@@ -152,6 +188,11 @@ pub struct FigResult {
     /// sweep job count). Always 0 in a healthy tree; 0 by construction
     /// when the oracle is compiled out.
     pub oracle_violations: u64,
+    /// The event-ordering tie-break the experiment ran under (stamped by
+    /// the CLI from `--tie-break`; `"fifo"` for golden data). Any oracle
+    /// hit under a fuzzed ordering reproduces with
+    /// `--seed <seed> --tie-break <this>`.
+    pub tie_break: String,
 }
 
 blitzcoin_sim::json_fields!(FigResult {
@@ -161,7 +202,8 @@ blitzcoin_sim::json_fields!(FigResult {
     outputs,
     wall_ms,
     jobs,
-    oracle_violations
+    oracle_violations,
+    tie_break
 });
 
 impl FigResult {
@@ -175,6 +217,7 @@ impl FigResult {
             wall_ms: 0.0,
             jobs: 0,
             oracle_violations: 0,
+            tie_break: TieBreak::Fifo.to_string(),
         }
     }
 
@@ -220,7 +263,7 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 25] = [
+pub const ALL_EXPERIMENTS: [&str; 26] = [
     "fig1",
     "fig2",
     "fig3",
@@ -246,6 +289,7 @@ pub const ALL_EXPERIMENTS: [&str; 25] = [
     "cpu-proxy",
     "resilience",
     "oracle-diff",
+    "interleave",
 ];
 
 /// Runs the experiment with the given id.
@@ -256,6 +300,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
     let oracle_before = blitzcoin_sim::oracle::violations_total();
     let mut fig = dispatch_experiment(id, ctx);
     fig.oracle_violations = blitzcoin_sim::oracle::violations_total() - oracle_before;
+    fig.tie_break = ctx.tie_break.to_string();
     fig
 }
 
@@ -286,6 +331,7 @@ fn dispatch_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "cpu-proxy" => figures::extensions::cpu_proxy(ctx),
         "resilience" => figures::resilience::resilience(ctx),
         "oracle-diff" => figures::oracle_diff::oracle_diff(ctx),
+        "interleave" => figures::interleave::interleave(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

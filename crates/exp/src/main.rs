@@ -10,6 +10,12 @@
 //! `--jobs N` (or the `BLITZCOIN_JOBS` env var) sets the sweep
 //! executor's worker count; the default is the machine's available
 //! parallelism. Output is byte-identical at every job count.
+//!
+//! `--tie-break fifo|lifo|permuted:SEED` replays any run under a
+//! different same-timestamp event ordering (the default `fifo` is the
+//! golden ordering; the active mode is stamped into `manifest.json`).
+//! `--orderings N` sets the shuffled orderings per point for the
+//! `interleave` experiment.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,6 +49,36 @@ fn main() -> ExitCode {
                     Ok(s) => ctx.seed = s,
                     Err(e) => {
                         eprintln!("bad seed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--tie-break" => {
+                let Some(mode) = iter.next() else {
+                    eprintln!("--tie-break needs a value (fifo|lifo|permuted:SEED)");
+                    return ExitCode::FAILURE;
+                };
+                match blitzcoin_sim::TieBreak::parse(mode) {
+                    Some(t) => ctx.tie_break = t,
+                    None => {
+                        eprintln!("bad tie-break '{mode}' (want fifo|lifo|permuted:SEED)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--orderings" => {
+                let Some(n) = iter.next() else {
+                    eprintln!("--orderings needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match n.parse::<u32>() {
+                    Ok(n) if n > 0 => ctx.orderings = n,
+                    Ok(_) => {
+                        eprintln!("--orderings must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("bad ordering count: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -89,7 +125,8 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] [--write-experiments]",
+            "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] \
+             [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;

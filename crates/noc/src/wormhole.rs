@@ -17,6 +17,8 @@
 use std::collections::VecDeque;
 
 use blitzcoin_sim::oracle::{self, Invariant, Oracle};
+use blitzcoin_sim::rng::splitmix64;
+use blitzcoin_sim::TieBreak;
 
 use crate::packet::Packet;
 use crate::topology::{TileId, Topology};
@@ -26,11 +28,22 @@ use crate::topology::{TileId, Topology};
 pub struct WormholeConfig {
     /// Flit slots per input buffer.
     pub buffer_flits: usize,
+    /// Same-cycle arbitration order across routers. The default
+    /// ([`TieBreak::Fifo`]) visits routers in index order; the other
+    /// modes reverse or permute the visitation per cycle. Because phase-1
+    /// moves are computed against buffer occupancies snapshotted at cycle
+    /// start and each `(router, port)` receives at most one flit per
+    /// cycle from a unique upstream, delivery results must be identical
+    /// in every mode — the interleaving fuzzer asserts exactly that.
+    pub tie_break: TieBreak,
 }
 
 impl Default for WormholeConfig {
     fn default() -> Self {
-        WormholeConfig { buffer_flits: 4 }
+        WormholeConfig {
+            buffer_flits: 4,
+            tie_break: TieBreak::Fifo,
+        }
     }
 }
 
@@ -136,6 +149,9 @@ pub struct WormholeNetwork {
     scratch_free: Vec<[usize; PORTS]>,
     scratch_claimed: Vec<[usize; PORTS]>,
     scratch_incoming: Vec<(usize, usize, Flit)>,
+    /// Router visitation order under [`TieBreak::Permuted`] (rebuilt
+    /// keyed-per-cycle; unused in the other modes).
+    scratch_order: Vec<usize>,
     deliveries: Vec<Delivery>,
     /// Continuous flit-conservation auditor (no-op unless the oracle is
     /// compiled in; see `blitzcoin_sim::oracle`).
@@ -192,6 +208,7 @@ impl WormholeNetwork {
             scratch_free: vec![[0; PORTS]; n],
             scratch_claimed: vec![[0; PORTS]; n],
             scratch_incoming: Vec::new(),
+            scratch_order: Vec::new(),
             deliveries: Vec::new(),
             oracle: Oracle::new("noc::wormhole::WormholeNetwork", 0),
         }
@@ -249,58 +266,36 @@ impl WormholeNetwork {
             *claimed = [0; PORTS];
         }
 
-        for r in 0..n {
-            for out in 0..PORTS {
-                // find the input owning this output, or arbitrate a new head
-                let owner = match self.routers[r].out_owner[out] {
-                    Some(inp) => Some(inp),
-                    None => {
-                        let start = self.routers[r].rr[out];
-                        (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
-                            self.routers[r].inputs[inp]
-                                .front()
-                                .map(|f| self.route_port(r, f.flight) == out)
-                                .unwrap_or(false)
-                        })
-                    }
-                };
-                let Some(inp) = owner else { continue };
-                let Some(&flit) = self.routers[r].inputs[inp].front() else {
-                    continue;
-                };
-                // the owning input's head flit must actually want this output
-                if self.route_port(r, flit.flight) != out {
-                    continue;
+        // Router visitation order is order-independent by construction
+        // (snapshotted free space; one upstream per (router, port)), so
+        // the tie-break modes fuzz it: FIFO visits in index order
+        // (bit-identical to the historical loop), LIFO in reverse, and
+        // Permuted in a keyed per-cycle shuffle. Output-port order
+        // *within* a router stays fixed — it is load-bearing (a popped
+        // input's new head may be granted by a later-visited output in
+        // the same cycle) and is not a legal axis to permute.
+        match self.config.tie_break {
+            TieBreak::Fifo => {
+                for r in 0..n {
+                    self.arbitrate_router(r);
                 }
-                if out == LOCAL {
-                    // ejection: always accepted
-                    let f = self.routers[r].inputs[inp].pop_front().expect("head");
-                    self.ejected_flits += 1;
-                    if f.is_tail {
-                        self.routers[r].out_owner[out] = None;
-                        let flight = &self.flights[f.flight];
-                        let delivery = Delivery {
-                            packet: flight.packet,
-                            at_cycle: self.cycle,
-                            latency_cycles: self.cycle - flight.injected_at,
-                        };
-                        self.delivered_flit_total += u64::from(flight.packet.flits());
-                        self.delivered_packets += 1;
-                        self.deliveries.push(delivery);
-                    } else {
-                        self.routers[r].out_owner[out] = Some(inp);
-                    }
-                    self.routers[r].rr[out] = (inp + 1) % PORTS;
-                    continue;
+            }
+            TieBreak::Lifo => {
+                for r in (0..n).rev() {
+                    self.arbitrate_router(r);
                 }
-                // forward to the neighbor if it has buffer space
-                let (next, next_port) = self.next_hop(r, out);
-                if self.scratch_free[next][next_port] > self.scratch_claimed[next][next_port] {
-                    self.scratch_claimed[next][next_port] += 1;
-                    let f = self.routers[r].inputs[inp].pop_front().expect("head");
-                    self.routers[r].out_owner[out] = if f.is_tail { None } else { Some(inp) };
-                    self.routers[r].rr[out] = (inp + 1) % PORTS;
-                    self.scratch_incoming.push((next, next_port, f));
+            }
+            TieBreak::Permuted(key) => {
+                self.scratch_order.clear();
+                self.scratch_order.extend(0..n);
+                let mut s = splitmix64(key ^ self.cycle);
+                for i in (1..n).rev() {
+                    s = splitmix64(s);
+                    self.scratch_order.swap(i, (s % (i as u64 + 1)) as usize);
+                }
+                for i in 0..n {
+                    let r = self.scratch_order[i];
+                    self.arbitrate_router(r);
                 }
             }
         }
@@ -341,6 +336,65 @@ impl WormholeNetwork {
             self.audit_flits();
         }
         &self.deliveries
+    }
+
+    /// Phase-1 arbitration for one router: each output port grants at
+    /// most one input and moves its head flit (eject at the local port,
+    /// forward into the snapshot-checked neighbor buffer otherwise).
+    fn arbitrate_router(&mut self, r: usize) {
+        for out in 0..PORTS {
+            // find the input owning this output, or arbitrate a new head
+            let owner = match self.routers[r].out_owner[out] {
+                Some(inp) => Some(inp),
+                None => {
+                    let start = self.routers[r].rr[out];
+                    (0..PORTS).map(|k| (start + k) % PORTS).find(|&inp| {
+                        self.routers[r].inputs[inp]
+                            .front()
+                            .map(|f| self.route_port(r, f.flight) == out)
+                            .unwrap_or(false)
+                    })
+                }
+            };
+            let Some(inp) = owner else { continue };
+            let Some(&flit) = self.routers[r].inputs[inp].front() else {
+                continue;
+            };
+            // the owning input's head flit must actually want this output
+            if self.route_port(r, flit.flight) != out {
+                continue;
+            }
+            if out == LOCAL {
+                // ejection: always accepted
+                let f = self.routers[r].inputs[inp].pop_front().expect("head");
+                self.ejected_flits += 1;
+                if f.is_tail {
+                    self.routers[r].out_owner[out] = None;
+                    let flight = &self.flights[f.flight];
+                    let delivery = Delivery {
+                        packet: flight.packet,
+                        at_cycle: self.cycle,
+                        latency_cycles: self.cycle - flight.injected_at,
+                    };
+                    self.delivered_flit_total += u64::from(flight.packet.flits());
+                    self.delivered_packets += 1;
+                    self.deliveries.push(delivery);
+                } else {
+                    self.routers[r].out_owner[out] = Some(inp);
+                }
+                self.routers[r].rr[out] = (inp + 1) % PORTS;
+                continue;
+            }
+            // forward to the neighbor if it has buffer space
+            let (next, next_port) = self.next_hop(r, out);
+            if self.scratch_free[next][next_port] > self.scratch_claimed[next][next_port] {
+                self.scratch_claimed[next][next_port] += 1;
+                let f = self.routers[r].inputs[inp].pop_front().expect("head");
+                self.routers[r].out_owner[out] = if f.is_tail { None } else { Some(inp) };
+                self.routers[r].rr[out] = (inp + 1) % PORTS;
+                self.scratch_incoming.push((next, next_port, f));
+            }
+        }
     }
 
     /// Per-cycle flit ledger: every flit that entered the network is
@@ -694,6 +748,53 @@ mod tests {
         let v = net.oracle().first().expect("kept violation");
         assert_eq!(v.invariant, Invariant::FlitConservation);
         assert!(v.replay_line().contains("invariant `flit-conservation`"));
+    }
+
+    #[test]
+    fn router_visitation_order_is_immaterial() {
+        // The tie-break claim in `WormholeConfig`: because free space is
+        // snapshotted at cycle start and each (router, port) has a unique
+        // upstream, per-packet delivery results are identical whatever
+        // order the routers are visited in. Hotspot load is the pattern
+        // with the most same-cycle contention, so it exercises the claim
+        // hardest.
+        let topo = Topology::mesh(5, 5);
+        let run = |tie: TieBreak| {
+            let mut net = WormholeNetwork::new(
+                topo,
+                WormholeConfig {
+                    tie_break: tie,
+                    ..WormholeConfig::default()
+                },
+            );
+            for i in 1..25 {
+                net.inject(Packet::new(
+                    topo.tile_by_id(i),
+                    topo.tile_by_id(0),
+                    Plane::MmioIrq,
+                    PacketKind::DmaBurst { flits: 4 },
+                ));
+            }
+            let mut d: Vec<(usize, usize, u64, u64)> = net
+                .run_until_idle(10_000)
+                .iter()
+                .map(|x| {
+                    (
+                        x.packet.src.index(),
+                        x.packet.dst.index(),
+                        x.at_cycle,
+                        x.latency_cycles,
+                    )
+                })
+                .collect();
+            assert_eq!(net.oracle().count(), 0, "{:?}", net.oracle().first());
+            d.sort_unstable(); // intra-cycle discovery order may legally differ
+            d
+        };
+        let fifo = run(TieBreak::Fifo);
+        assert_eq!(fifo, run(TieBreak::Lifo));
+        assert_eq!(fifo, run(TieBreak::Permuted(0xD00D)));
+        assert_eq!(fifo, run(TieBreak::Permuted(0xBEEF)));
     }
 
     #[test]

@@ -224,7 +224,13 @@ fn wormhole_matches_naive_reference_on_random_traffic() {
         let topo = Topology::mesh(w, h);
         let n = topo.len();
         let buffer_flits = 1 + next(6);
-        let mut opt = WormholeNetwork::new(topo, WormholeConfig { buffer_flits });
+        let mut opt = WormholeNetwork::new(
+            topo,
+            WormholeConfig {
+                buffer_flits,
+                ..WormholeConfig::default()
+            },
+        );
         let mut reference = RefWormhole::new(topo, buffer_flits);
 
         let mut remaining = 1 + next(30);

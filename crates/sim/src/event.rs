@@ -12,11 +12,118 @@
 //! `cmp`s. This is the hottest comparison in the whole simulator (every
 //! schedule and pop sifts through it), which is why it gets the packed
 //! representation.
+//!
+//! # Tie-break fuzzing
+//!
+//! FIFO order at equal timestamps is *one* legal ordering out of many:
+//! real concurrent hardware exhibits every interleaving of same-cycle
+//! events, and nothing downstream may depend on which one the simulator
+//! happens to pick. [`TieBreak`] makes the choice explicit — [`Fifo`]
+//! (the default, bit-identical to the historical behaviour), [`Lifo`],
+//! and [`Permuted`] (a keyed bijection of the sequence bits that
+//! deterministically shuffles only same-timestamp batches). The mode is
+//! applied when the key is *packed*, so the hot sift path stays a single
+//! `u128` comparison in every mode, and the sequence number decodes back
+//! exactly on pop. The [`crate::interleave`] harness runs a simulation
+//! across many `Permuted` seeds and asserts its invariants hold under
+//! every ordering.
+//!
+//! [`Fifo`]: TieBreak::Fifo
+//! [`Lifo`]: TieBreak::Lifo
+//! [`Permuted`]: TieBreak::Permuted
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
+use crate::rng::{inv_splitmix64, splitmix64};
 use crate::time::SimTime;
+
+/// How an [`EventQueue`] orders events that carry the same timestamp.
+///
+/// All modes pop in strict time order and deliver the same `(time,
+/// payload)` multiset; they differ only in the order *within* a
+/// same-timestamp batch. Every mode is deterministic — `Permuted(seed)`
+/// with a fixed seed always produces the same shuffle — so any run
+/// remains exactly reproducible from `(root seed, tie-break)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// Scheduling order (the historical default).
+    #[default]
+    Fifo,
+    /// Reverse scheduling order: the *latest*-scheduled event of a batch
+    /// pops first.
+    Lifo,
+    /// A keyed pseudo-random shuffle of each same-timestamp batch: the
+    /// low key bits are `splitmix64(seq ^ seed)`, a bijection, so
+    /// distinct events never collide and the true sequence number is
+    /// recovered on pop.
+    Permuted(u64),
+}
+
+impl TieBreak {
+    /// Maps a sequence number to the low 64 bits of the heap key. Every
+    /// arm is a bijection on `u64`, so key order among equal timestamps
+    /// is a permutation of FIFO order and nothing else changes.
+    #[inline]
+    fn encode(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => !seq,
+            TieBreak::Permuted(k) => splitmix64(seq ^ k),
+        }
+    }
+
+    /// Inverse of [`TieBreak::encode`]: recovers the scheduling sequence
+    /// number from the low key bits.
+    #[inline]
+    fn decode(self, low: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => low,
+            TieBreak::Lifo => !low,
+            TieBreak::Permuted(k) => inv_splitmix64(low) ^ k,
+        }
+    }
+
+    /// The permutation seed, for `Permuted` modes.
+    #[must_use]
+    pub fn seed(self) -> Option<u64> {
+        match self {
+            TieBreak::Permuted(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI spelling: `fifo`, `lifo`, or `permuted:SEED`
+    /// (seed in decimal or `0x` hex).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TieBreak> {
+        match s {
+            "fifo" => Some(TieBreak::Fifo),
+            "lifo" => Some(TieBreak::Lifo),
+            _ => {
+                let seed = s.strip_prefix("permuted:")?;
+                let k = match seed.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok()?,
+                    None => seed.parse().ok()?,
+                };
+                Some(TieBreak::Permuted(k))
+            }
+        }
+    }
+}
+
+impl fmt::Display for TieBreak {
+    /// Renders in the same spelling [`TieBreak::parse`] accepts, so a
+    /// replay line pastes straight back into `--tie-break`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TieBreak::Fifo => f.write_str("fifo"),
+            TieBreak::Lifo => f.write_str("lifo"),
+            TieBreak::Permuted(k) => write!(f, "permuted:{k:#x}"),
+        }
+    }
+}
 
 /// An event that has been scheduled on an [`EventQueue`].
 #[derive(Debug, Clone)]
@@ -71,6 +178,9 @@ impl<E> HeapEntry<E> {
         SimTime::from_ps((self.key >> 64) as u64)
     }
 
+    /// The low 64 key bits: the *encoded* sequence number — equal to the
+    /// scheduling sequence only under [`TieBreak::Fifo`]; other modes
+    /// decode it on pop.
     fn seq(&self) -> u64 {
         self.key as u64
     }
@@ -118,6 +228,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    tie: TieBreak,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -127,7 +238,7 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with FIFO tie-breaking.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
@@ -139,27 +250,60 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             scheduled_total: 0,
+            tie: TieBreak::Fifo,
         }
+    }
+
+    /// The active same-timestamp ordering policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+
+    /// Sets the same-timestamp ordering policy.
+    ///
+    /// Only legal while the queue is empty: pending keys were packed
+    /// under the old policy and would decode to the wrong sequence
+    /// numbers (and the wrong order) under a new one.
+    ///
+    /// # Panics
+    /// Panics if events are pending.
+    pub fn set_tie_break(&mut self, tie: TieBreak) {
+        assert!(
+            self.heap.is_empty(),
+            "tie-break policy can only change while the queue is empty"
+        );
+        self.tie = tie;
     }
 
     /// Schedules `payload` to fire at absolute time `time`.
     ///
-    /// Events scheduled at the same time are popped in scheduling order.
+    /// Events scheduled at the same time pop in the order the active
+    /// [`TieBreak`] dictates (scheduling order under the FIFO default).
     pub fn schedule(&mut self, time: SimTime, payload: E) {
+        // The sequence counter must never wrap: a wrapped seq would
+        // collide with (or sort before) a live event's key. 2^64 - 1
+        // schedules is ~97,000 years of the engine's measured 6M
+        // events/s, so this is a debug-only tripwire, not a real bound;
+        // `reset()` between trials keeps long-lived queues far from it.
+        debug_assert!(
+            self.next_seq != u64::MAX,
+            "EventQueue sequence counter overflow; reset() between runs"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(HeapEntry {
-            key: pack(time, seq),
+            key: pack(time, self.tie.encode(seq)),
             payload,
         });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let tie = self.tie;
         self.heap.pop().map(|e| ScheduledEvent {
             time: e.time(),
-            seq: e.seq(),
+            seq: tie.decode(e.seq()),
             payload: e.payload,
         })
     }
@@ -184,16 +328,24 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
-    /// Discards all pending events without resetting the sequence counter.
+    /// Discards all pending events without resetting the sequence counter:
+    /// `scheduled_total` keeps counting and later schedules draw strictly
+    /// larger sequence numbers, as if the discarded events had fired.
+    /// Callers that reuse a queue across logically independent runs want
+    /// [`EventQueue::reset`] instead — after `clear()` the very same
+    /// schedule stream yields different `seq` values, which changes the
+    /// pop order under any non-FIFO [`TieBreak`].
     pub fn clear(&mut self) {
         self.heap.clear();
     }
 
     /// Returns the queue to its freshly-constructed state — no pending
     /// events, sequence and scheduled counters at zero — while keeping the
-    /// heap's allocation. A queue reset and reused across trials behaves
-    /// bit-identically to a new one, without re-growing the heap each
-    /// trial.
+    /// heap's allocation *and* the tie-break policy. A queue reset and
+    /// reused across trials behaves bit-identically to a new one
+    /// constructed with the same policy, without re-growing the heap each
+    /// trial. Contrast with [`EventQueue::clear`], which preserves the
+    /// counters.
     pub fn reset(&mut self) {
         self.heap.clear();
         self.next_seq = 0;
@@ -299,6 +451,90 @@ mod tests {
         let popped: Vec<(u64, u64)> =
             std::iter::from_fn(|| q.pop().map(|e| (e.time.as_ps(), e.seq))).collect();
         assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn lifo_reverses_same_time_batches_only() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(TieBreak::Lifo);
+        q.schedule(SimTime::from_ns(2), 20);
+        q.schedule(SimTime::from_ns(1), 10);
+        q.schedule(SimTime::from_ns(1), 11);
+        q.schedule(SimTime::from_ns(1), 12);
+        q.schedule(SimTime::from_ns(2), 21);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        // time order is untouched; each equal-time batch pops newest-first
+        assert_eq!(order, [12, 11, 10, 21, 20]);
+    }
+
+    #[test]
+    fn permuted_shuffles_batches_and_recovers_seq() {
+        let mut q = EventQueue::new();
+        q.set_tie_break(TieBreak::Permuted(0xFEED));
+        for i in 0..64 {
+            q.schedule(SimTime::from_ns(7), i);
+        }
+        let popped: Vec<(u64, i64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.seq, e.payload))).collect();
+        // every event decodes its true scheduling seq (== payload here)
+        for &(seq, payload) in &popped {
+            assert_eq!(seq, payload as u64);
+        }
+        // same multiset, different order than FIFO
+        let order: Vec<i64> = popped.iter().map(|&(_, p)| p).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<i64>>());
+        assert_ne!(order, sorted, "64 events should not shuffle to identity");
+    }
+
+    #[test]
+    fn permuted_seeds_differ_but_replay_exactly() {
+        let run = |tie: TieBreak| -> Vec<i64> {
+            let mut q = EventQueue::new();
+            q.set_tie_break(tie);
+            for i in 0..32 {
+                q.schedule(SimTime::ZERO, i);
+            }
+            std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect()
+        };
+        let a = run(TieBreak::Permuted(1));
+        let b = run(TieBreak::Permuted(2));
+        assert_eq!(a, run(TieBreak::Permuted(1)), "same seed, same order");
+        assert_ne!(a, b, "distinct seeds should order a 32-batch differently");
+    }
+
+    #[test]
+    fn tie_break_parse_display_round_trips() {
+        for tie in [
+            TieBreak::Fifo,
+            TieBreak::Lifo,
+            TieBreak::Permuted(0),
+            TieBreak::Permuted(0xDEAD_BEEF),
+        ] {
+            assert_eq!(TieBreak::parse(&tie.to_string()), Some(tie));
+        }
+        assert_eq!(TieBreak::parse("permuted:42"), Some(TieBreak::Permuted(42)));
+        assert_eq!(TieBreak::parse("permuted:"), None);
+        assert_eq!(TieBreak::parse("nonsense"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "tie-break policy can only change")]
+    fn tie_break_change_requires_empty_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.set_tie_break(TieBreak::Lifo);
+    }
+
+    #[test]
+    fn reset_keeps_tie_break_policy() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.set_tie_break(TieBreak::Permuted(9));
+        q.schedule(SimTime::ZERO, 0);
+        let _ = q.pop();
+        q.reset();
+        assert_eq!(q.tie_break(), TieBreak::Permuted(9));
     }
 
     #[test]

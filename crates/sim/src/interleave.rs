@@ -1,0 +1,404 @@
+//! Interleaving fuzzing: invariants across shuffled event orderings.
+//!
+//! The paper's "no single point of failure" claim is architectural; this
+//! module hardens its sibling, "no hidden ordering dependency". The event
+//! queue delivers same-timestamp events in FIFO scheduling order — one
+//! legal ordering out of the many a real concurrent SoC would exhibit.
+//! Any result that silently depends on that choice is a race condition
+//! the RTL flow could never check. The harness here runs one simulation
+//! configuration under N seeded [`TieBreak::Permuted`] orderings derived
+//! from the run's root seed, and asserts that:
+//!
+//! - the runtime oracle invariants (coin conservation, budget ceiling,
+//!   VF legality, flit conservation — see [`crate::oracle`]) hold under
+//!   *every* ordering, and
+//! - a caller-declared set of order-independent report facts
+//!   (convergence reached, zero leaks, all tasks settled) is identical
+//!   to the FIFO baseline under every ordering.
+//!
+//! Trajectories may legally diverge — a different interleaving actuates
+//! different frequencies at different instants, so execution times,
+//! response latencies and traces all shift. What must not diverge is the
+//! facts above. When one does, the harness bisects to the first event
+//! pop where the shuffled ordering departed from FIFO (growing trace
+//! prefixes, so the common all-green path never records anything) and
+//! emits a [`crate::check::forall_seeded`]-style replay line naming the
+//! violated fact, the root seed, the tie-break seed, and the offending
+//! `(time, seq)`.
+
+use std::fmt;
+
+use crate::event::TieBreak;
+use crate::rng::SimRng;
+
+/// Derivation stream for tie-break seeds: keeps the fuzzer's seeds
+/// decorrelated from the trial-index streams every sweep already draws
+/// from the same root.
+const TIE_STREAM: u64 = 0x071E_B4EA_4B17_2C01;
+
+/// The `orderings` tie-break modes a fuzzing run exercises for
+/// `root_seed`: deterministic, decorrelated `Permuted` seeds. Ordering
+/// `i` is stable regardless of how many orderings are requested, so a
+/// divergence found at `--orderings 64` replays at any count above its
+/// index.
+#[must_use]
+pub fn tie_breaks(root_seed: u64, orderings: u32) -> Vec<TieBreak> {
+    let root = SimRng::seed(root_seed ^ TIE_STREAM);
+    (0..u64::from(orderings))
+        .map(|i| TieBreak::Permuted(root.derive(i).root_seed()))
+        .collect()
+}
+
+/// What one simulation run reports to the harness: the order-independent
+/// facts plus the run's oracle verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFacts {
+    /// Named facts that must be identical under every legal ordering
+    /// ("finished" → "true", "coins-leaked" → "0", ...). Compared
+    /// pairwise by name against the FIFO baseline.
+    pub facts: Vec<(String, String)>,
+    /// Invariant violations the run's oracle recorded (must be 0 under
+    /// every ordering).
+    pub violations: u64,
+    /// Replay line of the run's first violation, if any.
+    pub first_violation: Option<String>,
+}
+
+impl RunFacts {
+    /// Builds a fact set from `(name, value)` pairs with a clean oracle.
+    #[must_use]
+    pub fn of(facts: impl IntoIterator<Item = (String, String)>) -> Self {
+        RunFacts {
+            facts: facts.into_iter().collect(),
+            violations: 0,
+            first_violation: None,
+        }
+    }
+}
+
+/// One ordering dependency the fuzzer found: either an invariant
+/// violation under a shuffled ordering, or a supposedly order-independent
+/// fact that changed value.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The harness name (names the configuration under fuzz).
+    pub name: String,
+    /// The violated invariant or diverged fact.
+    pub fact: String,
+    /// Root seed of the fuzzed run.
+    pub root_seed: u64,
+    /// The ordering it diverged under.
+    pub tie_break: TieBreak,
+    /// The FIFO-baseline (or invariant-required) value.
+    pub expected: String,
+    /// The value observed under `tie_break`.
+    pub actual: String,
+    /// The first pop `(time_ps, seq)` where this ordering departed from
+    /// the FIFO baseline — the earliest same-timestamp reorder that can
+    /// have seeded the divergence. `None` when the pop streams never
+    /// differed within the bisection horizon (the divergence then lies
+    /// outside event ordering entirely).
+    pub first_diff: Option<(u64, u64)>,
+}
+
+impl Divergence {
+    /// Renders the divergence in the replay style of
+    /// [`crate::check::forall_seeded`]: one line naming the failure, one
+    /// line locating the first reorder, one line saying exactly how to
+    /// reproduce it.
+    #[must_use]
+    pub fn replay_line(&self) -> String {
+        let mut line = format!(
+            "ordering dependence in `{}`: `{}` under tie-break {} (root seed {:#x}): \
+             expected {}, actual {}",
+            self.name, self.fact, self.tie_break, self.root_seed, self.expected, self.actual,
+        );
+        if let Some((t, s)) = self.first_diff {
+            line.push_str(&format!(
+                "\n orderings first split at pop (time {t} ps, seq {s})"
+            ));
+        }
+        line.push_str(&format!(
+            "\n replay with --seed {} --tie-break {}",
+            self.root_seed, self.tie_break
+        ));
+        line
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.replay_line())
+    }
+}
+
+/// The verdict of one interleaving-fuzz run.
+#[derive(Debug, Clone)]
+pub struct InterleaveOutcome {
+    /// Shuffled orderings exercised (the FIFO baseline is extra).
+    pub orderings: u32,
+    /// Oracle violations summed across the baseline and every ordering.
+    pub violations: u64,
+    /// Every divergence found, in discovery order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl InterleaveOutcome {
+    /// Whether every ordering was clean: no invariant violations, no
+    /// fact divergence.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations == 0 && self.divergences.is_empty()
+    }
+
+    /// Replay line of the first divergence, if any.
+    #[must_use]
+    pub fn first_replay_line(&self) -> Option<String> {
+        self.divergences.first().map(Divergence::replay_line)
+    }
+}
+
+/// Locates the first pop where ordering `tie` departs from the FIFO
+/// baseline, by bisection over growing trace prefixes: `trace(tie, cap)`
+/// returns the run's first `cap` pops as `(time_ps, seq)`. Traces are
+/// only materialized on an already-detected divergence, and the prefix
+/// quadruples until the split is inside it, so the cost stays bounded by
+/// the split position, not the run length.
+pub fn first_differing_pop(
+    mut trace: impl FnMut(TieBreak, usize) -> Vec<(u64, u64)>,
+    tie: TieBreak,
+) -> Option<(u64, u64)> {
+    let mut cap = 1024usize;
+    loop {
+        let base = trace(TieBreak::Fifo, cap);
+        let other = trace(tie, cap);
+        let n = base.len().min(other.len());
+        if let Some(i) = (0..n).find(|&i| base[i] != other[i]) {
+            return Some(base[i]);
+        }
+        if base.len() != other.len() {
+            // identical common prefix but one run popped further: the
+            // split is the longer run's first extra pop
+            return base.get(n).or_else(|| other.get(n)).copied();
+        }
+        if base.len() < cap {
+            return None; // both runs complete and pop-identical
+        }
+        cap = cap.saturating_mul(4);
+        if cap > 1 << 26 {
+            return None; // horizon: give up locating the split
+        }
+    }
+}
+
+/// Compares pre-computed per-ordering facts against the FIFO baseline
+/// and assembles the outcome. Use this form when the per-ordering runs
+/// were fanned out on an executor; [`run_orderings`] is the serial
+/// convenience on top. `trace` is only invoked on divergence.
+pub fn compare(
+    name: &str,
+    root_seed: u64,
+    baseline: &RunFacts,
+    runs: &[(TieBreak, RunFacts)],
+    mut trace: impl FnMut(TieBreak, usize) -> Vec<(u64, u64)>,
+) -> InterleaveOutcome {
+    let mut out = InterleaveOutcome {
+        orderings: runs.len() as u32,
+        violations: baseline.violations,
+        divergences: Vec::new(),
+    };
+    let diverge = |out: &mut InterleaveOutcome,
+                   fact: &str,
+                   tie: TieBreak,
+                   expected: String,
+                   actual: String,
+                   first_diff: Option<(u64, u64)>| {
+        out.divergences.push(Divergence {
+            name: name.to_string(),
+            fact: fact.to_string(),
+            root_seed,
+            tie_break: tie,
+            expected,
+            actual,
+            first_diff,
+        });
+    };
+    if baseline.violations > 0 {
+        diverge(
+            &mut out,
+            "oracle-violations",
+            TieBreak::Fifo,
+            "0".to_string(),
+            render_violations(baseline),
+            None,
+        );
+    }
+    for (tie, facts) in runs {
+        let split = std::cell::OnceCell::new();
+        let mut split_at = || *split.get_or_init(|| first_differing_pop(&mut trace, *tie));
+        if facts.violations > 0 {
+            out.violations += facts.violations;
+            let at = split_at();
+            diverge(
+                &mut out,
+                "oracle-violations",
+                *tie,
+                "0".to_string(),
+                render_violations(facts),
+                at,
+            );
+        }
+        for (fname, value) in &facts.facts {
+            let base = baseline.facts.iter().find(|(n, _)| n == fname);
+            let expected = match base {
+                Some((_, v)) => v.clone(),
+                None => continue, // fact not in the baseline: nothing to hold it to
+            };
+            if *value != expected {
+                let at = split_at();
+                diverge(&mut out, fname, *tie, expected, value.clone(), at);
+            }
+        }
+    }
+    out
+}
+
+fn render_violations(facts: &RunFacts) -> String {
+    match &facts.first_violation {
+        Some(line) => format!("{} violation(s); first: {}", facts.violations, line),
+        None => format!("{} violation(s)", facts.violations),
+    }
+}
+
+/// Runs `run` under the FIFO baseline plus [`tie_breaks`]`(root_seed,
+/// orderings)` shuffled orderings, serially, and compares every ordering
+/// against the baseline. `trace(tie, cap)` re-runs the configuration
+/// recording its first `cap` pops; it is only called on divergence.
+pub fn run_orderings(
+    name: &str,
+    root_seed: u64,
+    orderings: u32,
+    mut run: impl FnMut(TieBreak) -> RunFacts,
+    trace: impl FnMut(TieBreak, usize) -> Vec<(u64, u64)>,
+) -> InterleaveOutcome {
+    let baseline = run(TieBreak::Fifo);
+    let runs: Vec<(TieBreak, RunFacts)> = tie_breaks(root_seed, orderings)
+        .into_iter()
+        .map(|tie| {
+            let facts = run(tie);
+            (tie, facts)
+        })
+        .collect();
+    compare(name, root_seed, &baseline, &runs, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(pairs: &[(&str, &str)]) -> RunFacts {
+        RunFacts::of(
+            pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_and_distinct() {
+        let a = tie_breaks(7, 16);
+        assert_eq!(a, tie_breaks(7, 16));
+        assert_eq!(a[..4], tie_breaks(7, 4)[..], "prefix-stable");
+        let mut seeds: Vec<u64> = a.iter().map(|t| t.seed().unwrap()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+        assert_ne!(tie_breaks(8, 1), tie_breaks(7, 1));
+    }
+
+    #[test]
+    fn identical_facts_are_clean() {
+        let base = facts(&[("finished", "true"), ("leaked", "0")]);
+        let runs: Vec<(TieBreak, RunFacts)> = tie_breaks(1, 4)
+            .into_iter()
+            .map(|t| (t, base.clone()))
+            .collect();
+        let out = compare("test", 1, &base, &runs, |_, _| unreachable!());
+        assert!(out.clean());
+        assert_eq!(out.orderings, 4);
+        assert!(out.first_replay_line().is_none());
+    }
+
+    #[test]
+    fn fact_divergence_is_located_and_replayable() {
+        let base = facts(&[("finished", "true")]);
+        let bad = facts(&[("finished", "false")]);
+        let tie = tie_breaks(0x77, 1)[0];
+        // FIFO pops (10,0),(10,1); the shuffled order swaps the batch
+        let out = compare("unit", 0x77, &base, &[(tie, bad)], |t, _| {
+            if t == TieBreak::Fifo {
+                vec![(10, 0), (10, 1)]
+            } else {
+                vec![(10, 1), (10, 0)]
+            }
+        });
+        assert!(!out.clean());
+        let d = &out.divergences[0];
+        assert_eq!(d.fact, "finished");
+        assert_eq!(d.first_diff, Some((10, 0)));
+        let line = d.replay_line();
+        assert!(line.contains("ordering dependence in `unit`"));
+        assert!(line.contains("`finished`"));
+        assert!(line.contains(&format!("--tie-break {tie}")));
+        assert!(line.contains("time 10 ps, seq 0"));
+        assert!(line.contains("(root seed 0x77)"));
+        assert!(line.contains(&format!("--seed {}", 0x77)));
+    }
+
+    #[test]
+    fn violations_under_an_ordering_are_divergences() {
+        let base = facts(&[("leaked", "0")]);
+        let mut bad = facts(&[("leaked", "0")]);
+        bad.violations = 3;
+        bad.first_violation = Some("invariant `coin-conservation` violated".into());
+        let tie = TieBreak::Permuted(5);
+        let out = compare("unit", 1, &base, &[(tie, bad)], |_, _| vec![(0, 0)]);
+        assert_eq!(out.violations, 3);
+        assert_eq!(out.divergences.len(), 1);
+        assert!(out.divergences[0].actual.contains("coin-conservation"));
+    }
+
+    #[test]
+    fn bisection_grows_prefix_until_split() {
+        // split at index 2000 — beyond the first 1024-cap probe
+        let split = 2000usize;
+        let mut calls = 0u32;
+        let at = first_differing_pop(
+            |t, cap| {
+                calls += 1;
+                (0..cap.min(4096))
+                    .map(|i| {
+                        if t == TieBreak::Fifo || i < split {
+                            (i as u64, i as u64)
+                        } else {
+                            (i as u64, i as u64 + 1_000_000)
+                        }
+                    })
+                    .collect()
+            },
+            TieBreak::Permuted(1),
+        );
+        assert_eq!(at, Some((split as u64, split as u64)));
+        assert!(calls >= 4, "first probe cannot see the split");
+    }
+
+    #[test]
+    fn identical_traces_yield_no_split() {
+        let at = first_differing_pop(
+            |_, cap| (0..10.min(cap as u64)).map(|i| (i, i)).collect(),
+            TieBreak::Lifo,
+        );
+        assert_eq!(at, None);
+    }
+}

@@ -13,7 +13,9 @@
 //!   NoC runs at 800 MHz, i.e. 1250 ps per NoC cycle), with exact integer
 //!   arithmetic so runs are bit-reproducible.
 //! - [`EventQueue`]: a deterministic priority queue of timestamped events
-//!   with FIFO tie-breaking at equal timestamps.
+//!   with FIFO tie-breaking at equal timestamps by default, plus seeded
+//!   [`TieBreak`] policies that deterministically shuffle same-timestamp
+//!   batches for interleaving fuzzing.
 //! - [`rng`]: seeded, portable random-number generation for Monte-Carlo
 //!   sweeps (ChaCha-based so results do not depend on platform or `rand`
 //!   version internals).
@@ -33,6 +35,10 @@
 //!   the emulator, the SoC engine and the centralized baselines.
 //! - [`check`]: a seeded property-testing harness for randomized
 //!   invariant tests.
+//! - [`interleave`]: the interleaving-fuzzing harness — one simulation
+//!   config re-run under N derived tie-break orderings, with
+//!   order-independent facts compared against the FIFO baseline and
+//!   divergences bisected to the first differing pop.
 //! - [`oracle`]: continuous runtime invariant auditing ([`Oracle`]) —
 //!   coin conservation, budget ceiling, VF legality, time monotonicity
 //!   and flit conservation checked at every natural checkpoint, compiled
@@ -63,6 +69,7 @@ pub mod error;
 pub mod event;
 pub mod exec;
 pub mod fault;
+pub mod interleave;
 pub mod json;
 pub mod oracle;
 pub mod rng;
@@ -71,7 +78,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::ConfigError;
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{EventQueue, ScheduledEvent, TieBreak};
 pub use exec::{Executor, Sweep};
 pub use fault::{AuditReport, CoinAudit, FaultPlan, LinkOutage, TileFault, TileFaultKind};
 pub use oracle::{Invariant, Oracle, Violation};

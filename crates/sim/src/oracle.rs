@@ -36,6 +36,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::event::TieBreak;
+
 /// Whether oracle checks are compiled into this build.
 ///
 /// True when the `oracle` feature is enabled *or* the build carries
@@ -79,6 +81,11 @@ pub enum Invariant {
     /// Decentralized steady-state allocations agree with the centralized
     /// golden model within the paper's Fig-4 bound (differential mode).
     AllocationDivergence,
+    /// Order-independent report facts (finished, zero leaks, settled
+    /// tasks, clean oracle) are identical under every same-timestamp
+    /// event ordering (interleaving-fuzz mode; see
+    /// [`crate::interleave`]).
+    OrderIndependence,
 }
 
 impl Invariant {
@@ -92,6 +99,7 @@ impl Invariant {
             Invariant::TimeMonotonicity => "time-monotonicity",
             Invariant::FlitConservation => "flit-conservation",
             Invariant::AllocationDivergence => "allocation-divergence",
+            Invariant::OrderIndependence => "order-independence",
         }
     }
 }
@@ -120,6 +128,11 @@ pub struct Violation {
     pub seed: u64,
     /// The owning subsystem ("soc::engine", "core::emulator", ...).
     pub target: &'static str,
+    /// The event-queue tie-break ordering the owning run was under.
+    /// Anything but the default [`TieBreak::Fifo`] means the violation
+    /// was found by the interleaving fuzzer, and reproducing it needs
+    /// the same `--tie-break` value.
+    pub tie_break: TieBreak,
 }
 
 impl Violation {
@@ -128,7 +141,7 @@ impl Violation {
     /// line saying exactly how to reproduce it.
     #[must_use]
     pub fn replay_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "invariant `{}` violated at cycle {} (seed {:#x}): {}: expected {}, actual {}\n\
              replay with {} at seed {:#x}",
             self.invariant,
@@ -139,7 +152,11 @@ impl Violation {
             self.actual,
             self.target,
             self.seed,
-        )
+        );
+        if self.tie_break != TieBreak::Fifo {
+            line.push_str(&format!(" --tie-break {}", self.tie_break));
+        }
+        line
     }
 }
 
@@ -162,17 +179,20 @@ pub const MAX_KEPT: usize = 16;
 pub struct Oracle {
     target: &'static str,
     seed: u64,
+    tie_break: TieBreak,
     count: u64,
     kept: Vec<Violation>,
 }
 
 impl Oracle {
-    /// Creates an oracle for `target` auditing a run rooted at `seed`.
+    /// Creates an oracle for `target` auditing a run rooted at `seed`,
+    /// under the default FIFO event ordering.
     #[must_use]
     pub fn new(target: &'static str, seed: u64) -> Self {
         Oracle {
             target,
             seed,
+            tie_break: TieBreak::Fifo,
             count: 0,
             kept: Vec::new(),
         }
@@ -182,6 +202,22 @@ impl Oracle {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The event-queue tie-break ordering the audited run is under.
+    #[must_use]
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
+    }
+
+    /// Declares the tie-break ordering the audited run is under, so
+    /// violations found by the interleaving fuzzer carry the full
+    /// reproduction command. Builder-style; the owning run sets it once
+    /// at construction.
+    #[must_use]
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie_break = tie;
+        self
     }
 
     /// Total violations recorded by this oracle.
@@ -229,6 +265,7 @@ impl Oracle {
                 actual,
                 seed: self.seed,
                 target: self.target,
+                tie_break: self.tie_break,
             });
         }
     }
@@ -349,6 +386,32 @@ mod tests {
         assert!(line.contains("invariant `coin-conservation` violated at cycle 42"));
         assert!(line.contains("seed 0xbeef"));
         assert!(line.contains("replay with sim::oracle::tests at seed 0xbeef"));
+    }
+
+    #[test]
+    fn tie_break_is_stamped_into_replay_lines() {
+        let mut o =
+            Oracle::new("sim::oracle::tests", 0xABC).with_tie_break(TieBreak::Permuted(0x55));
+        assert_eq!(o.tie_break(), TieBreak::Permuted(0x55));
+        o.check_eq_i128(
+            Invariant::CoinConservation,
+            9,
+            || "commit".to_string(),
+            1,
+            2,
+        );
+        let line = o.first_replay_line().expect("one violation");
+        assert!(line.contains("--tie-break permuted:0x55"));
+        // default FIFO lines stay exactly as before — no suffix
+        let mut base = Oracle::new("sim::oracle::tests", 0xABC);
+        base.check_eq_i128(
+            Invariant::CoinConservation,
+            9,
+            || "commit".to_string(),
+            1,
+            2,
+        );
+        assert!(!base.first_replay_line().unwrap().contains("--tie-break"));
     }
 
     #[test]

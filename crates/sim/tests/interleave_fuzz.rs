@@ -1,0 +1,182 @@
+//! Property tests for the interleaving-fuzzing substrate: the tie-break
+//! permutation is a pure reordering *within* same-timestamp batches, and
+//! the harness actually catches (and minimizes) an injected
+//! order-dependent bug.
+
+use blitzcoin_sim::check::forall_seeded;
+use blitzcoin_sim::interleave::{self, RunFacts};
+use blitzcoin_sim::{ensure, EventQueue, SimTime, TieBreak};
+
+/// Drains a queue, returning the pop stream as `(time_ps, seq, payload)`.
+fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u64, u32)> {
+    std::iter::from_fn(|| q.pop().map(|e| (e.time.as_ps(), e.seq, e.payload))).collect()
+}
+
+/// Builds a queue under `tie` holding `times[i]` → payload `i`.
+fn schedule_all(times: &[u64], tie: TieBreak) -> EventQueue<u32> {
+    let mut q = EventQueue::new();
+    q.set_tie_break(tie);
+    for (i, &t) in times.iter().enumerate() {
+        q.schedule(SimTime::from_noc_cycles(t), i as u32);
+    }
+    q
+}
+
+#[test]
+fn permuted_pops_the_same_time_payload_multiset_as_fifo() {
+    forall_seeded("permuted-multiset", 0x1337, 0..200, |rng| {
+        // clustered times so same-timestamp batches are the common case
+        let n = 1 + rng.range_u64(0..64) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0..8)).collect();
+        let fifo = drain(&mut schedule_all(&times, TieBreak::Fifo));
+        let tie = TieBreak::Permuted(rng.next_u64());
+        let perm = drain(&mut schedule_all(&times, tie));
+        // same (time, payload) multiset...
+        let key = |v: &[(u64, u64, u32)]| {
+            let mut k: Vec<(u64, u32)> = v.iter().map(|&(t, _, p)| (t, p)).collect();
+            k.sort_unstable();
+            k
+        };
+        ensure!(
+            key(&fifo) == key(&perm),
+            "multiset differs under {tie} for times {times:?}"
+        );
+        // ...popped in nondecreasing time order with true seqs recovered
+        ensure!(perm.windows(2).all(|w| w[0].0 <= w[1].0));
+        ensure!(
+            perm.iter()
+                .all(|&(_, seq, payload)| seq == u64::from(payload)),
+            "decoded seq must be the scheduling seq (payload == insertion index)"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn distinct_timestamp_schedules_are_ordering_invariant_byte_for_byte() {
+    forall_seeded("distinct-times-invariant", 0xD15C, 0..200, |rng| {
+        // all-distinct times: tie-breaking never engages, so the full
+        // pop stream — times, seqs, payloads — is identical in every mode
+        let n = 1 + rng.range_u64(0..64);
+        let mut times: Vec<u64> = (0..n).collect();
+        for i in (1..times.len()).rev() {
+            let j = rng.range_u64(0..(i as u64 + 1)) as usize;
+            times.swap(i, j);
+        }
+        let fifo = drain(&mut schedule_all(&times, TieBreak::Fifo));
+        for tie in [
+            TieBreak::Lifo,
+            TieBreak::Permuted(rng.next_u64()),
+            TieBreak::Permuted(rng.next_u64()),
+        ] {
+            let other = drain(&mut schedule_all(&times, tie));
+            ensure!(fifo == other, "pop stream changed under {tie}");
+        }
+        Ok(())
+    });
+}
+
+/// A toy "exchange commit" engine with a deliberate ordering bug: events
+/// arrive in same-timestamp batches, and the *first-popped* event of each
+/// batch wins its exchange (its payload is credited). The winner set —
+/// and hence the final ledger — depends on the tie-break, which is
+/// exactly the class of bug the fuzzer exists to catch.
+fn run_buggy_exchange(tie: TieBreak, batches: u64, width: usize) -> (Vec<(u64, u64)>, u64) {
+    let mut q = EventQueue::new();
+    q.set_tie_break(tie);
+    for b in 0..batches {
+        for k in 0..width {
+            q.schedule(SimTime::from_noc_cycles(b), (b * 100) as u32 + k as u32);
+        }
+    }
+    let mut trace = Vec::new();
+    let mut credited = 0u64;
+    let mut batch_of_last_commit = None;
+    while let Some(e) = q.pop() {
+        trace.push((e.time.as_ps(), e.seq));
+        if batch_of_last_commit != Some(e.time) {
+            batch_of_last_commit = Some(e.time); // first-popped-wins commit
+            credited += u64::from(e.payload);
+        }
+    }
+    (trace, credited)
+}
+
+#[test]
+fn injected_first_popped_wins_bug_is_caught_and_minimized() {
+    const BATCHES: u64 = 50;
+    const WIDTH: usize = 4;
+    let run = |tie: TieBreak| {
+        let (_, credited) = run_buggy_exchange(tie, BATCHES, WIDTH);
+        RunFacts::of([("credited".to_string(), credited.to_string())])
+    };
+    let trace = |tie: TieBreak, cap: usize| {
+        run_buggy_exchange(tie, BATCHES, WIDTH).0[..]
+            .iter()
+            .copied()
+            .take(cap)
+            .collect()
+    };
+    let outcome = interleave::run_orderings("buggy-exchange", 0xB06, 16, run, trace);
+
+    // caught: at least one shuffled ordering credits a different winner
+    assert!(
+        !outcome.clean(),
+        "the order-dependent commit must diverge under shuffled orderings"
+    );
+    let d = &outcome.divergences[0];
+    assert_eq!(d.fact, "credited");
+    assert_ne!(d.expected, d.actual);
+
+    // minimized: the reported pop is the *first* place the divergent
+    // ordering departs from FIFO, recomputed here independently
+    let (t, s) = d
+        .first_diff
+        .expect("orderings with different winners must split");
+    let fifo = run_buggy_exchange(TieBreak::Fifo, BATCHES, WIDTH).0;
+    let other = run_buggy_exchange(d.tie_break, BATCHES, WIDTH).0;
+    let first = fifo
+        .iter()
+        .zip(&other)
+        .position(|(a, b)| a != b)
+        .expect("streams differ");
+    assert_eq!(
+        (t, s),
+        fifo[first],
+        "bisection must land on the first split"
+    );
+
+    // replayable: the line names the fact, both seeds, and the split
+    let line = d.replay_line();
+    assert!(line.contains("`credited`"));
+    assert!(line.contains("--tie-break permuted:"));
+    assert!(line.contains("--seed"));
+    assert!(line.contains(&format!("seq {s}")));
+}
+
+#[test]
+fn order_independent_reduction_stays_clean_across_orderings() {
+    // The control for the test above: credit *every* event instead of
+    // the first-popped one and the ledger is a batch-order-independent
+    // reduction — the harness must report a clean outcome (no false
+    // positives, no spurious bisections).
+    let run = |tie: TieBreak| {
+        let mut q = EventQueue::new();
+        q.set_tie_break(tie);
+        for b in 0..50u64 {
+            for k in 0..4u32 {
+                q.schedule(SimTime::from_noc_cycles(b), (b * 100) as u32 + k);
+            }
+        }
+        let mut credited = 0u64;
+        while let Some(e) = q.pop() {
+            credited += u64::from(e.payload);
+        }
+        RunFacts::of([("credited".to_string(), credited.to_string())])
+    };
+    let outcome = interleave::run_orderings("fair-exchange", 0xFA1, 16, run, |_, _| {
+        unreachable!("clean runs must never materialize a trace")
+    });
+    assert!(outcome.clean(), "{:?}", outcome.first_replay_line());
+    assert_eq!(outcome.orderings, 16);
+}

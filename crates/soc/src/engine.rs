@@ -37,7 +37,8 @@ use blitzcoin_noc::{Network, NetworkConfig, TileId};
 use blitzcoin_power::{CoinLut, PowerModel};
 use blitzcoin_sim::oracle::Oracle;
 use blitzcoin_sim::{
-    CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TileFaultKind,
+    CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TieBreak,
+    TileFaultKind,
 };
 
 use crate::floorplan::SocConfig;
@@ -62,16 +63,26 @@ thread_local! {
         const { std::cell::RefCell::new(None) };
 }
 
-/// Takes the thread's recycled queue (reset to pristine state), or a new
-/// one the first time.
-fn take_recycled_queue() -> EventQueue<Ev> {
-    QUEUE_POOL
+/// Takes the thread's recycled queue (reset to pristine state) with the
+/// requested tie-break policy installed, or a new one the first time.
+///
+/// `reset()` — not `clear()` — is load-bearing here: it rewinds the
+/// sequence counter so a recycled queue draws the same seqs as a fresh
+/// one, which keeps non-FIFO tie-break runs (where the seq value decides
+/// pop order inside a batch) independent of how many trials the thread
+/// ran before. It also leaves the previous trial's tie-break installed,
+/// so this is the one place that re-points the policy at the current
+/// run's configuration.
+fn take_recycled_queue(tie: TieBreak) -> EventQueue<Ev> {
+    let mut q = QUEUE_POOL
         .with(|p| p.borrow_mut().take())
         .map(|mut q| {
             q.reset();
             q
         })
-        .unwrap_or_default()
+        .unwrap_or_default();
+    q.set_tie_break(tie);
+    q
 }
 
 /// Hands a finished run's queue back to the thread pool for the next
@@ -118,6 +129,11 @@ pub struct SimConfig {
     pub share_plane_with_dma: bool,
     /// Safety horizon: the run aborts (unfinished) past this time.
     pub horizon: SimTime,
+    /// Same-timestamp event ordering. The default [`TieBreak::Fifo`] is
+    /// bit-identical to the historical engine; the interleaving fuzzer
+    /// re-runs configs under `Permuted` seeds to prove no result depends
+    /// on the one ordering FIFO happens to pick.
+    pub tie_break: TieBreak,
 }
 
 impl SimConfig {
@@ -155,6 +171,7 @@ impl SimConfig {
             dma_period_cycles: 256,
             share_plane_with_dma: false,
             horizon: SimTime::from_ms(400),
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -358,10 +375,21 @@ impl Simulation {
 
     /// Runs the simulation with the given seed and returns the report.
     pub fn run(&self, seed: u64) -> SimReport {
+        self.run_traced(seed, 0).0
+    }
+
+    /// [`Simulation::run`], additionally recording the first `pop_cap`
+    /// event pops as `(time_ps, seq)` pairs. The interleaving fuzzer uses
+    /// the trace to bisect a divergence to the first pop where two
+    /// tie-break orderings split; at `pop_cap == 0` (the [`Simulation::run`]
+    /// path) nothing is recorded and nothing is allocated.
+    pub fn run_traced(&self, seed: u64, pop_cap: usize) -> (SimReport, Vec<(u64, u64)>) {
         let mut core = Core::new(self, SimRng::seed(seed));
+        core.pop_cap = pop_cap;
         let mut policy = crate::managers::policy_for(self.cfg.manager);
         events::run(&mut core, policy.as_mut());
-        accounting::finish(core, policy.as_mut())
+        let trace = std::mem::take(&mut core.pop_trace);
+        (accounting::finish(core, policy.as_mut()), trace)
     }
 }
 
@@ -416,6 +444,9 @@ pub(crate) struct Core<'a> {
     pub(crate) freq_traces: Vec<StepTrace>,
     pub(crate) power_traces: Vec<StepTrace>,
     pub(crate) events: u64,
+    // interleaving-fuzz pop trace (see `Simulation::run_traced`)
+    pub(crate) pop_cap: usize,
+    pub(crate) pop_trace: Vec<(u64, u64)>,
 }
 
 impl<'a> Core<'a> {
@@ -528,7 +559,8 @@ impl<'a> Core<'a> {
                     .sum()
             })
             .collect();
-        let oracle = Oracle::new("blitzcoin-soc Simulation::run", rng.root_seed());
+        let oracle = Oracle::new("blitzcoin-soc Simulation::run", rng.root_seed())
+            .with_tie_break(sim.cfg.tie_break);
         let mut net = Network::new(soc.topology, NetworkConfig::default());
         net.set_fault_plan(sim.fault.clone());
         let n_tasks = sim.wl.len();
@@ -555,7 +587,7 @@ impl<'a> Core<'a> {
             sim,
             rng,
             net,
-            queue: take_recycled_queue(),
+            queue: take_recycled_queue(sim.cfg.tie_break),
             tiles,
             managed,
             managed_slot,
@@ -582,6 +614,8 @@ impl<'a> Core<'a> {
             freq_traces,
             power_traces,
             events: 0,
+            pop_cap: 0,
+            pop_trace: Vec::new(),
         }
     }
 

@@ -90,6 +90,9 @@ pub(crate) fn run(core: &mut Core, policy: &mut dyn ManagerPolicy) {
             core.now.as_ps(),
             ev.time.as_ps(),
         );
+        if core.pop_trace.len() < core.pop_cap {
+            core.pop_trace.push((ev.time.as_ps(), ev.seq));
+        }
         core.now = ev.time;
         core.events += 1;
         if core.now > core.cfg().horizon {

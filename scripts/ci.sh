@@ -59,4 +59,14 @@ for f in "$smoke_dir"/jobs1/*.csv; do
     }
 done
 
+# Interleave smoke gate: fuzz every cycle-level manager across 4
+# shuffled same-timestamp event orderings (healthy + mid-run worker
+# kill). A forbidden divergence — an oracle invariant firing under a
+# shuffle, or an order-independent fact departing from the FIFO
+# baseline — is reported as an OrderIndependence violation, which makes
+# the binary exit nonzero. The full 16-ordering sweep runs via
+# `blitzcoin-exp interleave` without --quick.
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
+    interleave --quick --orderings 4 --out "$smoke_dir/interleave" > /dev/null
+
 echo "ci: all green"

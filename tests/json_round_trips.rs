@@ -209,7 +209,7 @@ fn manifest_shape_matches_cli_output() {
       {"id": "fig1", "title": "T", "claims": [
         {"id": "a", "paper": "p", "measured": "m", "holds": true}
       ], "outputs": ["results/fig1.csv"], "wall_ms": 12.5, "jobs": 4,
-      "oracle_violations": 0}
+      "oracle_violations": 0, "tie_break": "fifo"}
     ]"#;
     let results: Vec<FigResult> = Vec::from_json(&Json::parse(text).unwrap()).unwrap();
     assert_eq!(results.len(), 1);
