@@ -88,8 +88,9 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
                 t
             })
             .collect();
+        let refs: Vec<&StepTrace> = traces.iter().collect();
         ThermalModel::new(topo, thermal_cfg)
-            .simulate(&traces, SimTime::from_ms(5))
+            .simulate(&refs, SimTime::from_ms(5))
             .max_celsius()
     };
 

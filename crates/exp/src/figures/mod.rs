@@ -2,6 +2,7 @@
 
 pub mod analytical;
 pub mod behavioural;
+pub mod coupling;
 pub mod extensions;
 pub mod interleave;
 pub mod oracle_diff;

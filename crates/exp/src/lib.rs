@@ -46,6 +46,10 @@ pub struct Ctx {
     /// Shuffled orderings per point for the `interleave` experiment
     /// (`--orderings`); 0 resolves the default (16 full, 4 quick).
     pub orderings: u32,
+    /// Junction-limit override (°C) for the `thermal-coupling`
+    /// experiment's throttled runs (`--thermal-limit`); `None` uses the
+    /// experiment's built-in tight limit.
+    pub thermal_limit_c: Option<f64>,
 }
 
 impl Default for Ctx {
@@ -57,6 +61,7 @@ impl Default for Ctx {
             jobs: 0,
             tie_break: TieBreak::Fifo,
             orderings: 0,
+            thermal_limit_c: None,
         }
     }
 }
@@ -263,7 +268,7 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 26] = [
+pub const ALL_EXPERIMENTS: [&str; 27] = [
     "fig1",
     "fig2",
     "fig3",
@@ -290,6 +295,7 @@ pub const ALL_EXPERIMENTS: [&str; 26] = [
     "resilience",
     "oracle-diff",
     "interleave",
+    "thermal-coupling",
 ];
 
 /// Runs the experiment with the given id.
@@ -332,6 +338,7 @@ fn dispatch_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "resilience" => figures::resilience::resilience(ctx),
         "oracle-diff" => figures::oracle_diff::oracle_diff(ctx),
         "interleave" => figures::interleave::interleave(ctx),
+        "thermal-coupling" => figures::coupling::thermal_coupling(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

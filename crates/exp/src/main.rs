@@ -15,7 +15,8 @@
 //! different same-timestamp event ordering (the default `fifo` is the
 //! golden ordering; the active mode is stamped into `manifest.json`).
 //! `--orderings N` sets the shuffled orderings per point for the
-//! `interleave` experiment.
+//! `interleave` experiment. `--thermal-limit C` overrides the junction
+//! limit (°C) the `thermal-coupling` experiment throttles at.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +63,23 @@ fn main() -> ExitCode {
                     Some(t) => ctx.tie_break = t,
                     None => {
                         eprintln!("bad tie-break '{mode}' (want fifo|lifo|permuted:SEED)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--thermal-limit" => {
+                let Some(limit) = iter.next() else {
+                    eprintln!("--thermal-limit needs a value (deg C)");
+                    return ExitCode::FAILURE;
+                };
+                match limit.parse::<f64>() {
+                    Ok(c) if c.is_finite() && c > 0.0 => ctx.thermal_limit_c = Some(c),
+                    Ok(_) => {
+                        eprintln!("--thermal-limit must be a positive temperature");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("bad thermal limit: {e}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -126,7 +144,8 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         eprintln!(
             "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] \
-             [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--write-experiments]",
+             [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--thermal-limit C] \
+             [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;

@@ -18,7 +18,7 @@
 //! payloads and use the returned delivery time to schedule delivery events
 //! in their own event queue.
 
-use blitzcoin_sim::{ConfigError, FaultPlan, SimTime};
+use blitzcoin_sim::{ClockDomain, ConfigError, FaultPlan, SimTime};
 
 use crate::packet::Packet;
 use crate::topology::{TileId, Topology};
@@ -182,6 +182,10 @@ pub struct Network {
     /// `(from, to, plane)`: `send` probes this table once per hop, and the
     /// hash+probe dominated the analytic model's profile.
     link_free: Vec<SimTime>,
+    /// The routers' clock domain — every latency the model books is a
+    /// whole number of this domain's ticks (the fabric runs entirely in
+    /// the 800 MHz NoC power domain).
+    clock: ClockDomain,
     stats: TrafficStats,
     fault: FaultPlan,
 }
@@ -194,6 +198,7 @@ impl Network {
             topo,
             config,
             link_free: vec![SimTime::ZERO; topo.len() * LINK_DIRS * PLANES],
+            clock: ClockDomain::NOC,
             stats: TrafficStats::default(),
             fault: FaultPlan::none(),
         }
@@ -275,7 +280,7 @@ impl Network {
         self.stats.hops += hops;
         let faults = !self.fault.is_empty();
 
-        let mut cursor = now + SimTime::from_noc_cycles(self.config.inject_cycles);
+        let mut cursor = now + self.clock.span(self.config.inject_cycles);
         if self.config.contention {
             let mut prev = packet.src;
             for next in self.topo.xy_hops(packet.src, packet.dst) {
@@ -287,8 +292,8 @@ impl Network {
                     return Delivery::Dropped;
                 }
                 self.stats.contention_cycles += (depart - cursor).as_noc_cycles();
-                self.link_free[slot] = depart + SimTime::from_noc_cycles(flits);
-                cursor = depart + SimTime::from_noc_cycles(self.config.hop_cycles);
+                self.link_free[slot] = depart + self.clock.span(flits);
+                cursor = depart + self.clock.span(self.config.hop_cycles);
                 prev = next;
             }
         } else {
@@ -302,7 +307,7 @@ impl Network {
                     prev = next;
                 }
             }
-            cursor += SimTime::from_noc_cycles(self.config.hop_cycles * hops);
+            cursor += self.clock.span(self.config.hop_cycles * hops);
         }
         if faults {
             let cycle = now.as_noc_cycles();
@@ -313,16 +318,16 @@ impl Network {
             }
             let extra = self.fault.extra_hop_delay_cycles(src, dst, cycle, hops)
                 + self.fault.msg_jitter(src, dst, cycle);
-            cursor += SimTime::from_noc_cycles(extra);
+            cursor += self.clock.span(extra);
         }
-        Delivery::Delivered(cursor + SimTime::from_noc_cycles(self.config.eject_cycles))
+        Delivery::Delivered(cursor + self.clock.span(self.config.eject_cycles))
     }
 
     /// Zero-load latency bound for a packet from `src` to `dst` (no
     /// contention, no state change). Useful for analytical comparisons.
     pub fn latency_bound(&self, src: TileId, dst: TileId) -> SimTime {
         let hops = self.topo.hop_distance(src, dst) as u64;
-        SimTime::from_noc_cycles(
+        self.clock.span(
             self.config.inject_cycles + self.config.hop_cycles * hops + self.config.eject_cycles,
         )
     }

@@ -1,0 +1,331 @@
+//! The multi-clock component scheduler.
+//!
+//! Everything in the reproduction that evolves over time — a managed
+//! tile, a router, an actuator, a manager FSM, the thermal RC
+//! integrator — is conceptually a *component*: a state machine that
+//! sleeps until its next tick, runs for zero simulated time, and names
+//! the instant it next wants to run. Each component owns a
+//! [`ClockDomain`] relating its local clock to the 1 ps base clock, so
+//! components on different dividers (an 800 MHz NoC FSM, a 1.33 GHz
+//! tile, a 200 kHz thermal integrator) interleave on exact integer
+//! picosecond edges with no accumulated rounding.
+//!
+//! The scheduler is deliberately thin: a [`Component`] trait
+//! (`tick(now, ctx) -> Option<next>`) and a [`Scheduler`] that wakes
+//! components through the same packed-key [`EventQueue`] the SoC engine
+//! uses, keyed by `(next_tick, ComponentId)`. That reuse is the point —
+//! the allocation-free hot path and the [`TieBreak`] interleaving
+//! fuzzer apply to component wakes exactly as they apply to engine
+//! events: same-instant ticks of different components are a legal
+//! concurrency the fuzzer is entitled to permute.
+//!
+//! The SoC engine (`blitzcoin-soc`) is the large-scale realization of
+//! this model: its `Ev` vocabulary is the component wake-up set (each
+//! variant names the component being woken and carries its generation
+//! counter), its `Core` hub owns the shared state components
+//! communicate through, and its per-tile / NoC / thermal `ClockDomain`s
+//! are the dividers. The generic `Scheduler` here is the same loop in
+//! the small, for subsystems (like the thermal integrator) that want to
+//! be driven standalone under test.
+
+use crate::event::{EventQueue, TieBreak};
+use crate::time::{ClockDomain, SimTime};
+
+/// Identifies a scheduled component within one [`Scheduler`].
+///
+/// Ids are dense indices handed out by [`Scheduler::add`]; the packed
+/// event-queue key is `(next_tick, ComponentId)`, so same-instant wakes
+/// of different components are ordered by the queue's [`TieBreak`]
+/// policy — FIFO by default, permutable by the interleaving fuzzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+/// A state machine scheduled on its own clock.
+///
+/// `tick` runs at instant `now` (always a previously requested wake
+/// time), mutates the component and the shared context `Ctx`, and
+/// returns when it next wants to run: `Some(t)` with `t > now`
+/// reschedules, `None` parks the component until something external
+/// calls [`Scheduler::wake`].
+pub trait Component<Ctx> {
+    /// The component's clock relationship to the base clock. Purely
+    /// informational to the scheduler (wake times are absolute), but
+    /// components should derive their requested wakes from it so edges
+    /// stay exact.
+    fn clock(&self) -> ClockDomain;
+
+    /// Runs the component at `now`; returns the next wake time.
+    fn tick(&mut self, now: SimTime, ctx: &mut Ctx) -> Option<SimTime>;
+}
+
+/// Wakes a set of boxed [`Component`]s in timestamp order through the
+/// packed-key [`EventQueue`].
+///
+/// # Example
+///
+/// ```
+/// use blitzcoin_sim::{ClockDomain, Component, Scheduler, SimTime};
+///
+/// struct Counter(ClockDomain);
+/// impl Component<Vec<u64>> for Counter {
+///     fn clock(&self) -> ClockDomain {
+///         self.0
+///     }
+///     fn tick(&mut self, now: SimTime, log: &mut Vec<u64>) -> Option<SimTime> {
+///         log.push(now.as_ps());
+///         Some(self.0.next_edge(now))
+///     }
+/// }
+///
+/// let mut sched = Scheduler::new();
+/// let c = Counter(ClockDomain::from_period_ps(400));
+/// let first = c.0.next_edge(SimTime::ZERO);
+/// sched.add(Box::new(c), first);
+/// let mut log = Vec::new();
+/// sched.run_until(SimTime::from_ps(2_000), &mut log);
+/// assert_eq!(log, vec![400, 800, 1200, 1600, 2000]);
+/// ```
+pub struct Scheduler<Ctx> {
+    components: Vec<Box<dyn Component<Ctx>>>,
+    queue: EventQueue<ComponentId>,
+    now: SimTime,
+    ticks: u64,
+}
+
+impl<Ctx> Default for Scheduler<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ctx> Scheduler<Ctx> {
+    /// An empty scheduler at time zero with the FIFO tie-break.
+    pub fn new() -> Self {
+        Scheduler {
+            components: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            ticks: 0,
+        }
+    }
+
+    /// Sets the same-instant wake ordering (see [`TieBreak`]). Must be
+    /// called before any wakes are pending.
+    pub fn set_tie_break(&mut self, tie: TieBreak) {
+        self.queue.set_tie_break(tie);
+    }
+
+    /// Registers a component and schedules its first wake at `first`.
+    pub fn add(&mut self, component: Box<dyn Component<Ctx>>, first: SimTime) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(component);
+        self.queue.schedule(first, id);
+        id
+    }
+
+    /// Externally wakes a parked component at `at` (also usable to add
+    /// an extra wake for a running one; spurious earlier wakes are the
+    /// component's to tolerate, as in real interrupt fabrics).
+    pub fn wake(&mut self, id: ComponentId, at: SimTime) {
+        assert!((id.0 as usize) < self.components.len(), "unknown component");
+        self.queue.schedule(at, id);
+    }
+
+    /// Current simulation time (the timestamp of the last tick run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total component ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Immutable access to a registered component.
+    pub fn component(&self, id: ComponentId) -> &dyn Component<Ctx> {
+        self.components[id.0 as usize].as_ref()
+    }
+
+    /// Runs ticks in `(next_tick, ComponentId)` order until the queue
+    /// drains or the next wake lies beyond `horizon` (wakes at the
+    /// horizon itself still run). Returns the number of ticks executed.
+    pub fn run_until(&mut self, horizon: SimTime, ctx: &mut Ctx) -> u64 {
+        let mut ran = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event");
+            debug_assert!(ev.time >= self.now, "component wakes must not time-travel");
+            self.now = ev.time;
+            let id = ev.payload;
+            if let Some(next) = self.components[id.0 as usize].tick(ev.time, ctx) {
+                assert!(next > ev.time, "component must request a future wake");
+                self.queue.schedule(next, id);
+            }
+            ran += 1;
+            self.ticks += 1;
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Logs (who, when) so tests can assert exact interleavings.
+    struct Beacon {
+        name: &'static str,
+        clock: ClockDomain,
+        stop_after: u64,
+        fired: u64,
+    }
+
+    impl Component<Vec<(&'static str, u64)>> for Beacon {
+        fn clock(&self) -> ClockDomain {
+            self.clock
+        }
+        fn tick(&mut self, now: SimTime, log: &mut Vec<(&'static str, u64)>) -> Option<SimTime> {
+            log.push((self.name, now.as_ps()));
+            self.fired += 1;
+            if self.fired >= self.stop_after {
+                None
+            } else {
+                Some(self.clock.next_edge(now))
+            }
+        }
+    }
+
+    fn beacon(name: &'static str, period: u64, stop_after: u64) -> Box<Beacon> {
+        Box::new(Beacon {
+            name,
+            clock: ClockDomain::from_period_ps(period),
+            stop_after,
+            fired: 0,
+        })
+    }
+
+    #[test]
+    fn multi_rate_components_interleave_on_exact_edges() {
+        // Dividers 3 and 5 share edges at multiples of 15; FIFO breaks
+        // the tie in scheduling order ("five" booked its 15 ps wake at
+        // its tick at 10, before "three" did at 12).
+        let mut sched = Scheduler::new();
+        sched.add(beacon("three", 3, u64::MAX), SimTime::from_ps(3));
+        sched.add(beacon("five", 5, u64::MAX), SimTime::from_ps(5));
+        let mut log = Vec::new();
+        sched.run_until(SimTime::from_ps(15), &mut log);
+        assert_eq!(
+            log,
+            vec![
+                ("three", 3),
+                ("five", 5),
+                ("three", 6),
+                ("three", 9),
+                ("five", 10),
+                ("three", 12),
+                ("five", 15),
+                ("three", 15),
+            ]
+        );
+        assert_eq!(sched.now(), SimTime::from_ps(15));
+        assert_eq!(sched.ticks(), 8);
+    }
+
+    #[test]
+    fn parked_component_runs_again_only_when_woken() {
+        let mut sched = Scheduler::new();
+        let id = sched.add(beacon("once", 7, 1), SimTime::from_ps(7));
+        let mut log = Vec::new();
+        sched.run_until(SimTime::from_ps(1_000), &mut log);
+        assert_eq!(log, vec![("once", 7)]);
+        // Parked: nothing more happens until an external wake.
+        assert_eq!(sched.run_until(SimTime::from_ps(2_000), &mut log), 0);
+        sched.wake(id, SimTime::from_ps(2_100));
+        sched.run_until(SimTime::from_ps(3_000), &mut log);
+        assert_eq!(log, vec![("once", 7), ("once", 2100)]);
+    }
+
+    /// A component that retunes its own divider after a few ticks, like
+    /// a tile whose DVFS actuation changed its frequency.
+    struct Retuner {
+        clock: ClockDomain,
+        fired: u64,
+    }
+
+    impl Component<Vec<u64>> for Retuner {
+        fn clock(&self) -> ClockDomain {
+            self.clock
+        }
+        fn tick(&mut self, now: SimTime, log: &mut Vec<u64>) -> Option<SimTime> {
+            log.push(now.as_ps());
+            self.fired += 1;
+            if self.fired == 3 {
+                self.clock = ClockDomain::from_period_ps(70);
+            }
+            (self.fired < 6).then(|| self.clock.next_edge(now))
+        }
+    }
+
+    #[test]
+    fn divider_retune_mid_run_stays_on_new_edges() {
+        let mut sched = Scheduler::new();
+        sched.add(
+            Box::new(Retuner {
+                clock: ClockDomain::from_period_ps(100),
+                fired: 0,
+            }),
+            SimTime::from_ps(100),
+        );
+        let mut log = Vec::new();
+        sched.run_until(SimTime::MAX, &mut log);
+        // Edges of /100 up to the retune at 300, then the first /70
+        // edges strictly after it: origin-anchored, so 350 not 370.
+        assert_eq!(log, vec![100, 200, 300, 350, 420, 490]);
+    }
+
+    #[test]
+    fn tie_break_permutes_same_instant_wakes_only() {
+        let run = |tie: TieBreak| {
+            let mut sched = Scheduler::new();
+            sched.set_tie_break(tie);
+            // All three share every edge of /4.
+            sched.add(beacon("a", 4, u64::MAX), SimTime::from_ps(4));
+            sched.add(beacon("b", 4, u64::MAX), SimTime::from_ps(4));
+            sched.add(beacon("c", 4, u64::MAX), SimTime::from_ps(4));
+            let mut log = Vec::new();
+            sched.run_until(SimTime::from_ps(40), &mut log);
+            log
+        };
+        let fifo = run(TieBreak::Fifo);
+        let shuffled = run(TieBreak::Permuted(9));
+        // Same multiset of (component, instant) ticks...
+        let mut a = fifo.clone();
+        let mut b = shuffled.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // ...and within every instant all three still fire.
+        for t in (4..=40).step_by(4) {
+            assert_eq!(shuffled.iter().filter(|&&(_, at)| at == t).count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "future wake")]
+    fn rescheduling_in_the_past_is_rejected() {
+        struct Stuck;
+        impl Component<()> for Stuck {
+            fn clock(&self) -> ClockDomain {
+                ClockDomain::NOC
+            }
+            fn tick(&mut self, now: SimTime, _: &mut ()) -> Option<SimTime> {
+                Some(now) // zero progress: would loop forever
+            }
+        }
+        let mut sched = Scheduler::new();
+        sched.add(Box::new(Stuck), SimTime::from_ps(1));
+        sched.run_until(SimTime::MAX, &mut ());
+    }
+}

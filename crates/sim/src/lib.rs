@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod component;
 pub mod csv;
 pub mod error;
 pub mod event;
@@ -77,6 +78,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use component::{Component, ComponentId, Scheduler};
 pub use error::ConfigError;
 pub use event::{EventQueue, ScheduledEvent, TieBreak};
 pub use exec::{Executor, Sweep};
@@ -84,5 +86,5 @@ pub use fault::{AuditReport, CoinAudit, FaultPlan, LinkOutage, TileFault, TileFa
 pub use oracle::{Invariant, Oracle, Violation};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Summary};
-pub use time::SimTime;
+pub use time::{ClockDomain, SimTime};
 pub use trace::{StepTrace, TracePoint};

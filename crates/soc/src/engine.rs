@@ -37,8 +37,8 @@ use blitzcoin_noc::{Network, NetworkConfig, TileId};
 use blitzcoin_power::{CoinLut, PowerModel};
 use blitzcoin_sim::oracle::Oracle;
 use blitzcoin_sim::{
-    CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace, TieBreak,
-    TileFaultKind,
+    ClockDomain, CoinAudit, ConfigError, EventQueue, FaultPlan, SimRng, SimTime, StepTrace,
+    TieBreak, TileFaultKind,
 };
 
 use crate::floorplan::SocConfig;
@@ -48,9 +48,11 @@ use crate::workload::{TaskId, Workload};
 
 pub(crate) mod accounting;
 pub(crate) mod actuation;
+pub(crate) mod coupling;
 pub(crate) mod events;
 pub(crate) mod faults;
 
+pub use coupling::ThermalCoupling;
 pub(crate) use events::Ev;
 
 thread_local! {
@@ -134,6 +136,11 @@ pub struct SimConfig {
     /// re-runs configs under `Permuted` seeds to prove no result depends
     /// on the one ordering FIFO happens to pick.
     pub tie_break: TieBreak,
+    /// In-loop electro-thermal coupling (RC integration on its own slow
+    /// clock, leakage feedback, thermal throttling). `None` — the
+    /// default — schedules nothing and leaves runs byte-identical to the
+    /// uncoupled engine.
+    pub thermal: Option<ThermalCoupling>,
 }
 
 impl SimConfig {
@@ -172,6 +179,7 @@ impl SimConfig {
             share_plane_with_dma: false,
             horizon: SimTime::from_ms(400),
             tie_break: TieBreak::Fifo,
+            thermal: None,
         }
     }
 
@@ -229,6 +237,42 @@ pub(crate) struct TileRt {
     pub(crate) suspect: Vec<u32>,
     /// Set once the tile's scheduled fault fires.
     pub(crate) faulted: Option<TileFaultKind>,
+}
+
+/// The engine's clock tree (DESIGN.md §3h): every scheduled activity
+/// belongs to a [`ClockDomain`] relating its local clock to the 1 ps
+/// base clock, and every delay the engine books is a whole number of
+/// some domain's ticks.
+///
+/// The NoC domain wakes the manager FSMs, actuation pipelines, DMA
+/// engines, and fault injectors — in the fabricated SoC they all live
+/// in the always-on NoC power domain — while each tile's core clock has
+/// its own divider, retuned whenever a DVFS actuation settles. The
+/// dividers reproduce the historical cadence exactly (the NoC divider
+/// *is* [`blitzcoin_sim::time::NOC_CYCLE_PS`]), so migrating a call
+/// site from raw cycle arithmetic onto its domain is provably
+/// behavior-preserving.
+pub(crate) struct EngineClocks {
+    /// The 800 MHz NoC/manager domain.
+    pub(crate) noc: ClockDomain,
+    /// Per-tile core clocks (tile id → domain). Accelerators boot
+    /// clock-gated on their idle-floor clock; infrastructure tiles run
+    /// in the NoC domain.
+    pub(crate) tile: Vec<ClockDomain>,
+}
+
+impl EngineClocks {
+    /// The domain of a tile whose DVFS clock settled at `f_mhz`
+    /// (`0` = clock-gated, which leaves the idle-floor clock of
+    /// F_min / 7.5 at minimum voltage — the same floor task progress
+    /// integrates against).
+    pub(crate) fn tile_domain(model: Option<&PowerModel>, f_mhz: f64) -> ClockDomain {
+        match model {
+            Some(_) if f_mhz > 0.0 => ClockDomain::from_frequency_mhz(f_mhz),
+            Some(m) => ClockDomain::from_frequency_mhz(m.f_min() / 7.5),
+            None => ClockDomain::NOC,
+        }
+    }
 }
 
 /// A configured full-SoC simulation, ready to run.
@@ -402,6 +446,9 @@ pub(crate) struct Core<'a> {
     pub(crate) rng: SimRng,
     pub(crate) net: Network,
     pub(crate) queue: EventQueue<Ev>,
+    pub(crate) clocks: EngineClocks,
+    /// In-loop thermal state; `Some` exactly when `cfg.thermal` is set.
+    pub(crate) thermal: Option<coupling::ThermalRt>,
     pub(crate) tiles: Vec<TileRt>,
     pub(crate) managed: Vec<usize>,
     /// Slot of each tile id within `managed` (`usize::MAX` for unmanaged
@@ -583,11 +630,23 @@ impl<'a> Core<'a> {
         } else {
             Vec::new()
         };
+        let clocks = EngineClocks {
+            noc: ClockDomain::NOC,
+            tile: tiles
+                .iter()
+                .map(|t| EngineClocks::tile_domain(t.model.as_ref(), 0.0))
+                .collect(),
+        };
         Core {
             sim,
             rng,
             net,
             queue: take_recycled_queue(sim.cfg.tie_break),
+            clocks,
+            thermal: sim
+                .cfg
+                .thermal
+                .map(|cc| coupling::ThermalRt::new(soc.topology, cc)),
             tiles,
             managed,
             managed_slot,

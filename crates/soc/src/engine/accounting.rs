@@ -168,6 +168,13 @@ pub(crate) fn finish(mut core: Core, policy: &mut dyn ManagerPolicy) -> SimRepor
         oracle_violations: core.oracle.count(),
         oracle_first: core.oracle.first_replay_line(),
         scheme_stats: Vec::new(),
+        thermal_peak_c: core.thermal.as_ref().map(|t| t.comp.max_celsius()),
+        throttle_events: core.thermal.as_ref().map_or(0, |t| t.throttle_events),
+        first_throttle_us: core
+            .thermal
+            .as_ref()
+            .and_then(|t| t.first_throttle)
+            .map(|t| t.as_us_f64()),
     };
     policy.finalize(&mut report);
     report

@@ -8,7 +8,7 @@
 use blitzcoin_core::AllocationPolicy;
 use blitzcoin_sim::{SimTime, TileFaultKind};
 
-use crate::engine::{Core, Ev};
+use crate::engine::{Core, EngineClocks, Ev};
 
 impl Core<'_> {
     /// kcycles of work per microsecond at the tile's current clock.
@@ -93,7 +93,7 @@ impl Core<'_> {
         self.tiles[ti].target = f_mhz;
         self.tiles[ti].actuate_gen += 1;
         let gen = self.tiles[ti].actuate_gen;
-        let delay = SimTime::from_noc_cycles(self.cfg().timing.actuation_cycles);
+        let delay = self.clocks.noc.span(self.cfg().timing.actuation_cycles);
         self.queue
             .schedule(self.now + delay, Ev::Actuate { tile: ti, gen });
     }
@@ -103,21 +103,35 @@ impl Core<'_> {
     /// proportions, not the coin value, encode the policy).
     pub(crate) fn policy_max(&self, ti: usize) -> u64 {
         let model = self.tiles[ti].model.as_ref().expect("managed tile");
-        match self.cfg().policy {
+        let base = match self.cfg().policy {
             AllocationPolicy::AbsoluteProportional => 63,
             AllocationPolicy::RelativeProportional => {
                 (63.0 * model.p_max() / self.sim.top_pmax).round().max(1.0) as u64
             }
+        };
+        // a thermally throttled tile's target is cut until it cools
+        match &self.thermal {
+            Some(th) if th.throttled[ti] => {
+                ((base as f64 * th.cc.throttle_max_frac).round() as u64).max(1)
+            }
+            _ => base,
         }
     }
 
     /// Applies a coin count to a managed tile's frequency target via its
-    /// LUT (only meaningful while it runs; idle tiles clock-gate).
+    /// LUT (only meaningful while it runs; idle tiles clock-gate). A
+    /// thermally throttled tile may hold surplus coins but cannot spend
+    /// above its cut target — the hardware cap overrides the economy
+    /// until the tile cools (or its neighbors drain the surplus).
     pub(crate) fn apply_coins(&mut self, ti: usize) {
         if self.tiles[ti].running.is_some() {
             let f = {
                 let rt = &self.tiles[ti];
-                rt.lut.as_ref().expect("managed").f_target(rt.has as i32)
+                let coins = match &self.thermal {
+                    Some(th) if th.throttled[ti] => rt.has.min(rt.max as i64),
+                    _ => rt.has,
+                };
+                rt.lut.as_ref().expect("managed").f_target(coins as i32)
             };
             self.set_target(ti, f);
         } else {
@@ -132,6 +146,10 @@ impl Core<'_> {
             self.update_progress(ti);
             self.tiles[ti].freq = self.tiles[ti].target;
             let f = self.tiles[ti].freq;
+            // The tile's clock divider follows the settled frequency:
+            // the domain is pure derived state (divider, no phase), so
+            // retuning it cannot perturb any already-scheduled event.
+            self.clocks.tile[ti] = EngineClocks::tile_domain(self.tiles[ti].model.as_ref(), f);
             let slot = self.managed_slot[ti];
             if slot != usize::MAX {
                 self.freq_traces[slot].record(self.now, f);

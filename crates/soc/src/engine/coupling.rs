@@ -1,0 +1,181 @@
+//! In-loop electro-thermal coupling and thermal throttling.
+//!
+//! With [`SimConfig::thermal`](crate::engine::SimConfig) set, the engine
+//! ticks a [`ThermalComponent`] on its own slow clock (one
+//! [`Ev::ThermalTick`] per integration step): each tick samples the
+//! *live* instantaneous tile powers, advances the RC network one step
+//! (leakage inflating hot tiles' dissipation), and runs the throttle
+//! policy. A tile crossing the junction limit has its allocation target
+//! cut to `throttle_max_frac` of its policy max — announced to the
+//! active manager as an ordinary activity change, so the reallocation
+//! that follows is measured by the same response-time machinery as any
+//! workload transition. Hysteresis releases the throttle once the tile
+//! has cooled.
+//!
+//! The default `thermal: None` schedules nothing, consumes no RNG, and
+//! leaves runs byte-identical to the uncoupled engine.
+
+use blitzcoin_sim::SimTime;
+use blitzcoin_thermal::{ThermalComponent, ThermalConfig, ThermalModel};
+
+use crate::engine::{events, Core, Ev};
+use crate::managers::ManagerPolicy;
+
+/// In-loop electro-thermal coupling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalCoupling {
+    /// The RC network (ambient, conductances, capacitance, step).
+    pub rc: ThermalConfig,
+    /// Leakage growth per °C above ambient (see
+    /// [`ThermalModel::simulate_coupled`]).
+    pub leak_per_c: f64,
+    /// Junction limit (°C): a managed tile crossing it is throttled.
+    pub throttle_limit_c: f64,
+    /// A throttled tile is released once it cools this far below the
+    /// limit.
+    pub throttle_hysteresis_c: f64,
+    /// A throttled tile's allocation target as a fraction of its policy
+    /// max (floored at one coin).
+    pub throttle_max_frac: f64,
+}
+
+impl Default for ThermalCoupling {
+    fn default() -> Self {
+        ThermalCoupling {
+            rc: ThermalConfig::default(),
+            leak_per_c: 0.01,
+            throttle_limit_c: 85.0,
+            throttle_hysteresis_c: 3.0,
+            throttle_max_frac: 0.5,
+        }
+    }
+}
+
+/// Engine-side thermal runtime: the clocked component plus throttle
+/// bookkeeping.
+pub(crate) struct ThermalRt {
+    pub(crate) comp: ThermalComponent,
+    pub(crate) cc: ThermalCoupling,
+    /// Scratch: instantaneous per-tile power (mW), refilled every tick.
+    p_buf: Vec<f64>,
+    /// Per-tile throttle latches (tile id indexed).
+    pub(crate) throttled: Vec<bool>,
+    pub(crate) throttle_events: u64,
+    pub(crate) first_throttle: Option<SimTime>,
+}
+
+impl ThermalRt {
+    pub(crate) fn new(topo: blitzcoin_noc::Topology, cc: ThermalCoupling) -> Self {
+        let model = ThermalModel::new(topo, cc.rc);
+        let n = model.tiles();
+        ThermalRt {
+            comp: ThermalComponent::new(model, cc.leak_per_c),
+            cc,
+            p_buf: vec![0.0; n],
+            throttled: vec![false; n],
+            throttle_events: 0,
+            first_throttle: None,
+        }
+    }
+}
+
+/// One edge of the thermal clock: step the network from live powers,
+/// update throttle latches, reschedule.
+pub(crate) fn on_thermal_tick(core: &mut Core, policy: &mut dyn ManagerPolicy) {
+    let Some(mut th) = core.thermal.take() else {
+        return;
+    };
+    for i in 0..core.tiles.len() {
+        th.p_buf[i] = core.tile_power(i);
+    }
+    th.comp.step(&th.p_buf);
+    let mut flips: Vec<usize> = Vec::new();
+    for &ti in &core.managed {
+        if core.tiles[ti].faulted.is_some() {
+            continue;
+        }
+        let t = th.comp.temps()[ti];
+        if !th.throttled[ti] && t > th.cc.throttle_limit_c {
+            th.throttled[ti] = true;
+            th.throttle_events += 1;
+            if th.first_throttle.is_none() {
+                th.first_throttle = Some(core.now);
+            }
+            flips.push(ti);
+        } else if th.throttled[ti] && t < th.cc.throttle_limit_c - th.cc.throttle_hysteresis_c {
+            th.throttled[ti] = false;
+            flips.push(ti);
+        }
+    }
+    let next = th.comp.clock().next_edge(core.now);
+    core.thermal = Some(th);
+    for ti in flips {
+        // Only an *active* tile carries an allocation to retarget; an
+        // idle tile's latch takes effect at its next activation through
+        // `policy_max`.
+        if core.tiles[ti].max > 0 {
+            core.tiles[ti].max = core.policy_max(ti);
+            core.apply_coins(ti);
+            events::activity_changed(core, policy, ti);
+        }
+    }
+    core.queue.schedule(next, Ev::ThermalTick);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::manager::ManagerKind;
+    use crate::{floorplan, workload};
+
+    fn coupled(limit_c: f64) -> SimConfig {
+        SimConfig {
+            thermal: Some(ThermalCoupling {
+                throttle_limit_c: limit_c,
+                ..ThermalCoupling::default()
+            }),
+            ..SimConfig::new(ManagerKind::BlitzCoin, 240.0)
+        }
+    }
+
+    #[test]
+    fn coupled_run_reports_temperatures_and_stays_clean() {
+        let soc = floorplan::soc_3x3();
+        let wl = workload::av_parallel(&soc, 3);
+        let r = Simulation::new(soc, wl, coupled(105.0)).run(3);
+        assert!(r.finished);
+        let peak = r.thermal_peak_c.expect("coupled run measures temperature");
+        assert!(peak > 45.0 && peak < 105.0, "peak {peak}");
+        assert_eq!(r.throttle_events, 0, "generous limit never throttles");
+        assert!(r.first_throttle_us.is_none());
+        assert_eq!(r.oracle_violations, 0);
+    }
+
+    #[test]
+    fn tight_limit_throttles_and_the_policy_reallocates() {
+        let soc = floorplan::soc_3x3();
+        let wl = workload::av_parallel(&soc, 6);
+        let hot = Simulation::new(soc.clone(), wl.clone(), coupled(46.5)).run(3);
+        assert!(hot.throttle_events > 0, "tight limit must engage");
+        let at = hot.first_throttle_us.expect("throttle timestamp");
+        assert!(at > 0.0);
+        assert!(hot.finished, "throttled run still completes");
+        assert_eq!(hot.oracle_violations, 0);
+        // throttling can only lower power, never raise it
+        let free = Simulation::new(soc, wl, coupled(105.0)).run(3);
+        assert!(hot.avg_power_mw() <= free.avg_power_mw() + 1e-9);
+        // and the run takes at least as long with its allocations cut
+        assert!(hot.exec_time >= free.exec_time);
+    }
+
+    #[test]
+    fn uncoupled_run_reports_no_thermal_fields() {
+        let soc = floorplan::soc_3x3();
+        let wl = workload::av_parallel(&soc, 2);
+        let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::BlitzCoin, 120.0)).run(3);
+        assert!(r.thermal_peak_c.is_none());
+        assert_eq!(r.throttle_events, 0);
+        assert!(r.first_throttle_us.is_none());
+    }
+}

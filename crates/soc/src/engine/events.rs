@@ -6,7 +6,6 @@
 //! loop neither knows nor cares which scheme is running.
 
 use blitzcoin_noc::{Packet, PacketKind, TileId};
-use blitzcoin_sim::SimTime;
 
 use crate::engine::{Core, Running};
 use crate::managers::ManagerPolicy;
@@ -28,6 +27,9 @@ pub(crate) enum Ev {
     DmaBurst { tile: usize },
     /// Tile `tile`'s planned fault fires.
     TileFault { tile: usize },
+    /// The in-loop thermal integrator's slow clock edges (only scheduled
+    /// when [`SimConfig::thermal`](crate::engine::SimConfig) is set).
+    ThermalTick,
 }
 
 /// Events owned by the manager policies. The engine schedules and
@@ -77,11 +79,16 @@ pub(crate) fn run(core: &mut Core, policy: &mut dyn ManagerPolicy) {
             let ti = core.managed[k];
             let phase = core.rng.range_u64(0..core.cfg().dma_period_cycles.max(1));
             core.queue
-                .schedule(SimTime::from_noc_cycles(phase), Ev::DmaBurst { tile: ti });
+                .schedule(core.clocks.noc.span(phase), Ev::DmaBurst { tile: ti });
         }
     }
 
     core.schedule_planned_faults();
+
+    if let Some(th) = &core.thermal {
+        core.queue
+            .schedule(th.comp.clock().span(1), Ev::ThermalTick);
+    }
 
     let total_tasks = core.sim.wl.len();
     while let Some(ev) = core.queue.pop() {
@@ -104,6 +111,7 @@ pub(crate) fn run(core: &mut Core, policy: &mut dyn ManagerPolicy) {
             Ev::Actuate { tile, gen } => core.on_actuate(tile, gen),
             Ev::DmaBurst { tile } => core.on_dma_burst(tile),
             Ev::TileFault { tile } => core.on_tile_fault(tile),
+            Ev::ThermalTick => crate::engine::coupling::on_thermal_tick(core, policy),
         }
         let settled = core.completed + core.abandoned == total_tasks;
         // Stop once the work is settled and every pending response is
@@ -199,8 +207,10 @@ fn on_task_done(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize, gen:
 
 /// Records an activity transition and hands it to the manager policy.
 /// The generic bookkeeping (the change log and the pending-response
-/// clock) happens before the policy reacts, for every scheme.
-fn activity_changed(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize) {
+/// clock) happens before the policy reacts, for every scheme. Thermal
+/// throttle flips route through here too, so a throttle-induced
+/// reallocation is measured like any workload transition.
+pub(crate) fn activity_changed(core: &mut Core, policy: &mut dyn ManagerPolicy, ti: usize) {
     core.activity_changes.push(ActivityChange {
         tile: ti,
         at_us: core.now.as_us_f64(),
@@ -230,7 +240,7 @@ impl Core<'_> {
             // fire-and-forget: a dropped burst is simply lost traffic
             let _ = self.net.send(self.now, &burst);
         }
-        let at = self.now + SimTime::from_noc_cycles(self.cfg().dma_period_cycles.max(1));
+        let at = self.now + self.clocks.noc.span(self.cfg().dma_period_cycles.max(1));
         self.queue.schedule(at, Ev::DmaBurst { tile: ti });
     }
 }

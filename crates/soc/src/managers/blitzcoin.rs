@@ -12,7 +12,7 @@ use blitzcoin_core::exchange::{
 };
 use blitzcoin_core::{ExchangeMode, TileState};
 use blitzcoin_noc::{Packet, PacketKind, TileId};
-use blitzcoin_sim::{SimTime, TileFaultKind};
+use blitzcoin_sim::TileFaultKind;
 
 use crate::engine::events::ManagerEv;
 use crate::engine::{Core, Ev};
@@ -42,9 +42,9 @@ impl ManagerPolicy for BlitzCoinPolicy {
             rt.interval = base;
             rt.fire_gen += 1;
             let gen = rt.fire_gen;
-            rt.next_pairing = SimTime::from_noc_cycles(phase + pairing_iv);
+            rt.next_pairing = core.clocks.noc.span(phase + pairing_iv);
             core.queue.schedule(
-                SimTime::from_noc_cycles(phase),
+                core.clocks.noc.span(phase),
                 Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }),
             );
         }
@@ -58,7 +58,7 @@ impl ManagerPolicy for BlitzCoinPolicy {
         rt.zero_rot = 0;
         rt.fire_gen += 1;
         let gen = rt.fire_gen;
-        let at = core.now + SimTime::from_noc_cycles(rt.interval);
+        let at = core.now + core.clocks.noc.span(rt.interval);
         core.queue
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
         // an activity change may already satisfy the tolerance
@@ -92,7 +92,10 @@ fn on_coin_fire(core: &mut Core, ti: usize, gen: u64) {
     }
     let dt = core.cfg().exchange_timing;
     // partner selection: time-based random pairing, else round-robin
-    let pairing_iv = SimTime::from_noc_cycles(core.cfg().pairing_period as u64 * dt.base_cycles);
+    let pairing_iv = core
+        .clocks
+        .noc
+        .span(core.cfg().pairing_period as u64 * dt.base_cycles);
     let use_pairing = core.cfg().pairing_period > 0
         && core.now >= core.tiles[ti].next_pairing
         && core.managed.len() > 2;
@@ -114,7 +117,7 @@ fn on_coin_fire(core: &mut Core, ti: usize, gen: u64) {
         let rt = &mut core.tiles[ti];
         rt.fire_gen += 1;
         let gen = rt.fire_gen;
-        let at = core.now + SimTime::from_noc_cycles(dt.base_cycles);
+        let at = core.now + core.clocks.noc.span(dt.base_cycles);
         core.queue
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
         return;
@@ -159,7 +162,7 @@ fn on_coin_fire(core: &mut Core, ti: usize, gen: u64) {
         on_exchange_timeout(core, ti, pj);
         return;
     };
-    let latency = (t_update - core.now) + SimTime::from_noc_cycles(1);
+    let latency = (t_update - core.now) + core.clocks.noc.span(1);
     if let Some(idx) = core.tiles[ti].partners.iter().position(|&p| p == pj) {
         core.tiles[ti].suspect[idx] = 0; // partner demonstrably alive
     }
@@ -193,7 +196,7 @@ fn on_coin_fire(core: &mut Core, ti: usize, gen: u64) {
         };
         rt.fire_gen += 1;
         let gen = rt.fire_gen;
-        let at = core.now + latency + SimTime::from_noc_cycles(rt.interval);
+        let at = core.now + latency + core.clocks.noc.span(rt.interval);
         core.queue
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
     }
@@ -204,7 +207,7 @@ fn on_coin_fire(core: &mut Core, ti: usize, gen: u64) {
         rp.interval = dt.next_interval(rp.interval, out.moved);
         rp.fire_gen += 1;
         let gen = rp.fire_gen;
-        let at = core.now + latency + SimTime::from_noc_cycles(rp.interval);
+        let at = core.now + latency + core.clocks.noc.span(rp.interval);
         core.queue
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: pj, gen }));
     }
@@ -222,13 +225,13 @@ fn on_exchange_timeout(core: &mut Core, ti: usize, pj: usize) {
     // slack before the FSM declares the exchange lost
     let rtt = core.net.latency_bound(TileId(ti), TileId(pj))
         + core.net.latency_bound(TileId(pj), TileId(ti));
-    let timeout = rtt + SimTime::from_noc_cycles(dt.base_cycles);
+    let timeout = rtt + core.clocks.noc.span(dt.base_cycles);
     let rt = &mut core.tiles[ti];
     rt.zero_rot = 0;
     rt.interval = dt.next_interval(rt.interval, 0);
     rt.fire_gen += 1;
     let gen = rt.fire_gen;
-    let at = core.now + timeout + SimTime::from_noc_cycles(rt.interval);
+    let at = core.now + timeout + core.clocks.noc.span(rt.interval);
     core.queue
         .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
     check_bc_response(core);
@@ -351,7 +354,7 @@ fn four_way_fire(core: &mut Core, ti: usize) {
         rt.interval = dt.next_interval(rt.interval, 0);
         rt.fire_gen += 1;
         let gen = rt.fire_gen;
-        let at = core.now + SimTime::from_noc_cycles(rt.interval);
+        let at = core.now + core.clocks.noc.span(rt.interval);
         core.queue
             .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
         return;
@@ -361,7 +364,7 @@ fn four_way_fire(core: &mut Core, ti: usize) {
             core.tiles[ti].suspect[k] = 0;
         }
     }
-    let latency = (last_arrival - core.now) + SimTime::from_noc_cycles(2);
+    let latency = (last_arrival - core.now) + core.clocks.noc.span(2);
 
     // self + up to 4 live partners, on the stack
     let mut idx = [0usize; 5];
@@ -403,7 +406,7 @@ fn four_way_fire(core: &mut Core, ti: usize) {
     };
     rt.fire_gen += 1;
     let gen = rt.fire_gen;
-    let at = core.now + latency + SimTime::from_noc_cycles(rt.interval);
+    let at = core.now + latency + core.clocks.noc.span(rt.interval);
     core.queue
         .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: ti, gen }));
     if significant {
@@ -413,7 +416,7 @@ fn four_way_fire(core: &mut Core, ti: usize) {
             rp.interval = dt.next_interval(rp.interval, moved_total);
             rp.fire_gen += 1;
             let gen = rp.fire_gen;
-            let at = core.now + latency + SimTime::from_noc_cycles(rp.interval);
+            let at = core.now + latency + core.clocks.noc.span(rp.interval);
             core.queue
                 .schedule(at, Ev::Manager(ManagerEv::CoinFire { tile: pj, gen }));
         }

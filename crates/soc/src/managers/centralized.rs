@@ -88,7 +88,7 @@ impl<S: SweepScheme> Centralized<S> {
             (f > current, t)
         });
         let service = core.cfg().timing.service_cycles(S::KIND);
-        let at = core.now + SimTime::from_noc_cycles(service);
+        let at = core.now + core.clocks.noc.span(service);
         core.queue.schedule(
             at,
             Ev::Manager(ManagerEv::SweepWrite {
@@ -128,7 +128,7 @@ impl<S: SweepScheme> Centralized<S> {
         }
         if !last {
             let service = core.cfg().timing.service_cycles(S::KIND);
-            let at = core.now + SimTime::from_noc_cycles(service);
+            let at = core.now + core.clocks.noc.span(service);
             core.queue.schedule(
                 at,
                 Ev::Manager(ManagerEv::SweepWrite {
@@ -174,7 +174,7 @@ impl<S: SweepScheme> Centralized<S> {
 
     fn on_rotate(&mut self, core: &mut Core) {
         self.rotation_step += 1;
-        let rotation = SimTime::from_noc_cycles(core.cfg().timing.crr_rotation_cycles);
+        let rotation = core.clocks.noc.span(core.cfg().timing.crr_rotation_cycles);
         // A pending change normally means a notify-sweep is in
         // flight or about to be. One that is a whole rotation
         // old *and* has seen no sweep start since it arrived
@@ -199,7 +199,7 @@ impl<S: SweepScheme> Centralized<S> {
 /// A sweep's last write arrived: every pending activity change is
 /// answered once the actuation delay elapses.
 fn drain_sweep_responses(core: &mut Core) {
-    let done = core.now + SimTime::from_noc_cycles(core.cfg().timing.actuation_cycles);
+    let done = core.now + core.clocks.noc.span(core.cfg().timing.actuation_cycles);
     // take the list whole (the response push borrows `core` too), then
     // hand its cleared allocation back for the next batch of changes
     let mut drained = std::mem::take(&mut core.pending_changes);

@@ -3,7 +3,6 @@
 //! temporal rather than proportional.
 
 use blitzcoin_baselines::{CrrController, CrrLevel};
-use blitzcoin_sim::SimTime;
 
 use crate::engine::events::ManagerEv;
 use crate::engine::{Core, Ev};
@@ -19,7 +18,7 @@ impl SweepScheme for Crr {
     const WRITES_COINS: bool = false;
 
     fn boot(&mut self, core: &mut Core) {
-        let at = SimTime::from_noc_cycles(core.cfg().timing.crr_rotation_cycles);
+        let at = core.clocks.noc.span(core.cfg().timing.crr_rotation_cycles);
         core.queue.schedule(at, Ev::Manager(ManagerEv::Rotate));
     }
 

@@ -93,7 +93,7 @@ impl TokenSmartPolicy {
         let ring = &self.rings[ri];
         let n = ring.stops.len();
         let next = (stop + 1) % n;
-        let depart = core.now + SimTime::from_noc_cycles(core.cfg().timing.ts_visit_cycles);
+        let depart = core.now + core.clocks.noc.span(core.cfg().timing.ts_visit_cycles);
         if n == 1 {
             // a single-stop ring hands the token to itself; no NoC hop
             core.queue.schedule(
@@ -125,7 +125,7 @@ impl TokenSmartPolicy {
             // the handoff was dropped; the holder retransmits after a
             // base-interval timeout — the token is delayed, never lost
             self.hop_retries += 1;
-            let at = depart + SimTime::from_noc_cycles(core.cfg().exchange_timing.base_cycles);
+            let at = depart + core.clocks.noc.span(core.cfg().exchange_timing.base_cycles);
             core.queue.schedule(
                 at,
                 Ev::Manager(ManagerEv::TokenResend {
@@ -162,7 +162,7 @@ impl TokenSmartPolicy {
                 .schedule(arrive, Ev::Manager(ManagerEv::TokenHop { ring: ri, stop }));
         } else {
             self.hop_retries += 1;
-            let at = core.now + SimTime::from_noc_cycles(core.cfg().exchange_timing.base_cycles);
+            let at = core.now + core.clocks.noc.span(core.cfg().exchange_timing.base_cycles);
             core.queue
                 .schedule(at, Ev::Manager(ManagerEv::TokenResend { ring: ri, stop }));
         }

@@ -90,6 +90,14 @@ pub struct SimReport {
     /// the run, as `(name, value)` pairs — e.g. TokenSmart's ring and
     /// mode statistics. Empty for schemes with nothing extra to say.
     pub scheme_stats: Vec<(String, f64)>,
+    /// Hottest in-loop junction temperature any tile reached (°C).
+    /// `None` unless the run coupled the thermal network in
+    /// (`SimConfig::thermal`).
+    pub thermal_peak_c: Option<f64>,
+    /// Thermal throttle engagements over the run (0 without coupling).
+    pub throttle_events: u64,
+    /// When the first throttle engaged (µs), if any did.
+    pub first_throttle_us: Option<f64>,
 }
 
 impl SimReport {
@@ -257,6 +265,9 @@ mod tests {
             oracle_violations: 0,
             oracle_first: None,
             scheme_stats: vec![],
+            thermal_peak_c: None,
+            throttle_events: 0,
+            first_throttle_us: None,
         }
     }
 

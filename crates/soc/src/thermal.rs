@@ -20,10 +20,14 @@ use crate::report::SimReport;
 /// run had zero duration.
 pub fn analyze(soc: &SocConfig, report: &SimReport, config: ThermalConfig) -> ThermalReport {
     let n = soc.topology.len();
-    let mut powers: Vec<StepTrace> = (0..n).map(|i| StepTrace::new(format!("p_t{i}"))).collect();
+    // Cold tiles all share one empty trace (reads as 0 mW); managed tiles
+    // borrow their recorded traces straight out of the report — nothing
+    // is cloned.
+    let cold = StepTrace::new("p_cold");
+    let mut powers: Vec<&StepTrace> = vec![&cold; n];
     for (slot, &tile) in report.managed_tiles.iter().enumerate() {
         assert!(tile < n, "managed tile {tile} outside the floorplan");
-        powers[tile] = report.tile_power[slot].clone();
+        powers[tile] = &report.tile_power[slot];
     }
     let model = ThermalModel::new(soc.topology, config);
     model.simulate(

@@ -65,7 +65,8 @@ mod tests {
                 t
             })
             .collect();
-        let report = model.simulate(&powers, SimTime::from_ms(5));
+        let refs: Vec<&StepTrace> = powers.iter().collect();
+        let report = model.simulate(&refs, SimTime::from_ms(5));
         assert!(
             report.max_celsius() <= limit + 0.5,
             "cap {cap} coins -> {:.1} C vs limit {limit}",

@@ -1,0 +1,218 @@
+//! The RC network as a scheduled simulation component.
+//!
+//! [`ThermalComponent`] wraps a [`ThermalModel`] in the
+//! `blitzcoin-sim` component model: it owns the temperature state and a
+//! [`ClockDomain`] whose divider is the integration step, and advances
+//! one explicit-Euler step per edge of that slow clock. Driven in-loop
+//! (the SoC engine ticks it from its event queue, sampling *live* tile
+//! powers), temperature feeds back into the run while it happens —
+//! leakage inflates hot tiles' dissipation and a throttle policy can
+//! react — instead of being integrated post-hoc from recorded traces.
+//!
+//! The component produces bit-identical temperatures to the offline
+//! [`ThermalModel::simulate`] when fed the same power sequence: both are
+//! built on [`ThermalModel::step_once`].
+
+use blitzcoin_sim::{ClockDomain, Component, SimTime};
+
+use crate::model::ThermalModel;
+
+/// The thermal RC network as a live, clocked component.
+///
+/// The shared context it ticks against is the per-tile instantaneous
+/// power table (mW) — whoever owns the scheduler keeps it current.
+#[derive(Debug, Clone)]
+pub struct ThermalComponent {
+    model: ThermalModel,
+    leak_per_c: f64,
+    clock: ClockDomain,
+    temp: Vec<f64>,
+    next: Vec<f64>,
+    peak: Vec<f64>,
+    steps: u64,
+}
+
+impl ThermalComponent {
+    /// Wraps `model` with the given leakage coefficient (see
+    /// [`ThermalModel::simulate_coupled`]; 0 disables the feedback).
+    ///
+    /// The component's clock divider is the integration step converted
+    /// to picoseconds, so its edges are exact on the 1 ps base clock.
+    ///
+    /// # Panics
+    /// Panics on a negative coefficient or a step below 1 ps.
+    pub fn new(model: ThermalModel, leak_per_c: f64) -> Self {
+        assert!(
+            leak_per_c >= 0.0,
+            "leakage coefficient must be non-negative"
+        );
+        let period_ps = (model.config().step_us * 1e6).round() as u64;
+        assert!(period_ps > 0, "integration step must be at least 1 ps");
+        let clock = ClockDomain::from_period_ps(period_ps);
+        let n = model.tiles();
+        let ambient = model.config().ambient_c;
+        ThermalComponent {
+            model,
+            leak_per_c,
+            clock,
+            temp: vec![ambient; n],
+            next: vec![ambient; n],
+            peak: vec![ambient; n],
+            steps: 0,
+        }
+    }
+
+    /// The slow clock this component ticks on.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// The wrapped network.
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// Advances one integration step from per-tile instantaneous powers
+    /// (mW).
+    ///
+    /// # Panics
+    /// Debug-asserts `powers_mw` covers every tile.
+    pub fn step(&mut self, powers_mw: &[f64]) {
+        self.model
+            .step_once(&self.temp, powers_mw, self.leak_per_c, &mut self.next);
+        std::mem::swap(&mut self.temp, &mut self.next);
+        for i in 0..self.temp.len() {
+            if self.temp[i] > self.peak[i] {
+                self.peak[i] = self.temp[i];
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Current per-tile temperatures (°C).
+    pub fn temps(&self) -> &[f64] {
+        &self.temp
+    }
+
+    /// Per-tile peak temperatures so far (°C).
+    pub fn peak(&self) -> &[f64] {
+        &self.peak
+    }
+
+    /// The hottest temperature any tile has reached (°C).
+    pub fn max_celsius(&self) -> f64 {
+        self.peak.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Integration steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Component<Vec<f64>> for ThermalComponent {
+    fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    fn tick(&mut self, now: SimTime, powers_mw: &mut Vec<f64>) -> Option<SimTime> {
+        self.step(powers_mw);
+        Some(self.clock.next_edge(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ThermalConfig;
+    use blitzcoin_noc::Topology;
+    use blitzcoin_sim::{Scheduler, StepTrace};
+
+    #[test]
+    fn clocked_component_matches_offline_integrator_exactly() {
+        let topo = Topology::mesh(3, 3);
+        let cfg = ThermalConfig::default();
+        let model = ThermalModel::new(topo, cfg);
+        let hot = 4;
+        let p = 170.0;
+        let until = SimTime::from_ms(2);
+
+        // offline: integrate recorded traces
+        let traces: Vec<StepTrace> = (0..9)
+            .map(|i| {
+                let mut t = StepTrace::new(format!("p{i}"));
+                t.record(SimTime::ZERO, if i == hot { p } else { 0.0 });
+                t
+            })
+            .collect();
+        let refs: Vec<&StepTrace> = traces.iter().collect();
+        let offline = model.simulate_coupled(&refs, until, 0.01);
+
+        // in-loop: tick the component along its clock edges through the
+        // Component trait, reading the live power table
+        let mut comp = ThermalComponent::new(model, 0.01);
+        let mut powers: Vec<f64> = (0..9).map(|i| if i == hot { p } else { 0.0 }).collect();
+        let mut now = SimTime::ZERO;
+        loop {
+            let edge = Component::clock(&comp).next_edge(now);
+            if edge > until {
+                break;
+            }
+            let next = Component::tick(&mut comp, edge, &mut powers).expect("reschedules");
+            assert_eq!(next, comp.clock().next_edge(edge));
+            now = edge;
+        }
+
+        // same primitive, same step sequence: bit-identical temperatures
+        assert_eq!(
+            comp.steps(),
+            (until.as_us_f64() / cfg.step_us).ceil() as u64
+        );
+        for i in 0..9 {
+            assert_eq!(comp.peak()[i], offline.peak_celsius(i), "tile {i}");
+        }
+        assert!(comp.max_celsius() > cfg.ambient_c + 10.0);
+    }
+
+    #[test]
+    fn runs_under_the_generic_scheduler() {
+        let model = ThermalModel::new(Topology::mesh(2, 2), ThermalConfig::default());
+        let comp = ThermalComponent::new(model, 0.0);
+        let first = comp.clock().span(1);
+        let mut sched = Scheduler::new();
+        sched.add(Box::new(comp), first);
+        let mut powers = vec![50.0; 4];
+        // 1 ms horizon at a 5 us step: exactly 200 ticks
+        assert_eq!(sched.run_until(SimTime::from_ms(1), &mut powers), 200);
+        assert_eq!(sched.now(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn clock_divider_is_the_integration_step() {
+        let model = ThermalModel::new(Topology::mesh(2, 2), ThermalConfig::default());
+        let comp = ThermalComponent::new(model, 0.0);
+        // 5 us step -> 5_000_000 ps divider
+        assert_eq!(comp.clock().period_ps(), 5_000_000);
+        assert_eq!(comp.clock().span(3), SimTime::from_us(15));
+    }
+
+    #[test]
+    fn idle_component_stays_at_ambient() {
+        let model = ThermalModel::new(Topology::mesh(2, 2), ThermalConfig::default());
+        let mut comp = ThermalComponent::new(model, 0.01);
+        for _ in 0..200 {
+            comp.step(&[0.0; 4]);
+        }
+        for &t in comp.temps() {
+            assert!((t - 45.0).abs() < 1e-12);
+        }
+        assert_eq!(comp.steps(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_leakage_rejected() {
+        let model = ThermalModel::new(Topology::mesh(2, 2), ThermalConfig::default());
+        ThermalComponent::new(model, -0.1);
+    }
+}

@@ -17,6 +17,10 @@
 //! - [`calibrate`]: translating a junction temperature limit into the
 //!   neighborhood coin cap the BlitzCoin FSM enforces
 //!   (`blitzcoin_core::HotspotCap`).
+//! - [`component::ThermalComponent`]: the same network as a live clocked
+//!   component for in-loop electro-thermal co-simulation — the SoC
+//!   engine ticks it on its own slow clock so temperature feeds back
+//!   into the run (leakage, throttling) while it happens.
 //!
 //! # Example
 //!
@@ -26,24 +30,26 @@
 //! use blitzcoin_thermal::{ThermalConfig, ThermalModel};
 //!
 //! let topo = Topology::mesh(3, 3);
-//! let mut powers: Vec<StepTrace> = (0..9).map(|i| {
+//! let powers: Vec<StepTrace> = (0..9).map(|i| {
 //!     let mut t = StepTrace::new(format!("p{i}"));
 //!     t.record(SimTime::ZERO, if i == 4 { 150.0 } else { 5.0 });
 //!     t
 //! }).collect();
 //! let model = ThermalModel::new(topo, ThermalConfig::default());
-//! let report = model.simulate(&powers, SimTime::from_ms(20));
+//! let refs: Vec<&StepTrace> = powers.iter().collect();
+//! let report = model.simulate(&refs, SimTime::from_ms(20));
 //! // the hot center tile is the hottest, its neighbors warmer than corners
 //! assert!(report.peak_celsius(4) > report.peak_celsius(1));
 //! assert!(report.peak_celsius(1) > report.peak_celsius(0));
-//! # let _ = &mut powers;
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod calibrate;
+pub mod component;
 pub mod model;
 
 pub use calibrate::coin_cap_for_limit;
+pub use component::ThermalComponent;
 pub use model::{ThermalConfig, ThermalModel, ThermalReport};

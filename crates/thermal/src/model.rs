@@ -104,55 +104,53 @@ impl ThermalModel {
         self.config.ambient_c + p_mw / g_eff
     }
 
+    /// The number of tiles (thermal nodes) in the network.
+    pub fn tiles(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Advances the network by one integration step (`config.step_us`)
+    /// from per-tile instantaneous powers (mW), writing the new
+    /// temperatures into `next`. With a positive `leak_per_c` each tile's
+    /// dissipation is first inflated by the leakage factor
+    /// `1 + leak_per_c · (T − T_amb)`.
+    ///
+    /// This is the primitive both offline integrators below are built on,
+    /// and what an in-loop thermal component calls once per edge of its
+    /// slow clock.
+    ///
+    /// # Panics
+    /// Debug-asserts that all three slices cover every tile.
+    pub fn step_once(&self, temp: &[f64], powers_mw: &[f64], leak_per_c: f64, next: &mut [f64]) {
+        debug_assert_eq!(temp.len(), self.topo.len());
+        debug_assert_eq!(powers_mw.len(), self.topo.len());
+        debug_assert_eq!(next.len(), self.topo.len());
+        let dt = self.config.step_us;
+        for i in 0..self.topo.len() {
+            let p0 = powers_mw[i];
+            let p = p0 * (1.0 + leak_per_c * (temp[i] - self.config.ambient_c).max(0.0));
+            let mut flow = p - self.config.g_vertical * (temp[i] - self.config.ambient_c);
+            for &j in &self.neighbors[i] {
+                flow -= self.config.g_lateral * (temp[i] - temp[j]);
+            }
+            next[i] = temp[i] + flow * dt / self.config.capacitance;
+        }
+    }
+
     /// Integrates the network over per-tile power traces (mW), producing
     /// temperature traces sampled at the integration step.
+    ///
+    /// Takes trace *references* so a caller can assemble the per-tile
+    /// table without cloning recorded traces (cold tiles can all share
+    /// one empty trace, which reads as 0 mW).
     ///
     /// # Panics
     /// Panics if `powers.len()` differs from the tile count or `until` is
     /// zero.
-    pub fn simulate(&self, powers: &[StepTrace], until: SimTime) -> ThermalReport {
-        assert_eq!(powers.len(), self.topo.len(), "one power trace per tile");
-        assert!(until > SimTime::ZERO, "simulation horizon must be positive");
-        let n = self.topo.len();
-        let mut temp = vec![self.config.ambient_c; n];
-        let mut traces: Vec<StepTrace> = (0..n)
-            .map(|i| {
-                let mut t = StepTrace::new(format!("temp_t{i}"));
-                t.record(SimTime::ZERO, self.config.ambient_c);
-                t
-            })
-            .collect();
-        let mut peak = vec![self.config.ambient_c; n];
-        let dt = self.config.step_us;
-        let steps = (until.as_us_f64() / dt).ceil() as u64;
-        let mut next = temp.clone();
-        for k in 1..=steps {
-            let now = SimTime::from_us_f64(k as f64 * dt);
-            for i in 0..n {
-                let p = powers[i].value_at(now);
-                let mut flow = p - self.config.g_vertical * (temp[i] - self.config.ambient_c);
-                for &j in &self.neighbors[i] {
-                    flow -= self.config.g_lateral * (temp[i] - temp[j]);
-                }
-                next[i] = temp[i] + flow * dt / self.config.capacitance;
-            }
-            std::mem::swap(&mut temp, &mut next);
-            for i in 0..n {
-                if temp[i] > peak[i] {
-                    peak[i] = temp[i];
-                }
-                traces[i].record(now, temp[i]);
-            }
-        }
-        ThermalReport {
-            traces,
-            peak,
-            ambient_c: self.config.ambient_c,
-        }
+    pub fn simulate(&self, powers: &[&StepTrace], until: SimTime) -> ThermalReport {
+        self.integrate(powers, until, 0.0)
     }
-}
 
-impl ThermalModel {
     /// Electro-thermal co-simulation: leakage power grows with junction
     /// temperature (`P_eff = P · (1 + leak_per_c · (T − T_amb))`), which
     /// in turn heats the tile further. Iterates the coupled fixed point
@@ -164,7 +162,7 @@ impl ThermalModel {
     /// [`ThermalModel::simulate`].
     pub fn simulate_coupled(
         &self,
-        powers: &[StepTrace],
+        powers: &[&StepTrace],
         until: SimTime,
         leak_per_c: f64,
     ) -> ThermalReport {
@@ -172,6 +170,10 @@ impl ThermalModel {
             leak_per_c >= 0.0,
             "leakage coefficient must be non-negative"
         );
+        self.integrate(powers, until, leak_per_c)
+    }
+
+    fn integrate(&self, powers: &[&StepTrace], until: SimTime, leak_per_c: f64) -> ThermalReport {
         assert_eq!(powers.len(), self.topo.len(), "one power trace per tile");
         assert!(until > SimTime::ZERO, "simulation horizon must be positive");
         let n = self.topo.len();
@@ -187,17 +189,13 @@ impl ThermalModel {
         let dt = self.config.step_us;
         let steps = (until.as_us_f64() / dt).ceil() as u64;
         let mut next = temp.clone();
+        let mut p_now = vec![0.0; n];
         for k in 1..=steps {
             let now = SimTime::from_us_f64(k as f64 * dt);
             for i in 0..n {
-                let p0 = powers[i].value_at(now);
-                let p = p0 * (1.0 + leak_per_c * (temp[i] - self.config.ambient_c).max(0.0));
-                let mut flow = p - self.config.g_vertical * (temp[i] - self.config.ambient_c);
-                for &j in &self.neighbors[i] {
-                    flow -= self.config.g_lateral * (temp[i] - temp[j]);
-                }
-                next[i] = temp[i] + flow * dt / self.config.capacitance;
+                p_now[i] = powers[i].value_at(now);
             }
+            self.step_once(&temp, &p_now, leak_per_c, &mut next);
             std::mem::swap(&mut temp, &mut next);
             for i in 0..n {
                 if temp[i] > peak[i] {
@@ -261,11 +259,15 @@ mod tests {
             .collect()
     }
 
+    fn refs(traces: &[StepTrace]) -> Vec<&StepTrace> {
+        traces.iter().collect()
+    }
+
     #[test]
     fn idle_die_stays_at_ambient() {
         let topo = Topology::mesh(3, 3);
         let model = ThermalModel::new(topo, ThermalConfig::default());
-        let report = model.simulate(&const_power(9, 4, 0.0), SimTime::from_ms(2));
+        let report = model.simulate(&refs(&const_power(9, 4, 0.0)), SimTime::from_ms(2));
         for i in 0..9 {
             assert!((report.peak_celsius(i) - 45.0).abs() < 1e-9, "tile {i}");
         }
@@ -277,7 +279,7 @@ mod tests {
         let topo = Topology::mesh(5, 5);
         let cfg = ThermalConfig::default();
         let model = ThermalModel::new(topo, cfg);
-        let report = model.simulate(&const_power(25, 12, 190.0), SimTime::from_ms(5));
+        let report = model.simulate(&refs(&const_power(25, 12, 190.0)), SimTime::from_ms(5));
         let analytic = model.steady_self_heating(190.0);
         let measured = report.peak_celsius(12);
         // the 2-shell analytic slightly overestimates (it ignores 3rd-shell
@@ -293,7 +295,7 @@ mod tests {
     fn heat_spreads_to_neighbors_with_distance_decay() {
         let topo = Topology::mesh(5, 5);
         let model = ThermalModel::new(topo, ThermalConfig::default());
-        let report = model.simulate(&const_power(25, 12, 150.0), SimTime::from_ms(4));
+        let report = model.simulate(&refs(&const_power(25, 12, 150.0)), SimTime::from_ms(4));
         let center = report.peak_celsius(12);
         let near = report.peak_celsius(11); // 1 hop
         let far = report.peak_celsius(10); // 2 hops
@@ -312,10 +314,10 @@ mod tests {
         let torus = Topology::torus(4, 4);
         let mesh = Topology::mesh(4, 4);
         let cfg = ThermalConfig::default();
-        let a =
-            ThermalModel::new(torus, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
-        let b =
-            ThermalModel::new(mesh, cfg).simulate(&const_power(16, 0, 100.0), SimTime::from_ms(3));
+        let a = ThermalModel::new(torus, cfg)
+            .simulate(&refs(&const_power(16, 0, 100.0)), SimTime::from_ms(3));
+        let b = ThermalModel::new(mesh, cfg)
+            .simulate(&refs(&const_power(16, 0, 100.0)), SimTime::from_ms(3));
         assert!((a.peak_celsius(0) - b.peak_celsius(0)).abs() < 1e-9);
         // the physically-opposite corner stays cold in both
         assert!((a.peak_celsius(15) - b.peak_celsius(15)).abs() < 1e-9);
@@ -328,7 +330,7 @@ mod tests {
         let model = ThermalModel::new(topo, cfg);
         let p = 100.0;
         let tau_us = cfg.capacitance / cfg.g_vertical; // 150 us
-        let report = model.simulate(&const_power(1, 0, p), SimTime::from_us_f64(tau_us));
+        let report = model.simulate(&refs(&const_power(1, 0, p)), SimTime::from_us_f64(tau_us));
         let rise = report.traces[0].value_at(SimTime::from_us_f64(tau_us)) - cfg.ambient_c;
         let full = p / cfg.g_vertical;
         // after one time constant: ~63% of the full rise
@@ -346,7 +348,7 @@ mod tests {
         let mut powers = const_power(4, 0, 0.0);
         powers[0].record(SimTime::from_us(100), 200.0);
         powers[0].record(SimTime::from_us(600), 0.0);
-        let report = model.simulate(&powers, SimTime::from_ms(4));
+        let report = model.simulate(&refs(&powers), SimTime::from_ms(4));
         let peak = report.peak_celsius(0);
         let end = report.traces[0].last_value();
         assert!(peak > 60.0);
@@ -358,11 +360,11 @@ mod tests {
         let topo = Topology::mesh(3, 3);
         let model = ThermalModel::new(topo, ThermalConfig::default());
         let powers = const_power(9, 4, 150.0);
-        let plain = model.simulate(&powers, SimTime::from_ms(4));
-        let coupled = model.simulate_coupled(&powers, SimTime::from_ms(4), 0.01);
+        let plain = model.simulate(&refs(&powers), SimTime::from_ms(4));
+        let coupled = model.simulate_coupled(&refs(&powers), SimTime::from_ms(4), 0.01);
         assert!(coupled.peak_celsius(4) > plain.peak_celsius(4) + 1.0);
         // zero coefficient reproduces the uncoupled result
-        let zero = model.simulate_coupled(&powers, SimTime::from_ms(4), 0.0);
+        let zero = model.simulate_coupled(&refs(&powers), SimTime::from_ms(4), 0.0);
         assert!((zero.peak_celsius(4) - plain.peak_celsius(4)).abs() < 1e-9);
     }
 
@@ -371,7 +373,7 @@ mod tests {
         let topo = Topology::mesh(3, 3);
         let model = ThermalModel::new(topo, ThermalConfig::default());
         let powers = const_power(9, 4, 190.0);
-        let r = model.simulate_coupled(&powers, SimTime::from_ms(6), 0.01);
+        let r = model.simulate_coupled(&refs(&powers), SimTime::from_ms(6), 0.01);
         assert!(r.max_celsius().is_finite());
         assert!(r.max_celsius() < 150.0, "{}", r.max_celsius());
     }
@@ -392,6 +394,6 @@ mod tests {
     #[should_panic(expected = "one power trace per tile")]
     fn wrong_trace_count_panics() {
         let model = ThermalModel::new(Topology::mesh(2, 2), ThermalConfig::default());
-        model.simulate(&const_power(3, 0, 1.0), SimTime::from_ms(1));
+        model.simulate(&refs(&const_power(3, 0, 1.0)), SimTime::from_ms(1));
     }
 }

@@ -1,0 +1,133 @@
+//! Seeded property tests for the RC thermal network: physical
+//! invariants that must hold for *any* workload shape, not just the
+//! hand-picked traces in the unit tests.
+
+use blitzcoin_noc::Topology;
+use blitzcoin_sim::check::forall;
+use blitzcoin_sim::{ensure, SimRng, SimTime, StepTrace};
+use blitzcoin_thermal::{ThermalConfig, ThermalModel};
+
+const HORIZON_US: u64 = 1_500;
+
+/// A random piecewise-constant power trace: a handful of steps in
+/// [0, 250] mW across the simulation horizon.
+fn random_trace(rng: &mut SimRng, name: &str) -> StepTrace {
+    let mut tr = StepTrace::new(name);
+    let steps = rng.range_usize(1..6);
+    for s in 0..steps {
+        let at = SimTime::from_us(s as u64 * HORIZON_US / steps as u64);
+        tr.record(at, 250.0 * rng.unit_f64());
+    }
+    tr
+}
+
+fn random_grid(rng: &mut SimRng) -> Topology {
+    Topology::mesh(rng.range_usize(1..5), rng.range_usize(1..5))
+}
+
+fn refs(traces: &[StepTrace]) -> Vec<&StepTrace> {
+    traces.iter().collect()
+}
+
+#[test]
+fn uniformly_higher_power_never_cools_any_tile() {
+    forall("thermal monotonicity in power", 40, |rng| {
+        let topo = random_grid(rng);
+        let n = topo.width() * topo.height();
+        let model = ThermalModel::new(topo, ThermalConfig::default());
+        let leak = 0.02 * rng.unit_f64();
+        let until = SimTime::from_us(HORIZON_US);
+
+        let base: Vec<StepTrace> = (0..n)
+            .map(|i| random_trace(rng, &format!("p{i}")))
+            .collect();
+        // the same trace shapes, every segment shifted up by >= 0 mW
+        let hotter: Vec<StepTrace> = base
+            .iter()
+            .map(|tr| {
+                let boost = 60.0 * rng.unit_f64();
+                let mut up = StepTrace::new(tr.name());
+                for p in tr.points() {
+                    up.record(p.time, p.value + boost);
+                }
+                up
+            })
+            .collect();
+
+        let cold = model.simulate_coupled(&refs(&base), until, leak);
+        let hot = model.simulate_coupled(&refs(&hotter), until, leak);
+        for i in 0..n {
+            ensure!(
+                hot.peak_celsius(i) >= cold.peak_celsius(i) - 1e-9,
+                "tile {i} cooled under more power: {} -> {}",
+                cold.peak_celsius(i),
+                hot.peak_celsius(i)
+            );
+            // not just the peaks: the whole trajectory dominates
+            for p in cold.traces[i].points() {
+                let h = hot.traces[i].value_at(p.time);
+                ensure!(
+                    h >= p.value - 1e-9,
+                    "tile {i} cooler at {:?}: {} -> {h}",
+                    p.time,
+                    p.value
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn zero_power_die_is_an_exact_ambient_fixed_point() {
+    forall("thermal ambient fixed point", 40, |rng| {
+        let topo = random_grid(rng);
+        let n = topo.width() * topo.height();
+        let ambient = 20.0 + 40.0 * rng.unit_f64();
+        let cfg = ThermalConfig {
+            ambient_c: ambient,
+            ..ThermalConfig::default()
+        };
+        let model = ThermalModel::new(topo, cfg);
+        let idle: Vec<StepTrace> = (0..n).map(|i| StepTrace::new(format!("p{i}"))).collect();
+        let report = model.simulate(&refs(&idle), SimTime::from_us(HORIZON_US));
+        for i in 0..n {
+            // zero flow through every conductance: bit-exact, no epsilon
+            ensure!(
+                report.peak_celsius(i) == ambient,
+                "tile {i} drifted off ambient: {}",
+                report.peak_celsius(i)
+            );
+            for p in report.traces[i].points() {
+                ensure!(p.value == ambient, "tile {i} at {:?}: {}", p.time, p.value);
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn halving_the_integration_step_barely_moves_the_peak() {
+    forall("thermal step-size robustness", 40, |rng| {
+        let topo = random_grid(rng);
+        let n = topo.width() * topo.height();
+        let cfg = ThermalConfig::default();
+        let halved = ThermalConfig {
+            step_us: cfg.step_us / 2.0,
+            ..cfg
+        };
+        let coarse = ThermalModel::new(topo, cfg);
+        let fine = ThermalModel::new(topo, halved);
+        let powers: Vec<StepTrace> = (0..n)
+            .map(|i| random_trace(rng, &format!("p{i}")))
+            .collect();
+        let until = SimTime::from_us(HORIZON_US);
+        let a = coarse.simulate(&refs(&powers), until).max_celsius();
+        let b = fine.simulate(&refs(&powers), until).max_celsius();
+        ensure!(
+            (a - b).abs() < 0.1,
+            "halving the step moved max_celsius {a:.4} -> {b:.4}"
+        );
+        Ok(())
+    });
+}

@@ -52,7 +52,8 @@ fn main() {
                 tr
             })
             .collect();
-        let report = ThermalModel::new(topo, thermal).simulate(&powers, SimTime::from_ms(5));
+        let refs: Vec<&StepTrace> = powers.iter().collect();
+        let report = ThermalModel::new(topo, thermal).simulate(&refs, SimTime::from_ms(5));
 
         println!("{label}: center holds {} coins", emu.tiles()[center].has);
         println!("die temperatures (C):");

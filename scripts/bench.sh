@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Benchmark snapshot: runs the per-policy throughput bench and the kernel
 # microbenchmarks in release mode and collects every reported metric into
-# BENCH_5.json at the repo root (or the path given as $1).
+# BENCH_7.json at the repo root (or the path given as $1). BENCH_5.json
+# is the pre-clock-domain allocation-free baseline the PR-7 scheduler
+# refactor is gated against (BC events/s within 10%).
 #
 # The bench harness pins the sweep executor to one job, so the numbers
 # measure the kernels rather than the machine's core count; the JSON
@@ -10,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_7.json}"
 tsv=$(mktemp)
 trap 'rm -f "$tsv"' EXIT
 
@@ -23,7 +25,7 @@ rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 {
     printf '{\n'
-    printf '  "bench": 5,\n'
+    printf '  "bench": 7,\n'
     printf '  "git_rev": "%s",\n' "$rev"
     printf '  "jobs": 1,\n'
     printf '  "metrics": {\n'

@@ -69,4 +69,11 @@ done
 cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
     interleave --quick --orderings 4 --out "$smoke_dir/interleave" > /dev/null
 
+# Thermal-coupling smoke gate: every cycle-level manager with the RC
+# network integrated in-loop and a tight junction limit, audited — the
+# throttle path (target cut, coin-spend clamp, reallocation announce)
+# must not trip conservation, the budget ceiling, or VF legality.
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
+    thermal-coupling --quick --out "$smoke_dir/thermal" > /dev/null
+
 echo "ci: all green"
