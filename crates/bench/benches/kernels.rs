@@ -188,11 +188,22 @@ fn sim_kernels(c: &mut Criterion) {
     });
 }
 
+fn host_reference(c: &mut Criterion) {
+    // The pinned pure-ALU host-speed probe (see
+    // `blitzcoin_bench::host_reference_workload`). The policies bench
+    // brackets its runs with the same workload; this entry keeps it in
+    // the kernel inventory and serves as the gate's fallback.
+    c.bench_function("kernel/host_reference", |b| {
+        b.iter(|| black_box(blitzcoin_bench::host_reference_workload()))
+    });
+}
+
 criterion_group!(
     kernels,
     exchange_kernels,
     noc_kernels,
     power_kernels,
-    sim_kernels
+    sim_kernels,
+    host_reference
 );
 criterion_main!(kernels);

@@ -17,6 +17,14 @@ use blitzcoin_noc::{Packet, PacketKind, Plane, TileId, Topology};
 use std::hint::black_box;
 
 fn policy_throughput(c: &mut Criterion) {
+    // Bracket the policy runs with the pinned host-reference workload:
+    // sampling host speed in the same binary, immediately around the
+    // numbers being gated, is what makes the bench.sh regression gate a
+    // paired A/B — a reference measured minutes later (the kernels
+    // bench) can miss a transient slowdown that hit only this window.
+    let ref_pre = c.bench_function("policy/host_reference_pre", |b| {
+        b.iter(|| black_box(blitzcoin_bench::host_reference_workload()))
+    });
     for (name, kind, mode) in POLICY_BENCH_CONFIGS {
         let sim = policy_bench_sim(kind, mode);
         // deterministic: every timed run processes exactly this many events
@@ -32,6 +40,17 @@ fn policy_throughput(c: &mut Criterion) {
             );
         }
     }
+    let ref_post = c.bench_function("policy/host_reference_post", |b| {
+        b.iter(|| black_box(blitzcoin_bench::host_reference_workload()))
+    });
+    // The gate normalizes by this: the mean of the two brackets stands
+    // in for host speed across the whole policy window, so sustained
+    // contention slows it in step with the policy numbers and cancels.
+    c.report_metric(
+        "policy/host_reference",
+        0.5 * (ref_pre + ref_post),
+        "ns/iter",
+    );
 }
 
 fn noc_cycle_throughput(c: &mut Criterion) {

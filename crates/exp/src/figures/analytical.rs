@@ -14,7 +14,7 @@ use crate::{Ctx, FigResult};
 /// Fig 4 uses light 6-cycle visits instead — it compares the algorithms'
 /// exchange structure, not the hardware service loop — so its fit is
 /// reported alongside for transparency but not used for N_max.
-fn ts_hw() -> TauFit {
+pub(crate) fn ts_hw() -> TauFit {
     TauFit::with_tau(Strategy::TokenSmart, 178.0 * 1.25e-3)
 }
 
@@ -96,8 +96,9 @@ pub fn fig1(ctx: &Ctx) -> FigResult {
 }
 
 /// Fits τ constants from our own full-SoC measurements (N = 6, 7, 13),
-/// mirroring Section VI-D's use of Figs 17, 18 and 20.
-fn fit_taus(ctx: &Ctx) -> Vec<(Strategy, TauFit, TauFit)> {
+/// mirroring Section VI-D's use of Figs 17, 18 and 20. Also the analytic
+/// reference the mega-mesh validation extrapolates against.
+pub(crate) fn fit_taus(ctx: &Ctx) -> Vec<(Strategy, TauFit, TauFit)> {
     let f = if ctx.quick { 2 } else { 3 };
     let mut meas: Vec<(Strategy, Vec<(usize, f64)>)> = vec![
         (Strategy::BlitzCoin, Vec::new()),

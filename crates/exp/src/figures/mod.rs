@@ -5,6 +5,7 @@ pub mod behavioural;
 pub mod coupling;
 pub mod extensions;
 pub mod interleave;
+pub mod megamesh;
 pub mod oracle_diff;
 pub mod power;
 pub mod resilience;

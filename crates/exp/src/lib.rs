@@ -50,6 +50,10 @@ pub struct Ctx {
     /// experiment's throttled runs (`--thermal-limit`); `None` uses the
     /// experiment's built-in tight limit.
     pub thermal_limit_c: Option<f64>,
+    /// Extra mesh side for the `mega-mesh` experiment (`--mega-d`): adds
+    /// a `D` x `D` point beyond the built-in 16x16/32x32 grid (e.g. 64
+    /// for a 4096-tile run). `None` runs only the built-in sizes.
+    pub mega_d: Option<usize>,
 }
 
 impl Default for Ctx {
@@ -62,6 +66,7 @@ impl Default for Ctx {
             tie_break: TieBreak::Fifo,
             orderings: 0,
             thermal_limit_c: None,
+            mega_d: None,
         }
     }
 }
@@ -268,7 +273,7 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 27] = [
+pub const ALL_EXPERIMENTS: [&str; 28] = [
     "fig1",
     "fig2",
     "fig3",
@@ -296,6 +301,7 @@ pub const ALL_EXPERIMENTS: [&str; 27] = [
     "oracle-diff",
     "interleave",
     "thermal-coupling",
+    "mega-mesh",
 ];
 
 /// Runs the experiment with the given id.
@@ -339,6 +345,7 @@ fn dispatch_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "oracle-diff" => figures::oracle_diff::oracle_diff(ctx),
         "interleave" => figures::interleave::interleave(ctx),
         "thermal-coupling" => figures::coupling::thermal_coupling(ctx),
+        "mega-mesh" => figures::megamesh::mega_mesh(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

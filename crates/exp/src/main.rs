@@ -17,6 +17,8 @@
 //! `--orderings N` sets the shuffled orderings per point for the
 //! `interleave` experiment. `--thermal-limit C` overrides the junction
 //! limit (°C) the `thermal-coupling` experiment throttles at.
+//! `--mega-d D` adds a `D` x `D` point to the `mega-mesh` experiment
+//! beyond its built-in 16x16 (and, in full mode, 32x32) grids.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -101,6 +103,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--mega-d" => {
+                let Some(d) = iter.next() else {
+                    eprintln!("--mega-d needs a mesh side (e.g. 64)");
+                    return ExitCode::FAILURE;
+                };
+                match d.parse::<usize>() {
+                    Ok(d) if d >= 4 => ctx.mega_d = Some(d),
+                    Ok(_) => {
+                        eprintln!("--mega-d must be at least 4");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("bad mega-mesh side: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--jobs" => {
                 let Some(jobs) = iter.next() else {
                     eprintln!("--jobs needs a value");
@@ -145,7 +164,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] \
              [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--thermal-limit C] \
-             [--write-experiments]",
+             [--mega-d D] [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;

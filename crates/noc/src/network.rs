@@ -252,6 +252,14 @@ impl Network {
         self.stats = TrafficStats::default();
     }
 
+    /// Dense-structure audit: the length of every per-tile container the
+    /// analytic model owns, by name. `link_free` is the one dense table —
+    /// `tiles * LINK_DIRS * PLANES` slots — and must stay O(tiles); the
+    /// scaling tests assert linear growth between 8x8 and 16x16.
+    pub fn structure_lens(&self) -> Vec<(&'static str, usize)> {
+        vec![("link_free", self.link_free.len())]
+    }
+
     /// Sends `packet` at time `now`; returns its [`Delivery`] outcome and
     /// accounts traffic.
     ///

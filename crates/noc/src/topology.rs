@@ -161,11 +161,9 @@ impl Topology {
     }
 
     /// Fallible [`Topology::mesh`]: returns an error instead of panicking
-    /// on zero dimensions.
+    /// on zero or over-large dimensions.
     pub fn try_mesh(width: usize, height: usize) -> Result<Self, ConfigError> {
-        if width == 0 || height == 0 {
-            return Err(ConfigError::ZeroDimension { width, height });
-        }
+        Self::check_dims(width, height)?;
         Ok(Topology {
             width,
             height,
@@ -188,16 +186,35 @@ impl Topology {
     }
 
     /// Fallible [`Topology::torus`]: returns an error instead of panicking
-    /// on zero dimensions.
+    /// on zero or over-large dimensions.
     pub fn try_torus(width: usize, height: usize) -> Result<Self, ConfigError> {
-        if width == 0 || height == 0 {
-            return Err(ConfigError::ZeroDimension { width, height });
-        }
+        Self::check_dims(width, height)?;
         Ok(Topology {
             width,
             height,
             wraparound: true,
         })
+    }
+
+    /// Validates grid dimensions with overflow-checked sizing: the tile
+    /// count `width * height` must not wrap, and must leave headroom for
+    /// every dense per-tile structure sized from it (the largest constant
+    /// fan-out in the tree is the analytic NoC's `tiles * 4 dirs * 6
+    /// planes` link table; 64x covers it with margin). Anything larger
+    /// would silently overflow an allocation size somewhere downstream,
+    /// so it is rejected here, at the only place grids are made.
+    fn check_dims(width: usize, height: usize) -> Result<(), ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::ZeroDimension { width, height });
+        }
+        let fits = width
+            .checked_mul(height)
+            .and_then(|n| n.checked_mul(64))
+            .is_some();
+        if !fits {
+            return Err(ConfigError::GridTooLarge { width, height });
+        }
+        Ok(())
     }
 
     /// Creates a square topology of dimension `d`; wrap-around per flag.
@@ -541,5 +558,30 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn tile_out_of_range_panics() {
         Topology::mesh(2, 2).tile(2, 0);
+    }
+
+    #[test]
+    fn try_mesh_checks_dimensions() {
+        assert!(matches!(
+            Topology::try_mesh(0, 5),
+            Err(ConfigError::ZeroDimension { .. })
+        ));
+        assert!(matches!(
+            Topology::try_torus(5, 0),
+            Err(ConfigError::ZeroDimension { .. })
+        ));
+        // width * height itself overflows usize...
+        assert!(matches!(
+            Topology::try_mesh(usize::MAX, 2),
+            Err(ConfigError::GridTooLarge { .. })
+        ));
+        // ...and so does a product that fits but leaves no headroom for
+        // the dense per-tile structures sized from it (x64).
+        assert!(matches!(
+            Topology::try_mesh(1 << 60, 1 << 3),
+            Err(ConfigError::GridTooLarge { .. })
+        ));
+        // Mega-mesh sides stay fine.
+        assert_eq!(Topology::try_mesh(32, 32).unwrap().len(), 1024);
     }
 }

@@ -151,6 +151,21 @@ impl TauFit {
         assert!(t_w_us > 0.0, "T_w must be positive");
         self.response_us(n) * n as f64 / t_w_us
     }
+
+    /// Measured-over-predicted ratio at `n` accelerators: 1.0 is perfect
+    /// agreement with the analytic `τ·N^e` curve, 2.0 means the measured
+    /// response is twice the extrapolation. The mega-mesh validation
+    /// quantifies model agreement with exactly this number.
+    ///
+    /// # Panics
+    /// Panics on a non-positive `n` or measurement.
+    pub fn agreement(&self, n: usize, measured_us: f64) -> f64 {
+        assert!(
+            n > 0 && measured_us > 0.0,
+            "agreement needs a positive measurement"
+        );
+        measured_us / self.response_us(n)
+    }
 }
 
 /// The paper's fitted constants (Section VI-D), reproduced here as the

@@ -35,6 +35,15 @@ pub enum ConfigError {
         /// Requested height.
         height: usize,
     },
+    /// A mesh/torus grid whose tile count (or a dense per-tile sizing
+    /// derived from it) would overflow `usize`, so allocations sized from
+    /// it would silently wrap.
+    GridTooLarge {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
     /// A tile id referenced a tile outside the topology.
     TileOutOfRange {
         /// The offending tile id.
@@ -71,6 +80,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "topology dimensions must be non-zero, got {width}x{height}"
+                )
+            }
+            ConfigError::GridTooLarge { width, height } => {
+                write!(
+                    f,
+                    "topology {width}x{height} is too large: the tile count must fit \
+                     usize with headroom for dense per-tile structure sizing"
                 )
             }
             ConfigError::TileOutOfRange { tile, n_tiles } => {

@@ -422,6 +422,41 @@ impl Simulation {
         self.run_traced(seed, 0).0
     }
 
+    /// Dense-structure audit: builds the engine state exactly as
+    /// [`Simulation::run`] would and reports the length of every
+    /// container sized from the tile count (or the task count, which the
+    /// scaling workloads grow linearly with it), by name. The scaling
+    /// tests assert each grows O(tiles), never O(tiles²), between 8x8
+    /// and 16x16 — the same audit that flushed out the wormhole router's
+    /// dense `n * n` route table.
+    pub fn structure_lens(&self) -> Vec<(&'static str, usize)> {
+        let core = Core::new(self, SimRng::seed(0));
+        let mut lens = vec![
+            ("tiles", core.tiles.len()),
+            ("tile_clocks", core.clocks.tile.len()),
+            ("managed", core.managed.len()),
+            ("managed_slot", core.managed_slot.len()),
+            ("nearest_mem", core.nearest_mem.len()),
+            ("cluster_of", core.cluster_of.len()),
+            (
+                "cluster_members_total",
+                core.cluster_members.iter().map(Vec::len).sum(),
+            ),
+            ("cluster_expected", core.cluster_expected.len()),
+            (
+                "partners_total",
+                core.tiles.iter().map(|t| t.partners.len()).sum(),
+            ),
+            ("deps_left", core.deps_left.len()),
+            ("done_tasks", core.done_tasks.len()),
+            ("coin_traces", core.coin_traces.len()),
+            ("freq_traces", core.freq_traces.len()),
+            ("power_traces", core.power_traces.len()),
+        ];
+        lens.extend(core.net.structure_lens());
+        lens
+    }
+
     /// [`Simulation::run`], additionally recording the first `pop_cap`
     /// event pops as `(time_ps, seq)` pairs. The interleaving fuzzer uses
     /// the trace to bisect a divergence to the first pop where two

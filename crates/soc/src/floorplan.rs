@@ -299,6 +299,127 @@ pub fn synthetic(d: usize) -> SocConfig {
     SocConfig::new(format!("synthetic-{d}x{d}"), Topology::mesh(d, d), tiles)
 }
 
+/// Largest side of a leaf PM-cluster region in a mega-mesh: regions are
+/// quadrisected until no side exceeds this, so a 16x16 federates four
+/// 8x8 clusters and a 32x32 recurses to sixteen — exchange domains and
+/// TokenSmart rings stay bounded no matter how large the die grows.
+pub const MEGA_LEAF_SIDE: usize = 8;
+
+/// A mega-mesh floorplan plus its hierarchical PM-cluster partition
+/// (cluster members are managed-tile indices, region-major order, ready
+/// for `Simulation::with_clusters`).
+#[derive(Debug, Clone)]
+pub struct MegaMesh {
+    /// The floorplan itself.
+    pub soc: SocConfig,
+    /// One cluster of managed tile indices per quadtree leaf region.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+/// Builds a parametric `d` x `d` mega-mesh for scaling studies: a
+/// quadtree of PM-cluster regions (one federation per quadrant,
+/// recursing while a side exceeds [`MEGA_LEAF_SIDE`]), each leaf region
+/// anchored by one infrastructure tile at its corner — the CPU in the
+/// origin region, memory and IO alternating elsewhere — and every other
+/// slot a managed accelerator cycling the six characterized classes.
+///
+/// All sizing goes through [`Topology::try_mesh`], so degenerate or
+/// over-large grids come back as a typed [`ConfigError`] instead of a
+/// panic or a silently overflowed allocation.
+pub fn try_mega_mesh(d: usize) -> Result<MegaMesh, ConfigError> {
+    use AcceleratorClass::*;
+    if d < 4 {
+        return Err(ConfigError::Invalid {
+            what: "mega-mesh",
+            detail: format!("needs at least a 4x4 grid, got {d}x{d}"),
+        });
+    }
+    let topo = Topology::try_mesh(d, d)?;
+    let regions = mega_regions(d);
+
+    // Region index owning each tile, so corner/member assignment below is
+    // a single pass over tiles.
+    let mut region_of = vec![0usize; topo.len()];
+    for (ri, &(x0, y0, w, h)) in regions.iter().enumerate() {
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                region_of[topo.tile(x, y).index()] = ri;
+            }
+        }
+    }
+
+    let classes = [Fft, Viterbi, Nvdla, Gemm, Conv2d, Vision];
+    let mut tiles = vec![TileKind::Empty; topo.len()];
+    for (i, kind) in tiles.iter_mut().enumerate() {
+        let ri = region_of[i];
+        let (x0, y0, _, _) = regions[ri];
+        let corner = topo.tile(x0, y0).index();
+        *kind = if i == corner {
+            match ri {
+                0 => TileKind::Cpu,
+                r if r % 2 == 1 => TileKind::Memory,
+                _ => TileKind::Io,
+            }
+        } else {
+            TileKind::Accelerator(classes[i % classes.len()])
+        };
+    }
+    // A single-region mesh (d <= MEGA_LEAF_SIDE) has only the CPU corner;
+    // give it the memory and IO tiles the engine's DMA path expects.
+    if regions.len() == 1 {
+        tiles[topo.tile(1, 0).index()] = TileKind::Memory;
+        tiles[topo.tile(2, 0).index()] = TileKind::Io;
+    }
+
+    let soc = SocConfig::try_new(format!("mega-{d}x{d}"), topo, tiles.clone())?;
+    let mut clusters = vec![Vec::new(); regions.len()];
+    for (i, kind) in tiles.iter().enumerate() {
+        if kind.is_managed() {
+            clusters[region_of[i]].push(i);
+        }
+    }
+    Ok(MegaMesh { soc, clusters })
+}
+
+/// Panicking [`try_mega_mesh`], for internal call sites where a bad
+/// dimension is a programming bug.
+pub fn mega_mesh(d: usize) -> MegaMesh {
+    try_mega_mesh(d).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The quadtree leaf regions `(x0, y0, w, h)` of a `d` x `d` grid in
+/// region-major (row-major quadrant, depth-first) order: quadrisect
+/// while a side exceeds [`MEGA_LEAF_SIDE`]. Power-of-two grids yield
+/// exactly 1 or 4^k regions; ragged dimensions split ceil/floor.
+fn mega_regions(d: usize) -> Vec<(usize, usize, usize, usize)> {
+    fn split(
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+        out: &mut Vec<(usize, usize, usize, usize)>,
+    ) {
+        if w.max(h) <= MEGA_LEAF_SIDE {
+            out.push((x0, y0, w, h));
+            return;
+        }
+        let (wl, hl) = (w.div_ceil(2), h.div_ceil(2));
+        for (qx, qy, qw, qh) in [
+            (x0, y0, wl, hl),
+            (x0 + wl, y0, w - wl, hl),
+            (x0, y0 + hl, wl, h - hl),
+            (x0 + wl, y0 + hl, w - wl, h - hl),
+        ] {
+            if qw > 0 && qh > 0 {
+                split(qx, qy, qw, qh, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    split(0, 0, d, d, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +502,40 @@ mod tests {
                 TileKind::Memory,
             ],
         );
+    }
+
+    #[test]
+    fn mega_mesh_quadtree_region_counts() {
+        // <= one leaf side: a single flat region; 16x16: one cluster per
+        // quadrant; 32x32: the quadrants recurse once more.
+        for (d, regions) in [(8usize, 1usize), (16, 4), (32, 16)] {
+            let mm = try_mega_mesh(d).unwrap();
+            assert_eq!(mm.clusters.len(), regions, "d={d}");
+            assert_eq!(mm.soc.topology.len(), d * d);
+        }
+    }
+
+    #[test]
+    fn mega_mesh_clusters_partition_managed_tiles() {
+        for d in [8usize, 16, 32] {
+            let mm = try_mega_mesh(d).unwrap();
+            let mut seen: Vec<usize> = mm.clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let mut managed: Vec<usize> =
+                mm.soc.managed_tiles().iter().map(|t| t.index()).collect();
+            managed.sort_unstable();
+            assert_eq!(seen, managed, "d={d}: clusters must exactly partition");
+            assert!(mm.clusters.iter().all(|c| !c.is_empty()), "d={d}");
+        }
+    }
+
+    #[test]
+    fn mega_mesh_rejects_tiny_and_huge_sides() {
+        assert!(matches!(try_mega_mesh(3), Err(ConfigError::Invalid { .. })));
+        assert!(matches!(
+            try_mega_mesh(usize::MAX),
+            Err(ConfigError::GridTooLarge { .. })
+        ));
     }
 
     fn count_accels(soc: &SocConfig) -> impl Fn(AcceleratorClass) -> usize + '_ {

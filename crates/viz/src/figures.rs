@@ -214,6 +214,30 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         .series("C-RR", t.xy("n_managed", "crr_resp_us"));
         emit("scaling_sim_response.svg", chart.render())?;
     }
+    // Mega-mesh validation: measured points (per manager/domain config)
+    // overlaid on the analytic tau*N^k curves the paper extrapolates.
+    if let (Ok(m), Ok(c)) = (
+        Table::load(dir.join("mega_mesh_measured.csv")),
+        Table::load(dir.join("mega_mesh_curves.csv")),
+    ) {
+        let mut chart = LineChart::new(
+            "Mega-mesh: measured response vs analytic curves",
+            "managed tiles N",
+            "response (us)",
+        )
+        .log_x()
+        .log_y()
+        .series("analytic BC", c.xy("n", "bc_us"))
+        .series("analytic BC-C", c.xy("n", "bcc_us"))
+        .series("analytic TS", c.xy("n", "ts_us"));
+        for cfg in m.distinct("config") {
+            chart = chart.series(
+                format!("measured {cfg}"),
+                m.xy_where("n_managed", "resp_us", "config", &cfg),
+            );
+        }
+        emit("mega_mesh_scaling.svg", chart.render())?;
+    }
     if let Ok(t) = Table::load(dir.join("granularity_sensitivity.csv")) {
         let chart = LineChart::new(
             "Granularity sensitivity",

@@ -76,4 +76,17 @@ cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
 cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
     thermal-coupling --quick --out "$smoke_dir/thermal" > /dev/null
 
+# Mega-mesh smoke gate: the 16x16 (256-tile) scaling point, oracle-gated
+# and at --jobs 2 so the big-floorplan path also exercises the parallel
+# executor. Quick mode skips 32x32; the full validation runs via
+# `blitzcoin-exp mega-mesh` without --quick.
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
+    mega-mesh --quick --jobs 2 --out "$smoke_dir/megamesh" > /dev/null
+
+# Bench-gate selftest: the host-drift-normalized regression gate's
+# arithmetic on synthetic snapshot pairs (pass under pure host drift,
+# fail on a true regression, skip on a pre-reference baseline). The
+# real gate runs inside scripts/bench.sh, which is too slow for CI.
+sh scripts/bench.sh --gate-selftest
+
 echo "ci: all green"
