@@ -85,13 +85,24 @@ pub fn thermal_coupling(ctx: &Ctx) -> FigResult {
     let frames = if ctx.quick { 4 } else { 6 };
     let tight = ctx.thermal_limit_c.unwrap_or(TIGHT_LIMIT_C);
 
+    // The five schemes that predate Price Theory keep their rows in
+    // `thermal_coupling.csv` byte-stable; PT runs the identical grid
+    // into its own `thermal_coupling_pt.csv` below.
+    const LOCKED_MANAGERS: [ManagerKind; 5] = [
+        ManagerKind::BlitzCoin,
+        ManagerKind::BcCentralized,
+        ManagerKind::CentralizedRoundRobin,
+        ManagerKind::TokenSmart,
+        ManagerKind::Static,
+    ];
+
     // manager x scenario at the tight limit, plus a free-running burst
     // reference per manager (same seed) to bound what throttling buys.
-    let mut grid: Vec<(ManagerKind, &str, f64)> = ManagerKind::ALL
+    let mut grid: Vec<(ManagerKind, &str, f64)> = LOCKED_MANAGERS
         .into_iter()
         .flat_map(|m| SCENARIOS.map(|s| (m, s, tight)))
         .collect();
-    for m in ManagerKind::ALL {
+    for m in LOCKED_MANAGERS {
         grid.push((m, "burst", FREE_LIMIT_C));
     }
     let reports = par_units(ctx, &grid, |(m, s, limit)| run(ctx, *m, s, *limit, frames));
@@ -125,6 +136,48 @@ pub fn thermal_coupling(ctx: &Ctx) -> FigResult {
         ]);
     }
     write_csv(ctx, &mut fig, "thermal_coupling.csv", &csv);
+
+    // Price Theory under the identical grid (same seed, same limits),
+    // tabulated separately so the locked CSV stays frozen.
+    let pt_grid: Vec<(&str, f64)> = SCENARIOS
+        .map(|s| (s, tight))
+        .into_iter()
+        .chain(std::iter::once(("burst", FREE_LIMIT_C)))
+        .collect();
+    let pt_reports = par_units(ctx, &pt_grid, |(s, limit)| {
+        run(ctx, ManagerKind::PriceTheory, s, *limit, frames)
+    });
+    let mut pt_csv = CsvTable::new([
+        "manager",
+        "scenario",
+        "limit_c",
+        "finished",
+        "exec_us",
+        "avg_power_mw",
+        "thermal_peak_c",
+        "throttle_events",
+        "first_throttle_us",
+        "responses",
+        "reaction_lag_us",
+        "pt_iterations",
+    ]);
+    for ((s, limit), r) in pt_grid.iter().zip(&pt_reports) {
+        pt_csv.row([
+            ManagerKind::PriceTheory.to_string(),
+            s.to_string(),
+            format!("{limit:.1}"),
+            r.finished.to_string(),
+            format!("{:.3}", r.exec_time_us()),
+            format!("{:.3}", r.avg_power_mw()),
+            fmt_opt(r.thermal_peak_c),
+            r.throttle_events.to_string(),
+            fmt_opt(r.first_throttle_us),
+            r.responses.len().to_string(),
+            fmt_opt(reaction_lag_us(r)),
+            format!("{:.0}", r.scheme_stat("pt_iterations").unwrap_or(0.0)),
+        ]);
+    }
+    write_csv(ctx, &mut fig, "thermal_coupling_pt.csv", &pt_csv);
 
     let at = |m: ManagerKind, s: &str, limit: f64| {
         let i = grid
@@ -205,6 +258,33 @@ pub fn thermal_coupling(ctx: &Ctx) -> FigResult {
             free.exec_time_us()
         ),
         hot_peak < free_peak && hot.exec_time >= free.exec_time,
+    );
+
+    let pt_clean = pt_reports
+        .iter()
+        .all(|r| r.finished && r.oracle_violations == 0);
+    let pt_engaged = pt_grid
+        .iter()
+        .zip(&pt_reports)
+        .filter(|((_, l), _)| *l == tight)
+        .all(|(_, r)| r.throttle_events > 0);
+    let pt_iters: f64 = pt_reports
+        .iter()
+        .map(|r| r.scheme_stat("pt_iterations").unwrap_or(0.0))
+        .sum();
+    fig.claim(
+        "pt-coupled",
+        "Price Theory re-clears its market around in-loop thermal \
+         throttles: every coupled run finishes clean, the tight limit \
+         engages, and the t\u{e2}tonnement keeps iterating through the \
+         thermal event",
+        format!(
+            "{} PT coupled runs, clean={pt_clean}, tight throttles \
+             engaged={pt_engaged}, {pt_iters:.0} t\u{e2}tonnement \
+             iterations",
+            pt_reports.len()
+        ),
+        pt_clean && pt_engaged && pt_iters > 0.0,
     );
 
     fig

@@ -22,6 +22,10 @@
 //! that. Each divergence is bisected to the first event pop where the
 //! shuffled run departed from FIFO and printed as a one-paste replay
 //! line.
+//!
+//! The five schemes that predate Price Theory keep their rows in
+//! `interleave.csv` byte-stable; PT fuzzes the identical grid into its
+//! own `interleave_pt.csv`.
 
 use blitzcoin_sim::csv::CsvTable;
 use blitzcoin_sim::interleave::{self, RunFacts};
@@ -37,6 +41,18 @@ use crate::{Ctx, FigResult};
 const FAULT_AT_CYCLE: u64 = 24_000;
 /// The victim accelerator (the 3x3 AV floorplan's NVDLA).
 const WORKER_TILE: usize = 4;
+
+/// The managers whose rows the pre-existing `interleave.csv` locks.
+const LOCKED_MANAGERS: [ManagerKind; 5] = [
+    ManagerKind::BlitzCoin,
+    ManagerKind::BcCentralized,
+    ManagerKind::CentralizedRoundRobin,
+    ManagerKind::TokenSmart,
+    ManagerKind::Static,
+];
+
+/// Workload scenarios shared by both passes.
+const SCENARIOS: [(&str, bool); 2] = [("healthy", false), ("kill-worker", true)];
 
 fn kill_worker() -> FaultPlan {
     let mut plan = FaultPlan::none();
@@ -85,44 +101,36 @@ fn facts_of(r: &SimReport, faulted: bool) -> RunFacts {
     }
 }
 
-/// The `interleave` experiment: every cycle-level manager, healthy and
-/// with a mid-run worker kill, fuzzed across `ctx.orderings()` shuffled
-/// same-timestamp orderings.
-pub fn interleave(ctx: &Ctx) -> FigResult {
-    let mut fig = FigResult::new(
-        "interleave",
-        "Interleaving fuzzer: invariants across shuffled event orderings",
-    );
-    let frames = if ctx.quick { 2 } else { 4 };
-    let orderings = ctx.orderings();
-    let scenarios = [("healthy", false), ("kill-worker", true)];
-
+/// Fuzzes `managers` across every (scenario, ordering) pair, reporting
+/// forbidden divergences through `oracle` and tabulating one CSV row per
+/// (manager, scenario). Returns each manager's divergence count.
+fn fuzz(
+    ctx: &Ctx,
+    fig: &mut FigResult,
+    oracle: &mut Oracle,
+    managers: &[ManagerKind],
+    frames: usize,
+    ties: &[TieBreak],
+    csv_name: &str,
+) -> Vec<(ManagerKind, u64)> {
     // All (manager, scenario, ordering) runs are independent
     // simulations, so the whole grid fans out at once; the FIFO baseline
     // is index 0 of each point's tie slice.
-    let ties: Vec<TieBreak> = std::iter::once(TieBreak::Fifo)
-        .chain(interleave::tie_breaks(ctx.seed, orderings))
-        .collect();
     let mut grid: Vec<(ManagerKind, usize, TieBreak)> = Vec::new();
-    for m in ManagerKind::ALL {
-        for si in 0..scenarios.len() {
-            for &tie in &ties {
+    for &m in managers {
+        for si in 0..SCENARIOS.len() {
+            for &tie in ties {
                 grid.push((m, si, tie));
             }
         }
     }
     let all_facts = par_units(ctx, &grid, |&(m, si, tie)| {
         facts_of(
-            &build(m, scenarios[si].1, frames, tie).run(ctx.seed),
-            scenarios[si].1,
+            &build(m, SCENARIOS[si].1, frames, tie).run(ctx.seed),
+            SCENARIOS[si].1,
         )
     });
 
-    // Forbidden divergences surface through the oracle: the CLI (and the
-    // CI interleave leg) exits nonzero whenever the per-experiment
-    // violation delta is nonzero, so a divergence can never pass silently.
-    let mut oracle =
-        Oracle::new("blitzcoin-exp interleave", ctx.seed).with_tie_break(ctx.tie_break);
     let mut csv = CsvTable::new([
         "manager",
         "scenario",
@@ -131,11 +139,12 @@ pub fn interleave(ctx: &Ctx) -> FigResult {
         "violations",
     ]);
     let per_tie = ties.len();
+    let orderings = per_tie - 1;
     let mut per_manager: Vec<(ManagerKind, u64)> = Vec::new();
-    for (mi, m) in ManagerKind::ALL.into_iter().enumerate() {
+    for (mi, &m) in managers.iter().enumerate() {
         let mut manager_divergences = 0u64;
-        for (si, &(scenario, faulted)) in scenarios.iter().enumerate() {
-            let base_idx = (mi * scenarios.len() + si) * per_tie;
+        for (si, &(scenario, faulted)) in SCENARIOS.iter().enumerate() {
+            let base_idx = (mi * SCENARIOS.len() + si) * per_tie;
             let slice = &all_facts[base_idx..base_idx + per_tie];
             let baseline = &slice[0];
             let runs: Vec<(TieBreak, RunFacts)> = ties[1..]
@@ -168,7 +177,48 @@ pub fn interleave(ctx: &Ctx) -> FigResult {
         }
         per_manager.push((m, manager_divergences));
     }
-    write_csv(ctx, &mut fig, "interleave.csv", &csv);
+    write_csv(ctx, fig, csv_name, &csv);
+    per_manager
+}
+
+/// The `interleave` experiment: every cycle-level manager, healthy and
+/// with a mid-run worker kill, fuzzed across `ctx.orderings()` shuffled
+/// same-timestamp orderings.
+pub fn interleave(ctx: &Ctx) -> FigResult {
+    let mut fig = FigResult::new(
+        "interleave",
+        "Interleaving fuzzer: invariants across shuffled event orderings",
+    );
+    let frames = if ctx.quick { 2 } else { 4 };
+    let orderings = ctx.orderings();
+    let ties: Vec<TieBreak> = std::iter::once(TieBreak::Fifo)
+        .chain(interleave::tie_breaks(ctx.seed, orderings))
+        .collect();
+
+    // Forbidden divergences surface through the oracle: the CLI (and the
+    // CI interleave leg) exits nonzero whenever the per-experiment
+    // violation delta is nonzero, so a divergence can never pass silently.
+    let mut oracle =
+        Oracle::new("blitzcoin-exp interleave", ctx.seed).with_tie_break(ctx.tie_break);
+
+    let mut per_manager = fuzz(
+        ctx,
+        &mut fig,
+        &mut oracle,
+        &LOCKED_MANAGERS,
+        frames,
+        &ties,
+        "interleave.csv",
+    );
+    per_manager.extend(fuzz(
+        ctx,
+        &mut fig,
+        &mut oracle,
+        &[ManagerKind::PriceTheory],
+        frames,
+        &ties,
+        "interleave_pt.csv",
+    ));
 
     for (m, divergences) in per_manager {
         fig.claim(
@@ -179,7 +229,7 @@ pub fn interleave(ctx: &Ctx) -> FigResult {
             format!(
                 "{divergences} divergences across {orderings} shuffled \
                  orderings x {} scenarios",
-                scenarios.len()
+                SCENARIOS.len()
             ),
             divergences == 0,
         );

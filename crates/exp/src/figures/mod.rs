@@ -9,4 +9,5 @@ pub mod megamesh;
 pub mod oracle_diff;
 pub mod power;
 pub mod resilience;
+pub mod shootout;
 pub mod socs;

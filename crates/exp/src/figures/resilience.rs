@@ -30,6 +30,9 @@ const WORKER_TILE: usize = 4;
 /// The victim for "kill the critical element": the CPU tile the
 /// centralized managers run on.
 const CONTROLLER_TILE: usize = 3;
+/// Price Theory's critical element: the cluster supervisor, boot-elected
+/// as the first managed tile of the 3x3 AV floorplan.
+const PT_SUPERVISOR_TILE: usize = 0;
 
 fn kill(tile: usize) -> FaultPlan {
     let mut plan = FaultPlan::none();
@@ -205,6 +208,61 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
     }
     write_csv(ctx, &mut fig, "resilience_ts_engine.csv", &tse_csv);
 
+    // Price Theory in the engine: same single-tile faults, plus a kill
+    // aimed at its own critical element — the cluster supervisor (the
+    // first managed tile of the 3x3 AV floorplan). Unlike the
+    // centralized schemes, PT survives that kill: a member watchdog
+    // notices the silent supervisor, takes the market over, reclaims
+    // the corpse's ledger, and keeps clearing. New CSV on purpose: the
+    // original `resilience.csv` is golden-locked.
+    let pt_grid: Vec<Option<FaultPlan>> = vec![
+        None,
+        Some(kill(WORKER_TILE)),
+        Some(kill(PT_SUPERVISOR_TILE)),
+    ];
+    let pt_reports = par_units(ctx, &pt_grid, |plan| {
+        run(ctx, ManagerKind::PriceTheory, plan.clone(), f)
+    });
+    let (pt_healthy, pt_worker, pt_sup) = (&pt_reports[0], &pt_reports[1], &pt_reports[2]);
+    let mut pt_csv = CsvTable::new([
+        "scenario",
+        "finished",
+        "exec_us",
+        "responses",
+        "post_fault_responses",
+        "coins_leaked",
+        "coins_reclaimed",
+        "coins_quarantined",
+        "tasks_abandoned",
+        "recovery_us",
+        "pt_iterations",
+        "pt_takeovers",
+        "pt_reclaims",
+    ]);
+    for (name, r) in [
+        ("healthy", pt_healthy),
+        ("kill-worker", pt_worker),
+        ("kill-supervisor", pt_sup),
+    ] {
+        pt_csv.row([
+            name.to_string(),
+            r.finished.to_string(),
+            format!("{:.3}", r.exec_time_us()),
+            r.responses.len().to_string(),
+            post_fault_responses(r).to_string(),
+            r.coins_leaked.to_string(),
+            r.coins_reclaimed.to_string(),
+            r.coins_quarantined.to_string(),
+            r.tasks_abandoned.to_string(),
+            r.recovery_us
+                .map_or_else(|| "none".to_string(), |x| format!("{x:.3}")),
+            format!("{:.0}", r.scheme_stat("pt_iterations").unwrap_or(0.0)),
+            format!("{:.0}", r.scheme_stat("pt_takeovers").unwrap_or(0.0)),
+            format!("{:.0}", r.scheme_stat("pt_reclaims").unwrap_or(0.0)),
+        ]);
+    }
+    write_csv(ctx, &mut fig, "resilience_pt.csv", &pt_csv);
+
     // -- claims ----------------------------------------------------------
 
     fig.claim(
@@ -277,6 +335,41 @@ pub fn resilience(ctx: &Ctx) -> FigResult {
         tse_healthy.finished
             && tse_broken.scheme_stat("ts_rings_broken") == Some(1.0)
             && tse_broken.coins_leaked == 0,
+    );
+    fig.claim(
+        "pt-survives-supervisor-death",
+        "Price Theory has no permanent single point of failure: when the \
+         cluster supervisor dies, a member watchdog reclaims the market, \
+         inherits the escrow, and keeps clearing — unlike the centralized \
+         schemes, which never reallocate again",
+        format!(
+            "kill-supervisor: takeovers={:.0}, reclaims={:.0}, recovered \
+             {:?} us after the fault, {} post-fault responses, {} coins \
+             leaked",
+            pt_sup.scheme_stat("pt_takeovers").unwrap_or(0.0),
+            pt_sup.scheme_stat("pt_reclaims").unwrap_or(0.0),
+            pt_sup.recovery_us,
+            post_fault_responses(pt_sup),
+            pt_sup.coins_leaked
+        ),
+        pt_sup.scheme_stat("pt_takeovers") == Some(1.0)
+            && pt_sup.recovery_us.is_some()
+            && post_fault_responses(pt_sup) > 0
+            && pt_sup.coins_leaked == 0,
+    );
+    fig.claim(
+        "pt-reclaims-member",
+        "a dead market member is reclaimed by the supervisor and the \
+         session re-clears without leaking",
+        format!(
+            "kill-worker: reclaims={:.0}, leaked={}, healthy leaked={}",
+            pt_worker.scheme_stat("pt_reclaims").unwrap_or(0.0),
+            pt_worker.coins_leaked,
+            pt_healthy.coins_leaked
+        ),
+        pt_worker.scheme_stat("pt_reclaims").unwrap_or(0.0) >= 1.0
+            && pt_worker.coins_leaked == 0
+            && pt_healthy.coins_leaked == 0,
     );
     fig.claim(
         "conservation-under-faults",

@@ -54,6 +54,10 @@ pub struct Ctx {
     /// a `D` x `D` point beyond the built-in 16x16/32x32 grid (e.g. 64
     /// for a 4096-tile run). `None` runs only the built-in sizes.
     pub mega_d: Option<usize>,
+    /// Narrows the `shootout` experiment's matrix to one scheme
+    /// (`--manager`, parsed through [`blitzcoin_soc::ManagerKind`]'s
+    /// `FromStr`). `None` runs all six.
+    pub manager: Option<blitzcoin_soc::ManagerKind>,
 }
 
 impl Default for Ctx {
@@ -67,6 +71,7 @@ impl Default for Ctx {
             orderings: 0,
             thermal_limit_c: None,
             mega_d: None,
+            manager: None,
         }
     }
 }
@@ -273,7 +278,7 @@ impl FigResult {
 
 /// The full catalogue of experiment ids: the paper's figures/tables in
 /// order, then the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 28] = [
+pub const ALL_EXPERIMENTS: [&str; 29] = [
     "fig1",
     "fig2",
     "fig3",
@@ -302,6 +307,7 @@ pub const ALL_EXPERIMENTS: [&str; 28] = [
     "interleave",
     "thermal-coupling",
     "mega-mesh",
+    "shootout",
 ];
 
 /// Runs the experiment with the given id.
@@ -346,6 +352,7 @@ fn dispatch_experiment(id: &str, ctx: &Ctx) -> FigResult {
         "interleave" => figures::interleave::interleave(ctx),
         "thermal-coupling" => figures::coupling::thermal_coupling(ctx),
         "mega-mesh" => figures::megamesh::mega_mesh(ctx),
+        "shootout" => figures::shootout::shootout(ctx),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -19,6 +19,9 @@
 //! limit (°C) the `thermal-coupling` experiment throttles at.
 //! `--mega-d D` adds a `D` x `D` point to the `mega-mesh` experiment
 //! beyond its built-in 16x16 (and, in full mode, 32x32) grids.
+//! `--manager KIND` (any of `BC|BC-C|C-RR|TS|PT|Static`, parsed through
+//! `ManagerKind::from_str`) narrows the `shootout` experiment's matrix
+//! to one scheme.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -103,6 +106,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--manager" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--manager needs a scheme name (try BC|BC-C|C-RR|TS|PT|Static)");
+                    return ExitCode::FAILURE;
+                };
+                match name.parse::<blitzcoin_soc::ManagerKind>() {
+                    Ok(m) => ctx.manager = Some(m),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--mega-d" => {
                 let Some(d) = iter.next() else {
                     eprintln!("--mega-d needs a mesh side (e.g. 64)");
@@ -164,7 +180,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] \
              [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--thermal-limit C] \
-             [--mega-d D] [--write-experiments]",
+             [--mega-d D] [--manager KIND] [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;

@@ -59,6 +59,39 @@ pub(crate) enum ManagerEv {
     /// TokenSmart: retransmit the pool token toward stop `stop` after the
     /// link dropped the hop packet.
     TokenResend { ring: usize, stop: usize },
+    /// Price Theory: a protocol step for `market`'s member at cluster
+    /// slot `slot`. Stale unless `gen` matches the market's current
+    /// session generation.
+    Pt {
+        market: usize,
+        slot: usize,
+        gen: u64,
+        msg: PtMsg,
+    },
+}
+
+/// The Price Theory protocol messages (see
+/// `crate::managers::price_theory`). Demand values are never carried in
+/// events — the supervisor recomputes them from its own market state, so
+/// these stay `Copy + Eq` like every other event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PtMsg {
+    /// A price quote packet lands at the member.
+    QuoteArrive,
+    /// The link dropped the quote; the supervisor retransmits.
+    QuoteResend,
+    /// The member's demand bid lands at the supervisor.
+    BidArrive,
+    /// The link dropped the bid; the member retransmits.
+    BidResend,
+    /// A grant register-write lands at the member.
+    GrantArrive,
+    /// The link dropped the grant; the supervisor retransmits.
+    GrantResend,
+    /// The supervisor waited a full round-trip bound without the bid.
+    BidTimeout,
+    /// A member's periodic supervisor-liveness watchdog fires.
+    Watchdog,
 }
 
 /// Boots the run and drives the event loop to completion. Order matters

@@ -1,6 +1,6 @@
 //! Power-manager configurations.
 //!
-//! The engine plugs in one of five managers (Section V-C; each one is a
+//! The engine plugs in one of six managers (Section V-C; each one is a
 //! `ManagerPolicy` implementation in `crate::managers`):
 //!
 //! | Manager | Control | Allocation | Response scaling |
@@ -9,6 +9,7 @@
 //! | `BcCentralized` | central HW unit | proportional (computed centrally) | O(N) |
 //! | `CentralizedRoundRobin` | central FW controller | greedy max/min rotation | O(N) |
 //! | `TokenSmart` | decentralized token ring | greedy/fair ring targets | O(N) |
+//! | `PriceTheory` | hierarchical supervisors | market clearing (tâtonnement) | O(iterations · N) |
 //! | `Static` | none | fixed equal shares | — |
 //!
 //! The timing constants below are the DESIGN.md §5 calibration: they are
@@ -29,17 +30,23 @@ pub enum ManagerKind {
     /// TokenSmart single-token ring passing (the Fig 4 competitor,
     /// promoted from the behavioural baseline to a cycle-level manager).
     TokenSmart,
+    /// Price-theory market clearing (Muthukaruppan et al., ASPLOS 2014):
+    /// a supervisor per PM cluster quotes prices and collects demand bids
+    /// over the NoC until the market clears (promoted from the
+    /// behavioural baseline to a cycle-level manager, like TokenSmart).
+    PriceTheory,
     /// Fixed equal power shares (the Fig 19 silicon baseline).
     Static,
 }
 
 impl ManagerKind {
     /// All managers, in the order the paper's figures list them.
-    pub const ALL: [ManagerKind; 5] = [
+    pub const ALL: [ManagerKind; 6] = [
         ManagerKind::BlitzCoin,
         ManagerKind::BcCentralized,
         ManagerKind::CentralizedRoundRobin,
         ManagerKind::TokenSmart,
+        ManagerKind::PriceTheory,
         ManagerKind::Static,
     ];
 
@@ -50,8 +57,42 @@ impl ManagerKind {
             ManagerKind::BcCentralized => "BC-C",
             ManagerKind::CentralizedRoundRobin => "C-RR",
             ManagerKind::TokenSmart => "TS",
+            ManagerKind::PriceTheory => "PT",
             ManagerKind::Static => "Static",
         }
+    }
+}
+
+/// Error from parsing a [`ManagerKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseManagerError(String);
+
+impl std::fmt::Display for ParseManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = ManagerKind::ALL.iter().map(ManagerKind::name).collect();
+        write!(
+            f,
+            "unknown manager `{}` (one of {})",
+            self.0,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseManagerError {}
+
+impl std::str::FromStr for ManagerKind {
+    type Err = ParseManagerError;
+
+    /// Parses the figure short name ([`ManagerKind::name`]),
+    /// case-insensitively — the round-trip behind the `--manager` CLI
+    /// flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ManagerKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseManagerError(s.to_string()))
     }
 }
 
@@ -81,6 +122,12 @@ pub struct ManagerTiming {
     /// take/deposit, forward the token). The ring hop itself travels as a
     /// real NoC packet on top of this.
     pub ts_visit_cycles: u64,
+    /// Price Theory: supervisor service time per member per tâtonnement
+    /// round (serialize the quote, ingest the bid, step the price).
+    /// Calibrated like BC-C's central FSM — a hardware market unit, so
+    /// the scheme's O(iterations) messaging, not the arithmetic,
+    /// dominates its response time.
+    pub pt_round_cycles: u64,
 }
 
 impl ManagerTiming {
@@ -92,6 +139,7 @@ impl ManagerTiming {
         match kind {
             ManagerKind::BcCentralized => self.bcc_service_cycles,
             ManagerKind::TokenSmart => self.ts_visit_cycles,
+            ManagerKind::PriceTheory => self.pt_round_cycles,
             _ => self.crr_service_cycles,
         }
     }
@@ -105,6 +153,7 @@ impl Default for ManagerTiming {
             bcc_service_cycles: 160,
             actuation_cycles: 128, // ~160 ns
             ts_visit_cycles: 6,    // matches the behavioural model's TsConfig
+            pt_round_cycles: 160,  // BC-C-class hardware service per member
         }
     }
 }
@@ -119,8 +168,23 @@ mod tests {
         assert_eq!(ManagerKind::BcCentralized.to_string(), "BC-C");
         assert_eq!(ManagerKind::CentralizedRoundRobin.to_string(), "C-RR");
         assert_eq!(ManagerKind::TokenSmart.to_string(), "TS");
+        assert_eq!(ManagerKind::PriceTheory.to_string(), "PT");
         assert_eq!(ManagerKind::Static.to_string(), "Static");
-        assert_eq!(ManagerKind::ALL.len(), 5);
+        assert_eq!(ManagerKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn parse_round_trips_every_kind() {
+        for kind in ManagerKind::ALL {
+            // Display -> parse round-trip, exactly as the `--manager`
+            // CLI flag consumes the figure names.
+            assert_eq!(kind.name().parse::<ManagerKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<ManagerKind>(), Ok(kind));
+            // and case-insensitively
+            assert_eq!(kind.name().to_lowercase().parse::<ManagerKind>(), Ok(kind));
+        }
+        let err = "no-such-manager".parse::<ManagerKind>().unwrap_err();
+        assert!(err.to_string().contains("PT"), "{err}");
     }
 
     #[test]
@@ -135,6 +199,10 @@ mod tests {
             t.crr_service_cycles
         );
         assert_eq!(t.service_cycles(ManagerKind::TokenSmart), t.ts_visit_cycles);
+        assert_eq!(
+            t.service_cycles(ManagerKind::PriceTheory),
+            t.pt_round_cycles
+        );
     }
 
     #[test]

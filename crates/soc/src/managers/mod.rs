@@ -14,6 +14,9 @@
 //! - [`static_alloc`]: fixed design-time shares, set once at boot.
 //! - [`tokensmart`]: the ring token protocol, driving the behavioural
 //!   baseline's state machine over real NoC packets.
+//! - [`price_theory`]: hierarchical market clearing — a supervisor per
+//!   PM cluster runs the behavioural tâtonnement as quote/bid/grant
+//!   NoC traffic, with supervisor-death takeover.
 
 use crate::engine::events::ManagerEv;
 use crate::engine::Core;
@@ -24,6 +27,7 @@ pub(crate) mod bcc;
 pub(crate) mod blitzcoin;
 pub(crate) mod centralized;
 pub(crate) mod crr;
+pub(crate) mod price_theory;
 pub(crate) mod static_alloc;
 pub(crate) mod tokensmart;
 
@@ -84,6 +88,7 @@ pub(crate) fn policy_for(kind: ManagerKind) -> Box<dyn ManagerPolicy> {
         ManagerKind::BcCentralized => Box::new(centralized::Centralized::new(bcc::Bcc)),
         ManagerKind::CentralizedRoundRobin => Box::new(centralized::Centralized::new(crr::Crr)),
         ManagerKind::TokenSmart => Box::new(tokensmart::TokenSmartPolicy::new()),
+        ManagerKind::PriceTheory => Box::new(price_theory::PriceTheoryPolicy::new()),
         ManagerKind::Static => Box::new(static_alloc::StaticPolicy),
     }
 }

@@ -87,19 +87,89 @@ fn all_summaries() -> String {
     out
 }
 
-#[test]
-fn fixed_seed_reports_match_pre_refactor_goldens() {
-    let got = all_summaries();
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/reports.txt");
+/// Price Theory's summaries live in their *own* golden file: the four
+/// pre-refactor locks above stay frozen while PT — added later as the
+/// sixth cycle-level scheme — gets the same fixed-seed drift protection,
+/// including its scheme counters and the supervisor-death takeover path.
+fn pt_summaries() -> String {
+    let mut out = String::new();
+    let mut run =
+        |label: &str, wl_dep: bool, frames: usize, budget: f64, seed: u64, fault: Option<usize>| {
+            let soc = floorplan::soc_3x3();
+            let wl = if wl_dep {
+                workload::av_dependent(&soc, frames)
+            } else {
+                workload::av_parallel(&soc, frames)
+            };
+            let mut sim =
+                Simulation::new(soc, wl, SimConfig::new(ManagerKind::PriceTheory, budget));
+            if let Some(tile) = fault {
+                sim = sim.with_fault_plan(FaultPlan {
+                    tile_faults: vec![TileFault {
+                        tile,
+                        at_cycle: 24_000,
+                        kind: TileFaultKind::FailStop,
+                    }],
+                    ..FaultPlan::default()
+                });
+            }
+            let r = sim.run(seed);
+            out.push_str(&summarize(label, &r));
+            for (k, v) in &r.scheme_stats {
+                let _ = writeln!(out, "  {k}: {v:?}");
+            }
+        };
+    run(
+        "PT av_parallel 120mW seed 2024",
+        false,
+        2,
+        120.0,
+        2024,
+        None,
+    );
+    run("PT av_dependent 60mW seed 7", true, 1, 60.0, 7, None);
+    run("PT failstop@24k 120mW seed 3", false, 2, 120.0, 3, Some(4));
+    // tile 0 boots as every-cluster supervisor on soc_3x3's single
+    // cluster: this locks the watchdog-takeover event sequence
+    run(
+        "PT supervisor-failstop@24k 120mW seed 3",
+        false,
+        2,
+        120.0,
+        3,
+        Some(0),
+    );
+    out
+}
+
+fn check_golden(got: &str, file: &str, what: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file);
     if std::env::var_os("BLITZCOIN_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &got).unwrap();
+        std::fs::write(&path, got).unwrap();
         return;
     }
     let want =
         std::fs::read_to_string(&path).expect("golden file missing; bless with BLITZCOIN_BLESS=1");
-    assert_eq!(
-        got, want,
-        "fixed-seed SimReport drifted from the pre-refactor golden"
+    assert_eq!(got, &want, "{what}");
+}
+
+#[test]
+fn fixed_seed_reports_match_pre_refactor_goldens() {
+    check_golden(
+        &all_summaries(),
+        "reports.txt",
+        "fixed-seed SimReport drifted from the pre-refactor golden",
+    );
+}
+
+#[test]
+fn fixed_seed_price_theory_reports_match_goldens() {
+    check_golden(
+        &pt_summaries(),
+        "reports_pt.txt",
+        "fixed-seed Price Theory SimReport drifted from its golden",
     );
 }

@@ -219,6 +219,8 @@ pub struct Heatmap {
     title: String,
     width: usize,
     values: Vec<f64>,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
 }
 
 impl Heatmap {
@@ -233,15 +235,51 @@ impl Heatmap {
             title: title.into(),
             width,
             values,
+            row_labels: Vec::new(),
+            col_labels: Vec::new(),
         }
+    }
+
+    /// Labels each row on the left edge (e.g. one label per scheme).
+    ///
+    /// # Panics
+    /// Panics if the label count differs from the row count.
+    pub fn row_labels<S: Into<String>, I: IntoIterator<Item = S>>(mut self, labels: I) -> Self {
+        self.row_labels = labels.into_iter().map(Into::into).collect();
+        assert_eq!(
+            self.row_labels.len(),
+            self.values.len() / self.width,
+            "one label per row"
+        );
+        self
+    }
+
+    /// Labels each column above the grid (e.g. one label per scenario).
+    ///
+    /// # Panics
+    /// Panics if the label count differs from the column count.
+    pub fn col_labels<S: Into<String>, I: IntoIterator<Item = S>>(mut self, labels: I) -> Self {
+        self.col_labels = labels.into_iter().map(Into::into).collect();
+        assert_eq!(self.col_labels.len(), self.width, "one label per column");
+        self
     }
 
     /// Renders to an SVG string with a white→red ramp and value labels.
     pub fn render(&self) -> String {
         let rows = self.values.len() / self.width;
         let cell = 56.0;
-        let w = self.width as f64 * cell + 40.0;
-        let h = rows as f64 * cell + 60.0;
+        let ml = if self.row_labels.is_empty() {
+            20.0
+        } else {
+            110.0
+        };
+        let mt = if self.col_labels.is_empty() {
+            40.0
+        } else {
+            58.0
+        };
+        let w = self.width as f64 * cell + ml + 20.0;
+        let h = rows as f64 * cell + mt + 20.0;
         let mut svg = Svg::new(w, h);
         svg.text(w / 2.0, 24.0, &self.title, 14.0, Anchor::Middle);
         let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -250,9 +288,27 @@ impl Heatmap {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
+        for (c, label) in self.col_labels.iter().enumerate() {
+            svg.text(
+                ml + (c as f64 + 0.5) * cell,
+                mt - 8.0,
+                label,
+                10.0,
+                Anchor::Middle,
+            );
+        }
+        for (r, label) in self.row_labels.iter().enumerate() {
+            svg.text(
+                ml - 8.0,
+                mt + (r as f64 + 0.5) * cell + 4.0,
+                label,
+                11.0,
+                Anchor::End,
+            );
+        }
         for (i, &v) in self.values.iter().enumerate() {
-            let x = 20.0 + (i % self.width) as f64 * cell;
-            let y = 40.0 + (i / self.width) as f64 * cell;
+            let x = ml + (i % self.width) as f64 * cell;
+            let y = mt + (i / self.width) as f64 * cell;
             let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
             let r = 255;
             let gb = (235.0 * (1.0 - t)) as u8;
@@ -357,6 +413,23 @@ mod tests {
         // background + 6 cells
         assert_eq!(svg.matches("<rect").count(), 7);
         assert!(svg.contains(">6<"));
+    }
+
+    #[test]
+    fn heatmap_row_and_col_labels() {
+        let svg = Heatmap::new("H", 2, vec![1.0, 2.0, 3.0, 4.0])
+            .row_labels(["BC", "PT"])
+            .col_labels(["healthy", "kill"])
+            .render();
+        for label in ["BC", "PT", "healthy", "kill"] {
+            assert!(svg.contains(&format!(">{label}<")), "missing {label}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn heatmap_wrong_row_label_count_panics() {
+        let _ = Heatmap::new("H", 2, vec![1.0; 4]).row_labels(["only-one"]);
     }
 
     #[test]

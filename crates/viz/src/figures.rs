@@ -284,6 +284,15 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         .group("exec", t.numbers("exec_us"));
         emit("clusters_tradeoff.svg", chart.render())?;
     }
+    // Shoot-out matrix: schemes x scenarios, cell = mean response in the
+    // scenario-relevant window. A "dead" cell (the scheme never answers
+    // again) paints as 1.25x the worst live response, so collapse reads
+    // as the deepest red.
+    if let Ok(t) = Table::load(dir.join("shootout.csv")) {
+        if let Some(svg) = shootout_matrix(&t) {
+            emit("scheme_shootout.svg", svg)?;
+        }
+    }
     if let Ok(t) = Table::load(dir.join("ap_vs_rp.csv")) {
         let budgets: Vec<String> = t
             .rows
@@ -296,6 +305,49 @@ pub fn render_results_dir(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         emit("ap_vs_rp.svg", chart.render())?;
     }
     Ok(written)
+}
+
+/// Pivots `shootout.csv` into the scheme x scenario response/resilience
+/// heatmap. Returns `None` for a degenerate table (no rows).
+fn shootout_matrix(t: &Table) -> Option<String> {
+    let schemes = t.distinct("manager");
+    let scenarios = t.distinct("scenario");
+    if schemes.is_empty() || scenarios.is_empty() {
+        return None;
+    }
+    let (mi, si, vi) = (t.col("manager"), t.col("scenario"), t.col("matrix_us"));
+    let cell = |m: &str, s: &str| -> Option<f64> {
+        t.rows
+            .iter()
+            .find(|r| r[mi] == m && r[si] == s)
+            .and_then(|r| r[vi].parse().ok())
+    };
+    let live: Vec<f64> = schemes
+        .iter()
+        .flat_map(|m| scenarios.iter().filter_map(|s| cell(m, s)))
+        .filter(|v| v.is_finite())
+        .collect();
+    let worst = live.iter().cloned().fold(1.0_f64, f64::max);
+    let dead = 1.25 * worst;
+    let values: Vec<f64> = schemes
+        .iter()
+        .flat_map(|m| {
+            scenarios
+                .iter()
+                .map(|s| cell(m, s).filter(|v| v.is_finite()).unwrap_or(dead))
+                .collect::<Vec<f64>>()
+        })
+        .collect();
+    Some(
+        Heatmap::new(
+            "Shoot-out: mean response (us); deepest red = dead",
+            scenarios.len(),
+            values,
+        )
+        .row_labels(schemes)
+        .col_labels(scenarios)
+        .render(),
+    )
 }
 
 fn exec_bars(t: &Table, title: &str) -> BarChart {
@@ -365,6 +417,26 @@ mod tests {
             assert!(content.starts_with("<svg"));
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shootout_matrix_renders_dead_cells() {
+        let t = Table::parse(
+            "manager,scenario,finished,exec_us,responses,post_fault_responses,survived,matrix_us,\
+             recovery_us,coins_leaked,coins_quarantined,tasks_abandoned,throttle_events,\
+             peak_overshoot_mw\n\
+             BC,healthy,true,100,8,4,true,1.5,none,0,0,0,0,0\n\
+             BC,controller-death,true,100,8,4,true,2.0,none,0,0,0,0,0\n\
+             C-RR,healthy,true,120,8,4,true,8.0,none,0,0,0,0,0\n\
+             C-RR,controller-death,false,120,8,0,false,dead,none,0,0,2,0,0\n",
+        );
+        let svg = shootout_matrix(&t).expect("matrix");
+        assert!(svg.contains(">BC<"));
+        assert!(svg.contains(">C-RR<"));
+        assert!(svg.contains(">healthy<"));
+        assert!(svg.contains(">controller-death<"));
+        // the dead cell renders as 1.25x the worst live response
+        assert!(svg.contains(">10<"));
     }
 
     #[test]

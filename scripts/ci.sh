@@ -76,6 +76,14 @@ cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
 cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
     thermal-coupling --quick --out "$smoke_dir/thermal" > /dev/null
 
+# Shoot-out smoke gate: all six schemes through the identical-seed
+# fault matrix (healthy, controller death, hierarchy break, sustained
+# thermal), oracle-audited and at --jobs 2 so the scenario sweep also
+# exercises the parallel executor. The differential claims — who
+# survives which fault — are asserted inside the experiment itself.
+cargo run --release --offline -q -p blitzcoin-exp --features oracle -- \
+    shootout --quick --jobs 2 --out "$smoke_dir/shootout" > /dev/null
+
 # Mega-mesh smoke gate: the 16x16 (256-tile) scaling point, oracle-gated
 # and at --jobs 2 so the big-floorplan path also exercises the parallel
 # executor. Quick mode skips 32x32; the full validation runs via

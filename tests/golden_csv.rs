@@ -3,9 +3,10 @@
 //! Quick-mode experiment CSVs for the four pre-refactor managers were
 //! captured at their fixed seeds before `engine.rs` was split behind the
 //! `ManagerPolicy` trait; the post-refactor engine must reproduce them
-//! byte for byte, at `--jobs 1` and `--jobs 8` alike. TokenSmart's
-//! engine-level results deliberately live in *separate* CSV files so
-//! these stay frozen.
+//! byte for byte, at `--jobs 1` and `--jobs 8` alike. TokenSmart's and
+//! Price Theory's engine-level results deliberately live in *separate*
+//! CSV files so these stay frozen; those files (and the six-scheme
+//! shoot-out matrix) are locked here too, against their own goldens.
 //!
 //! Regenerate (only for an intentional result change, with the deviation
 //! recorded in CHANGES.md) with:
@@ -17,12 +18,17 @@ use std::path::{Path, PathBuf};
 use blitzcoin_exp::{run_experiment, Ctx};
 
 /// (experiment id, csv files it writes that are locked here)
-const LOCKED: [(&str, &[&str]); 2] = [
-    ("fig17", &["fig17_soc3x3.csv"]),
+const LOCKED: [(&str, &[&str]); 3] = [
+    ("fig17", &["fig17_soc3x3.csv", "fig17_soc3x3_pt.csv"]),
     (
         "resilience",
-        &["resilience.csv", "resilience_tokensmart.csv"],
+        &[
+            "resilience.csv",
+            "resilience_tokensmart.csv",
+            "resilience_pt.csv",
+        ],
     ),
+    ("shootout", &["shootout.csv"]),
 ];
 
 fn golden_dir() -> PathBuf {

@@ -27,7 +27,7 @@ fn experiment_catalogue_dispatches() {
     // Every catalogued id must dispatch without panicking on the *name*
     // (run only the cheapest to keep CI fast; the full set runs in the
     // harness binary).
-    assert_eq!(ALL_EXPERIMENTS.len(), 28);
+    assert_eq!(ALL_EXPERIMENTS.len(), 29);
     let ctx = ctx();
     let r = run_experiment("fig2", &ctx);
     assert_eq!(r.id, "fig2");

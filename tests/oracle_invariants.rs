@@ -57,11 +57,12 @@ fn any_plan(rng: &mut SimRng, n_tiles: usize) -> FaultPlan {
     plan
 }
 
-const MANAGERS: [ManagerKind; 5] = [
+const MANAGERS: [ManagerKind; 6] = [
     ManagerKind::BlitzCoin,
     ManagerKind::BcCentralized,
     ManagerKind::CentralizedRoundRobin,
     ManagerKind::TokenSmart,
+    ManagerKind::PriceTheory,
     ManagerKind::Static,
 ];
 
@@ -159,6 +160,53 @@ fn tokensmart_oracle_is_clean_even_when_the_ring_breaks() {
         // broken-ring case: the trapped pool is counted, not minted away
         Ok(())
     });
+}
+
+#[test]
+fn price_theory_oracle_is_clean_even_when_the_supervisor_dies() {
+    // Price Theory concentrates each cluster's session state in one
+    // supervisor and moves coins through an escrow that lives outside
+    // tile ledgers while grants are in flight. Killing the supervisor —
+    // on top of any random fault plan — must hand the market to a member
+    // watchdog without tripping the per-commit conservation audit or
+    // leaking the escrow.
+    forall(
+        "price theory oracle clean under supervisor death",
+        12,
+        |rng| {
+            let soc = floorplan::soc_3x3();
+            let mut plan = any_plan(rng, 9);
+            if rng.chance(0.6) {
+                // aim squarely at the boot-elected supervisor (the first
+                // managed tile) so the takeover path runs, not just the
+                // member-reclaim path
+                plan.tile_faults.push(TileFault {
+                    tile: 0,
+                    at_cycle: rng.range_u64(0..40_000),
+                    kind: if rng.chance(0.5) {
+                        TileFaultKind::FailStop
+                    } else {
+                        TileFaultKind::Stuck
+                    },
+                });
+            }
+            let wl = workload::av_parallel(&soc, 2);
+            let seed = rng.next_u64();
+            let r = Simulation::new(soc, wl, SimConfig::new(ManagerKind::PriceTheory, 120.0))
+                .with_fault_plan(plan.clone())
+                .run(seed);
+            ensure!(
+                r.oracle_violations == 0,
+                "PT oracle fired under {plan:?} (seed {seed:#x}): {}",
+                r.oracle_first.unwrap_or_default()
+            );
+            ensure!(r.coins_leaked == 0, "PT leaked {} coins", r.coins_leaked);
+            // owns_coin_economy binds ledgers + escrow to the initial total,
+            // so leaked == 0 covers the mid-grant takeover: in-flight escrow
+            // is inherited or quarantined, never minted away
+            Ok(())
+        },
+    );
 }
 
 #[test]
