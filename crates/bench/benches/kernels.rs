@@ -188,6 +188,33 @@ fn sim_kernels(c: &mut Criterion) {
     });
 }
 
+fn cache_kernels(c: &mut Criterion) {
+    use blitzcoin_sim::Cache;
+    use blitzcoin_soc::cached::run_cached;
+    use blitzcoin_soc::{floorplan, workload, SimConfig, Simulation};
+
+    // The result cache's two hot operations, on a representative unit
+    // (the 3x3 AV sim every small figure sweeps): hashing the unit into
+    // its content address, and replaying a memoized report from a warm
+    // in-memory cache (fetch + SimReport decode — the entire cost a hit
+    // pays instead of re-simulating).
+    let soc = floorplan::soc_3x3();
+    let wl = workload::av_parallel(&soc, 2);
+    let sim = Simulation::new(
+        soc,
+        wl,
+        SimConfig::new(blitzcoin_soc::ManagerKind::BlitzCoin, 120.0),
+    );
+    c.bench_function("kernel/cache_key_hash", |b| {
+        b.iter(|| black_box(sim.cache_key(black_box(7))))
+    });
+    let cache = Cache::in_memory();
+    run_cached(&cache, &sim, 7);
+    c.bench_function("kernel/cache_lookup_hit", |b| {
+        b.iter(|| black_box(run_cached(&cache, &sim, 7).1))
+    });
+}
+
 fn host_reference(c: &mut Criterion) {
     // The pinned pure-ALU host-speed probe (see
     // `blitzcoin_bench::host_reference_workload`). The policies bench
@@ -204,6 +231,7 @@ criterion_group!(
     noc_kernels,
     power_kernels,
     sim_kernels,
+    cache_kernels,
     host_reference
 );
 criterion_main!(kernels);

@@ -114,8 +114,10 @@ pub(crate) fn fit_taus(ctx: &Ctx) -> Vec<(Strategy, TauFit, TauFit)> {
         .iter()
         .enumerate()
         {
-            let r =
-                Simulation::new(soc.clone(), wl.clone(), ctx.sim_config(*m, budget)).run(ctx.seed);
+            let r = ctx.run_sim(
+                &Simulation::new(soc.clone(), wl.clone(), ctx.sim_config(*m, budget)),
+                ctx.seed,
+            );
             if let Some(resp) = r.mean_nontrivial_response_us(0.05) {
                 meas[slot].1.push((n, resp));
             }

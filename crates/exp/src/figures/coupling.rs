@@ -50,7 +50,10 @@ fn run(ctx: &Ctx, manager: ManagerKind, scenario: &str, limit_c: f64, frames: us
         "burst" => workload::av_dependent(&soc, frames),
         other => unreachable!("unknown scenario {other}"),
     };
-    Simulation::new(soc, wl, coupled(ctx, manager, limit_c)).run(ctx.seed)
+    ctx.run_sim(
+        &Simulation::new(soc, wl, coupled(ctx, manager, limit_c)),
+        ctx.seed,
+    )
 }
 
 /// Mean time the manager took to re-converge over the activity changes

@@ -31,12 +31,14 @@ pub fn thermal_ext(ctx: &Ctx) -> FigResult {
     // 1. A paper workload's thermal envelope.
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, if ctx.quick { 2 } else { 4 });
-    let run = Simulation::new(
-        soc.clone(),
-        wl,
-        ctx.sim_config(ManagerKind::BlitzCoin, 120.0),
-    )
-    .run(ctx.seed);
+    let run = ctx.run_sim(
+        &Simulation::new(
+            soc.clone(),
+            wl,
+            ctx.sim_config(ManagerKind::BlitzCoin, 120.0),
+        ),
+        ctx.seed,
+    );
     let envelope = thermal::analyze(&soc, &run, ThermalConfig::default());
     fig.claim(
         "global-cap-bounds-heat",
@@ -160,7 +162,10 @@ pub fn granularity(ctx: &Ctx) -> FigResult {
         .collect();
     let runs = par_units(ctx, &units, |&(i, scale, frames, m)| {
         let wl = workload::av_dependent_scaled(&soc, frames, scale);
-        Simulation::new(soc.clone(), wl, ctx.sim_config(m, 120.0)).run(ctx.subseed(i))
+        ctx.run_sim(
+            &Simulation::new(soc.clone(), wl, ctx.sim_config(m, 120.0)),
+            ctx.subseed(i),
+        )
     });
 
     let mut csv = CsvTable::new([
@@ -424,11 +429,12 @@ pub fn clusters(ctx: &Ctx) -> FigResult {
         ..SimConfig::for_large_soc(ManagerKind::BlitzCoin, budget, n)
     };
     let pair = par_units(ctx, &[false, true], |&use_clusters| {
-        if use_clusters {
-            Simulation::with_clusters(soc.clone(), wl.clone(), cfg, quads.clone()).run(ctx.seed)
+        let sim = if use_clusters {
+            Simulation::with_clusters(soc.clone(), wl.clone(), cfg, quads.clone())
         } else {
-            Simulation::new(soc.clone(), wl.clone(), cfg).run(ctx.seed)
-        }
+            Simulation::new(soc.clone(), wl.clone(), cfg)
+        };
+        ctx.run_sim(&sim, ctx.seed)
     });
     let (global, clustered) = (&pair[0], &pair[1]);
 
@@ -499,9 +505,8 @@ pub fn scaling_sim(ctx: &Ctx) -> FigResult {
             tie_break: ctx.tie_break,
             ..SimConfig::for_large_soc(m, soc.total_p_max() * 0.3, soc.n_managed())
         };
-        let seed = SimRng::seed(ctx.subseed(i)).derive(s).root_seed();
-        Simulation::new(soc, wl, cfg)
-            .run(seed)
+        let seed = blitzcoin_sim::exec::trial_seed(ctx.seed, i, s);
+        ctx.run_sim(&Simulation::new(soc, wl, cfg), seed)
             .mean_nontrivial_response_us(0.05)
     });
 

@@ -126,7 +126,7 @@ fn fuzz(
     }
     let all_facts = par_units(ctx, &grid, |&(m, si, tie)| {
         facts_of(
-            &build(m, SCENARIOS[si].1, frames, tie).run(ctx.seed),
+            &ctx.run_sim(&build(m, SCENARIOS[si].1, frames, tie), ctx.seed),
             SCENARIOS[si].1,
         )
     });

@@ -24,7 +24,6 @@
 use blitzcoin_noc::Plane;
 use blitzcoin_scaling::{Strategy, TauFit};
 use blitzcoin_sim::csv::CsvTable;
-use blitzcoin_sim::SimRng;
 use blitzcoin_soc::prelude::*;
 
 use crate::figures::analytical;
@@ -84,13 +83,13 @@ pub fn mega_mesh(ctx: &Ctx) -> FigResult {
             tie_break: ctx.tie_break,
             ..SimConfig::for_large_soc(m, mm.soc.total_p_max() * 0.3, mm.soc.n_managed())
         };
-        let seed = SimRng::seed(ctx.subseed(i)).derive(s).root_seed();
+        let seed = blitzcoin_sim::exec::trial_seed(ctx.seed, i, s);
         let sim = if dom == 1 {
             Simulation::with_clusters(mm.soc, wl, cfg, mm.clusters)
         } else {
             Simulation::new(mm.soc, wl, cfg)
         };
-        let r = sim.run(seed);
+        let r = ctx.run_sim(&sim, seed);
         // All power management rides plane 5 (MmioIrq): coin exchange for
         // the decentralized schemes, RegRead/RegWrite sweeps for the
         // centralized ones, token visits for TS — the one packets/exchange

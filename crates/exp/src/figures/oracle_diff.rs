@@ -37,7 +37,10 @@ const SAMPLE_US: f64 = 1.0;
 fn run(ctx: &Ctx, manager: ManagerKind, frames: usize, seed: u64) -> SimReport {
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, frames);
-    Simulation::new(soc, wl, ctx.sim_config(manager, 120.0)).run(seed)
+    ctx.run_sim(
+        &Simulation::new(soc, wl, ctx.sim_config(manager, 120.0)),
+        seed,
+    )
 }
 
 /// Whether sample time `t` is steady state for one run: at least

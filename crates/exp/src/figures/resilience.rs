@@ -52,7 +52,7 @@ fn run(ctx: &Ctx, manager: ManagerKind, plan: Option<FaultPlan>, frames: usize) 
         Some(p) => sim.with_fault_plan(p),
         None => sim,
     };
-    sim.run(ctx.seed)
+    ctx.run_sim(&sim, ctx.seed)
 }
 
 /// Responses to activity changes that happened *after* the fault: the

@@ -68,14 +68,12 @@ fn is_faulted(scenario: &str) -> bool {
 fn run(ctx: &Ctx, manager: ManagerKind, scenario: &str, frames: usize) -> SimReport {
     let soc = floorplan::soc_3x3();
     let wl = workload::av_parallel(&soc, frames);
-    match scenario {
-        "healthy" => Simulation::new(soc, wl, ctx.sim_config(manager, 120.0)).run(ctx.seed),
+    let sim = match scenario {
+        "healthy" => Simulation::new(soc, wl, ctx.sim_config(manager, 120.0)),
         "controller-death" => Simulation::new(soc, wl, ctx.sim_config(manager, 120.0))
-            .with_fault_plan(kill(CONTROLLER_TILE))
-            .run(ctx.seed),
+            .with_fault_plan(kill(CONTROLLER_TILE)),
         "hierarchy-break" => Simulation::new(soc, wl, ctx.sim_config(manager, 120.0))
-            .with_fault_plan(kill(HIERARCHY_TILE))
-            .run(ctx.seed),
+            .with_fault_plan(kill(HIERARCHY_TILE)),
         "sustained-thermal" => {
             let cfg = SimConfig {
                 thermal: Some(ThermalCoupling {
@@ -84,10 +82,11 @@ fn run(ctx: &Ctx, manager: ManagerKind, scenario: &str, frames: usize) -> SimRep
                 }),
                 ..ctx.sim_config(manager, 240.0)
             };
-            Simulation::new(soc, wl, cfg).run(ctx.seed)
+            Simulation::new(soc, wl, cfg)
         }
         other => unreachable!("unknown scenario {other}"),
-    }
+    };
+    ctx.run_sim(&sim, ctx.seed)
 }
 
 /// Responses to activity changes after the fault instant: the direct

@@ -41,7 +41,10 @@ fn run_3x3(ctx: &Ctx, manager: ManagerKind, budget: f64, dep: bool, seed: u64) -
     } else {
         workload::av_parallel(&soc, f)
     };
-    Simulation::new(soc, wl, ctx.sim_config(manager, budget)).run(seed)
+    ctx.run_sim(
+        &Simulation::new(soc, wl, ctx.sim_config(manager, budget)),
+        seed,
+    )
 }
 
 /// Fig 16: power traces of the AV workload on the 3x3 SoC (WL-Par at
@@ -405,7 +408,7 @@ pub fn fig18(ctx: &Ctx) -> FigResult {
         } else {
             workload::vision_parallel(&soc, f)
         };
-        Simulation::new(soc, wl, ctx.sim_config(m, b)).run(seed)
+        ctx.run_sim(&Simulation::new(soc, wl, ctx.sim_config(m, b)), seed)
     };
     soc_grid(
         &mut fig,
@@ -440,7 +443,10 @@ pub fn fig19(ctx: &Ctx) -> FigResult {
         .collect();
     let reports = par_units(ctx, &units, |&(i, n, m)| {
         let wl = workload::pm_cluster(&soc, f, n);
-        Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)).run(ctx.subseed(i))
+        ctx.run_sim(
+            &Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)),
+            ctx.subseed(i),
+        )
     });
 
     // 7-accelerator run: utilization + coin allocation before/after
@@ -537,7 +543,10 @@ pub fn fig20(ctx: &Ctx) -> FigResult {
     // three runs are independent and execute concurrently
     let reports = par_units(ctx, &MANAGERS, |&m| {
         let wl = workload::pm_cluster(&soc, f, 7);
-        Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)).run(ctx.seed)
+        ctx.run_sim(
+            &Simulation::new(soc.clone(), wl, ctx.sim_config(m, budget)),
+            ctx.seed,
+        )
     });
     let measured: Vec<(ManagerKind, Option<f64>, Option<f64>)> = MANAGERS
         .iter()
@@ -613,7 +622,7 @@ pub fn ap_vs_rp(ctx: &Ctx) -> FigResult {
         let wl = workload::av_parallel(&soc, f);
         let mut cfg = ctx.sim_config(ManagerKind::BlitzCoin, budget);
         cfg.policy = policy;
-        Simulation::new(soc, wl, cfg).run(ctx.subseed(i))
+        ctx.run_sim(&Simulation::new(soc, wl, cfg), ctx.subseed(i))
     });
 
     let mut csv = CsvTable::new(["budget_mw", "rp_exec_us", "ap_exec_us", "rp_gain_pct"]);

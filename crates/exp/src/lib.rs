@@ -19,11 +19,30 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
-use blitzcoin_sim::{Executor, SimRng, TieBreak};
+use blitzcoin_sim::{Cache, CacheMode, Executor, TieBreak};
+use blitzcoin_soc::{SimReport, Simulation};
 
 pub mod figures;
 pub mod sweep;
+
+/// A lazily-opened handle to the run's shared result cache: clones of a
+/// [`Ctx`] (figures clone freely) all resolve to the *same* [`Cache`],
+/// opened on first use under `<out_dir>/.cache`. Sharing one instance
+/// per run is what makes cross-figure coalescing work — fig17 and fig18
+/// sweeping an overlapping (config, seed) grid compute each unique
+/// point once.
+#[derive(Clone, Default)]
+pub struct CacheHandle(Arc<OnceLock<Arc<Cache>>>);
+
+impl std::fmt::Debug for CacheHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CacheHandle")
+            .field(&self.0.get().map(|c| c.mode()))
+            .finish()
+    }
+}
 
 /// Shared context for all experiment runners.
 #[derive(Debug, Clone)]
@@ -58,6 +77,12 @@ pub struct Ctx {
     /// (`--manager`, parsed through [`blitzcoin_soc::ManagerKind`]'s
     /// `FromStr`). `None` runs all six.
     pub manager: Option<blitzcoin_soc::ManagerKind>,
+    /// Result-cache mode for SoC-engine runs (`--cache on|off|refresh`;
+    /// the CLI resolves flag > `BLITZCOIN_CACHE` env > `On`).
+    pub cache_mode: CacheMode,
+    /// The run's shared result cache (see [`CacheHandle`]). Kept on the
+    /// context so `ctx.clone()` inside figures reaches the same store.
+    pub cache: CacheHandle,
 }
 
 impl Default for Ctx {
@@ -72,6 +97,8 @@ impl Default for Ctx {
             thermal_limit_c: None,
             mega_d: None,
             manager: None,
+            cache_mode: CacheMode::from_env().unwrap_or(CacheMode::On),
+            cache: CacheHandle::default(),
         }
     }
 }
@@ -113,7 +140,45 @@ impl Ctx {
     /// `ctx.subseed(point_idx)` (not `ctx.seed`) into seeded runs so
     /// different points never consume correlated RNG streams.
     pub fn subseed(&self, point_idx: u64) -> u64 {
-        SimRng::seed(self.seed).derive(point_idx).root_seed()
+        blitzcoin_sim::exec::derive_seed(self.seed, point_idx)
+    }
+
+    /// The run's shared result cache, opened on first use at
+    /// `<out_dir>/.cache` in this context's [`CacheMode`]. `Off` opens
+    /// a store-nothing cache (every fetch bypasses), so figures can call
+    /// unconditionally.
+    pub fn cache(&self) -> Arc<Cache> {
+        self.cache
+            .0
+            .get_or_init(|| {
+                let dir = match self.cache_mode {
+                    CacheMode::Off => None,
+                    _ => Some(self.out_dir.join(".cache")),
+                };
+                Arc::new(Cache::new(dir, self.cache_mode))
+            })
+            .clone()
+    }
+
+    /// Runs `sim` under `seed` through the shared result cache: a warm
+    /// key replays the memoized [`SimReport`] (bit-identical to a
+    /// re-run, see [`blitzcoin_soc::cached`]); concurrent requests for
+    /// the same key compute once and share. Every SoC-engine figure
+    /// routes its runs through here (or [`Ctx::run_sims`]) so identical
+    /// (config, seed) points coalesce within *and across* figures.
+    pub fn run_sim(&self, sim: &Simulation, seed: u64) -> SimReport {
+        blitzcoin_soc::cached::run_cached(&self.cache(), sim, seed).0
+    }
+
+    /// Fans a batch of `(sim, seed)` units across [`Ctx::exec`]'s
+    /// workers through the cache, returning reports in unit order.
+    /// Duplicate units coalesce to one computation (the cache's
+    /// in-flight claim), so callers may submit redundant grids freely.
+    pub fn run_sims(&self, units: &[(Simulation, u64)]) -> Vec<SimReport> {
+        let cache = self.cache();
+        self.exec().run(units.len(), |i| {
+            blitzcoin_soc::cached::run_cached(&cache, &units[i].0, units[i].1).0
+        })
     }
 
     /// A [`blitzcoin_soc::SimConfig`] for `manager` at `budget_mw` with
@@ -208,6 +273,15 @@ pub struct FigResult {
     /// hit under a fuzzed ordering reproduces with
     /// `--seed <seed> --tie-break <this>`.
     pub tie_break: String,
+    /// SoC-engine runs this experiment served from the result cache
+    /// (the per-experiment delta of the shared cache's counters).
+    pub cache_hits: u64,
+    /// SoC-engine runs this experiment computed (cache misses, plus
+    /// every run when the cache is off).
+    pub cache_misses: u64,
+    /// Compute time the cache hits replaced, in milliseconds (the sum
+    /// of the memoized runs' original wall times).
+    pub cache_saved_ms: f64,
 }
 
 blitzcoin_sim::json_fields!(FigResult {
@@ -218,7 +292,10 @@ blitzcoin_sim::json_fields!(FigResult {
     wall_ms,
     jobs,
     oracle_violations,
-    tie_break
+    tie_break,
+    cache_hits,
+    cache_misses,
+    cache_saved_ms
 });
 
 impl FigResult {
@@ -233,6 +310,9 @@ impl FigResult {
             jobs: 0,
             oracle_violations: 0,
             tie_break: TieBreak::Fifo.to_string(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_saved_ms: 0.0,
         }
     }
 
@@ -316,9 +396,14 @@ pub const ALL_EXPERIMENTS: [&str; 29] = [
 /// Panics on an unknown id (the CLI validates first).
 pub fn run_experiment(id: &str, ctx: &Ctx) -> FigResult {
     let oracle_before = blitzcoin_sim::oracle::violations_total();
+    let cache_before = ctx.cache().stats();
     let mut fig = dispatch_experiment(id, ctx);
     fig.oracle_violations = blitzcoin_sim::oracle::violations_total() - oracle_before;
     fig.tie_break = ctx.tie_break.to_string();
+    let cache = ctx.cache().stats().delta(&cache_before);
+    fig.cache_hits = cache.hits;
+    fig.cache_misses = cache.misses;
+    fig.cache_saved_ms = cache.saved_ms;
     fig
 }
 

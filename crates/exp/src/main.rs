@@ -22,6 +22,13 @@
 //! `--manager KIND` (any of `BC|BC-C|C-RR|TS|PT|Static`, parsed through
 //! `ManagerKind::from_str`) narrows the `shootout` experiment's matrix
 //! to one scheme.
+//!
+//! `--cache on|off|refresh` controls the content-addressed result cache
+//! under `<out>/.cache` (`on` by default; the `BLITZCOIN_CACHE` env var
+//! sets the default when the flag is absent). `off` recomputes every
+//! run and stores nothing; `refresh` recomputes and overwrites prior
+//! entries. CSVs are byte-identical in every mode — the cache only
+//! changes how fast they regenerate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -136,6 +143,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--cache" => {
+                let Some(mode) = iter.next() else {
+                    eprintln!("--cache needs a mode (on|off|refresh)");
+                    return ExitCode::FAILURE;
+                };
+                match blitzcoin_sim::CacheMode::parse(mode) {
+                    Some(m) => ctx.cache_mode = m,
+                    None => {
+                        eprintln!("bad cache mode '{mode}' (want on|off|refresh)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--jobs" => {
                 let Some(jobs) = iter.next() else {
                     eprintln!("--jobs needs a value");
@@ -180,7 +200,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: blitzcoin-exp <all|{}|list> [--quick] [--out DIR] [--seed N] [--jobs N] \
              [--tie-break fifo|lifo|permuted:SEED] [--orderings N] [--thermal-limit C] \
-             [--mega-d D] [--manager KIND] [--write-experiments]",
+             [--mega-d D] [--manager KIND] [--cache on|off|refresh] [--write-experiments]",
             ALL_EXPERIMENTS.join("|")
         );
         return ExitCode::FAILURE;
@@ -196,7 +216,10 @@ fn main() -> ExitCode {
         let mut r = run_experiment(id, &ctx);
         r.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         r.jobs = jobs;
-        eprintln!("  {id}: {:.0} ms", r.wall_ms);
+        eprintln!(
+            "  {id}: {:.0} ms (cache: {} hit / {} miss, ~{:.0} ms saved)",
+            r.wall_ms, r.cache_hits, r.cache_misses, r.cache_saved_ms
+        );
         print!("{}", r.render());
         results.push(r);
     }

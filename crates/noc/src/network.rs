@@ -139,6 +139,15 @@ pub struct TrafficStats {
     pub dropped: [u64; 6],
 }
 
+blitzcoin_sim::json_fields!(TrafficStats {
+    packets,
+    flits,
+    hops,
+    coin_packets,
+    contention_cycles,
+    dropped
+});
+
 impl TrafficStats {
     /// Total packets across all planes.
     pub fn total_packets(&self) -> u64 {

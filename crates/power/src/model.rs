@@ -41,6 +41,15 @@ pub enum AcceleratorClass {
     Vision,
 }
 
+blitzcoin_sim::json_unit_enum!(AcceleratorClass {
+    Fft,
+    Viterbi,
+    Nvdla,
+    Gemm,
+    Conv2d,
+    Vision
+});
+
 impl AcceleratorClass {
     /// All classes.
     pub const ALL: [AcceleratorClass; 6] = [

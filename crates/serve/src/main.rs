@@ -1,0 +1,70 @@
+//! `blitzcoin-serve` — the sweep server CLI.
+//!
+//! ```text
+//! blitzcoin-serve [--addr HOST:PORT] [--cache-dir DIR] [--cache on|off|refresh]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7370`), opens the
+//! content-addressed result cache over `DIR` (default
+//! `results/.cache`, shared with `blitzcoin-exp`), and answers sweep
+//! submissions until killed. `--cache` follows the same semantics as
+//! the experiment runner's flag and likewise defaults to the
+//! `BLITZCOIN_CACHE` environment variable when set.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use blitzcoin_serve::{Server, PROTOCOL_VERSION};
+use blitzcoin_sim::{Cache, CacheMode};
+
+fn main() {
+    let mut addr = "127.0.0.1:7370".to_string();
+    let mut cache_dir = PathBuf::from("results/.cache");
+    let mut mode = CacheMode::from_env().unwrap_or(CacheMode::On);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a value")),
+            "--cache-dir" => {
+                cache_dir = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--cache-dir needs a value")),
+                );
+            }
+            "--cache" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--cache needs a value"));
+                mode = CacheMode::parse(&value)
+                    .unwrap_or_else(|| usage(&format!("bad --cache value `{value}`")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let dir = match mode {
+        CacheMode::Off => None,
+        _ => Some(cache_dir.clone()),
+    };
+    let listener = TcpListener::bind(&addr)
+        .unwrap_or_else(|e| panic!("blitzcoin-serve: cannot bind {addr}: {e}"));
+    eprintln!(
+        "blitzcoin-serve: protocol v{PROTOCOL_VERSION}, listening on {addr}, cache {mode} ({})",
+        dir.as_deref()
+            .map_or("memory only".into(), |d| d.display().to_string())
+    );
+    Server::new(Arc::new(Cache::new(dir, mode))).serve(listener);
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("blitzcoin-serve: {error}\n");
+    }
+    eprintln!(
+        "usage: blitzcoin-serve [--addr HOST:PORT] [--cache-dir DIR] [--cache on|off|refresh]"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the sweep server: request coalescing through the
+//! shared cache, progress streaming, and independence of disjoint
+//! requests.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use blitzcoin_serve::{client, Server, SweepRequest, PROTOCOL_VERSION};
+use blitzcoin_sim::Cache;
+
+fn start_server() -> (Arc<Cache>, SocketAddr) {
+    let cache = Arc::new(Cache::in_memory());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = Server::new(Arc::clone(&cache));
+    thread::spawn(move || server.serve(listener));
+    (cache, addr)
+}
+
+fn grid(seeds: Vec<u64>) -> SweepRequest {
+    SweepRequest {
+        version: PROTOCOL_VERSION,
+        soc: "3x3".into(),
+        frames: 1,
+        managers: vec!["BC".into(), "Static".into()],
+        budgets_mw: vec![120.0],
+        seeds,
+    }
+}
+
+#[test]
+fn concurrent_identical_sweeps_compute_each_point_once() {
+    let (cache, addr) = start_server();
+    let req = grid(vec![1, 2]);
+
+    // Two clients race the same 4-point grid. The cache's in-flight
+    // claim is the only synchronization: whichever client reaches a key
+    // first computes it, the other waits and receives the same value.
+    let (a, b) = thread::scope(|s| {
+        let ta = s.spawn(|| client::submit(addr, &req).expect("client a"));
+        let tb = s.spawn(|| client::submit(addr, &req).expect("client b"));
+        (ta.join().expect("join a"), tb.join().expect("join b"))
+    });
+
+    // Exactly one computation per unique point across both requests.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 4, "each grid point computed exactly once");
+    assert_eq!(a.0.cache_misses + b.0.cache_misses, 4);
+    assert_eq!(a.0.cache_hits + b.0.cache_hits, 4);
+
+    // Both clients see identical results. `cache_hit` legitimately
+    // differs between the racing clients; everything the sweep
+    // *measured* must not.
+    let strip = |pts: &[blitzcoin_serve::PointResult]| {
+        pts.iter()
+            .cloned()
+            .map(|mut p| {
+                p.cache_hit = false;
+                p
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(a.0.points.len(), 4);
+    assert_eq!(strip(&a.0.points), strip(&b.0.points));
+
+    // Progress streamed all the way to done == total.
+    assert_eq!(a.1.last(), Some(&(4, 4)));
+    assert_eq!(b.1.last(), Some(&(4, 4)));
+}
+
+#[test]
+fn warm_resubmission_is_all_hits() {
+    let (_cache, addr) = start_server();
+    let req = grid(vec![9]);
+    let (cold, _) = client::submit(addr, &req).expect("cold submit");
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+    let (warm, _) = client::submit(addr, &req).expect("warm submit");
+    assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+    for (a, b) in cold.points.iter().zip(&warm.points) {
+        assert_eq!(a.exec_time_us, b.exec_time_us);
+        assert_eq!(a.mean_response_us, b.mean_response_us);
+    }
+}
+
+#[test]
+fn disjoint_request_is_not_blocked_by_a_long_sweep() {
+    let (_cache, addr) = start_server();
+
+    // A long-running sweep (many seeds = many distinct computations) ...
+    let long = grid((0..12).collect());
+    let long_done = Arc::new(AtomicBool::new(false));
+    let long_thread = {
+        let long_done = Arc::clone(&long_done);
+        thread::spawn(move || {
+            let r = client::submit(addr, &long).expect("long sweep");
+            long_done.store(true, Ordering::SeqCst);
+            r
+        })
+    };
+
+    // ... must not delay a disjoint one-point request on another
+    // connection: its key is never claimed by the long sweep, so it only
+    // waits for its own computation.
+    let small = SweepRequest {
+        seeds: vec![777],
+        managers: vec!["BC".into()],
+        ..grid(vec![])
+    };
+    let (small_resp, _) = client::submit(addr, &small).expect("small sweep");
+    assert_eq!(small_resp.points.len(), 1);
+    assert_eq!(small_resp.cache_misses, 1);
+    assert!(
+        !long_done.load(Ordering::SeqCst),
+        "the 1-point request must finish while the 24-point sweep is still running"
+    );
+
+    let (long_resp, _) = long_thread.join().expect("join long");
+    assert_eq!(long_resp.points.len(), 24);
+    assert_eq!(long_resp.cache_misses, 24);
+}
+
+#[test]
+fn health_and_errors_over_http() {
+    use std::io::{Read, Write};
+    let (_cache, addr) = start_server();
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET /v1/health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200"));
+    assert!(text.contains("\"ok\": true"));
+
+    // A version-mismatched submission is answered with a typed error.
+    let bad = SweepRequest {
+        version: PROTOCOL_VERSION + 1,
+        ..grid(vec![1])
+    };
+    let err = client::submit(addr, &bad).expect_err("must reject");
+    assert!(err.contains("protocol version"), "got: {err}");
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 404"));
+}

@@ -125,6 +125,24 @@ impl fmt::Display for TieBreak {
     }
 }
 
+impl crate::json::ToJson for TieBreak {
+    /// Serializes in the CLI spelling (`"fifo"`, `"permuted:0x2a"`), the
+    /// same string [`TieBreak::parse`] reads back.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Str(self.to_string())
+    }
+}
+
+impl crate::json::FromJson for TieBreak {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| crate::json::JsonError::new("expected tie-break string"))?;
+        TieBreak::parse(s)
+            .ok_or_else(|| crate::json::JsonError::new(format!("bad tie-break `{s}`")))
+    }
+}
+
 /// An event that has been scheduled on an [`EventQueue`].
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {

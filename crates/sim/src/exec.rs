@@ -61,6 +61,22 @@ pub fn pin_jobs(jobs: usize) {
     PINNED_JOBS.store(jobs.max(1), Ordering::Relaxed);
 }
 
+/// The derived sub-seed of grid index `idx` under `root`: the one
+/// derivation every sweep point, figure sub-seed, and cache key shares,
+/// so a key can never disagree with the seed a runner actually used.
+///
+/// Equivalent to `SimRng::seed(root).derive(idx).root_seed()`.
+pub fn derive_seed(root: u64, idx: u64) -> u64 {
+    SimRng::seed(root).derive(idx).root_seed()
+}
+
+/// The seed of trial `trial` at point `point` under `root` — the
+/// two-level form of [`derive_seed`], matching [`Sweep::unit_rng`]'s
+/// `root.derive(point).derive(trial)` chain.
+pub fn trial_seed(root: u64, point: u64, trial: u64) -> u64 {
+    derive_seed(derive_seed(root, point), trial)
+}
+
 /// The job count [`Executor::from_env`] would use right now.
 pub fn default_jobs() -> usize {
     let pinned = PINNED_JOBS.load(Ordering::Relaxed);
@@ -228,12 +244,16 @@ impl<P> Sweep<P> {
     /// that takes a root seed (e.g. `run_trials`) so each point of a
     /// hand-rolled sweep gets its own stream.
     pub fn point_seed(&self, idx: usize) -> u64 {
-        self.root.derive(idx as u64).root_seed()
+        derive_seed(self.root.root_seed(), idx as u64)
     }
 
     /// The RNG of trial `trial` at point `point`.
     pub fn unit_rng(&self, point: usize, trial: u32) -> SimRng {
-        self.root.derive(point as u64).derive(trial as u64)
+        SimRng::seed(trial_seed(
+            self.root.root_seed(),
+            point as u64,
+            trial as u64,
+        ))
     }
 
     /// Runs the grid on `exec`, returning per-point trial results: the
@@ -319,6 +339,27 @@ mod tests {
         let out = sweep.run(&Executor::new(3), |_, _| 0u8);
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|t| t.len() == 7));
+    }
+
+    #[test]
+    fn seed_helpers_match_rng_derivation() {
+        // The free helpers must be the exact derivation the Sweep uses:
+        // one chain shared by runners and cache keys.
+        let sweep = Sweep::new(vec![(), (), ()], 4, 0xBEEF);
+        for p in 0..3usize {
+            assert_eq!(sweep.point_seed(p), derive_seed(0xBEEF, p as u64));
+            for t in 0..4u32 {
+                let direct = sweep.unit_rng(p, t).root_seed();
+                assert_eq!(direct, trial_seed(0xBEEF, p as u64, t as u64));
+                assert_eq!(
+                    direct,
+                    SimRng::seed(0xBEEF)
+                        .derive(p as u64)
+                        .derive(t as u64)
+                        .root_seed()
+                );
+            }
+        }
     }
 
     #[test]

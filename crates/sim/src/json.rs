@@ -122,6 +122,41 @@ impl Json {
         Ok(v)
     }
 
+    /// Writes the canonical compact form: object keys recursively
+    /// sorted (byte-wise), no whitespace. Two structurally-equal values
+    /// whose fields were built in different orders produce identical
+    /// bytes. Unlike a sort-then-serialize round trip, this never
+    /// clones the tree — only per-object index vectors are allocated.
+    pub fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+                out.push('{');
+                for (i, &p) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, &pairs[p].0);
+                    out.push(':');
+                    pairs[p].1.write_canonical(out);
+                }
+                out.push('}');
+            }
+            other => other.write(out, None, 0),
+        }
+    }
+
     /// Serializes with 2-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
@@ -588,9 +623,41 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     }
 }
 
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| JsonError::new("expected triple"))?;
+        if items.len() != 3 {
+            return Err(JsonError::new("expected 3-element array"));
+        }
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
+    }
+}
+
 impl<T: ToJson, const N: usize> ToJson for [T; N] {
     fn to_json(&self) -> Json {
         Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected {N}-element array, got {n}")))
     }
 }
 

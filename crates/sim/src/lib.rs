@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod check;
 pub mod component;
 pub mod csv;
@@ -78,6 +79,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use cache::{Cache, CacheKey, CacheMode, CacheStats};
 pub use component::{Component, ComponentId, Scheduler};
 pub use error::ConfigError;
 pub use event::{EventQueue, ScheduledEvent, TieBreak};

@@ -18,7 +18,24 @@ pub struct TracePoint {
     pub value: f64,
 }
 
-crate::json_fields!(TracePoint { time, value });
+// Serialized as a compact `[time, value]` pair, not a keyed object:
+// traces carry thousands of points and the result cache stores/parses
+// them wholesale, so per-point key strings would double the entry size.
+impl crate::json::ToJson for TracePoint {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Arr(vec![
+            crate::json::ToJson::to_json(&self.time),
+            crate::json::Json::Num(self.value),
+        ])
+    }
+}
+
+impl crate::json::FromJson for TracePoint {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let (time, value) = crate::json::FromJson::from_json(v)?;
+        Ok(TracePoint { time, value })
+    }
+}
 
 /// A piecewise-constant signal over simulation time.
 ///

@@ -143,6 +143,24 @@ pub struct SimConfig {
     pub thermal: Option<ThermalCoupling>,
 }
 
+blitzcoin_sim::json_fields!(SimConfig {
+    manager,
+    budget_mw,
+    policy,
+    timing,
+    exchange_timing,
+    exchange_mode,
+    pairing_period,
+    response_tolerance,
+    pool_scale,
+    dma_burst_flits,
+    dma_period_cycles,
+    share_plane_with_dma,
+    horizon,
+    tie_break,
+    thermal
+});
+
 impl SimConfig {
     /// Creates a configuration with the paper's defaults for the given
     /// manager and budget.

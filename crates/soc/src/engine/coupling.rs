@@ -39,6 +39,14 @@ pub struct ThermalCoupling {
     pub throttle_max_frac: f64,
 }
 
+blitzcoin_sim::json_fields!(ThermalCoupling {
+    rc,
+    leak_per_c,
+    throttle_limit_c,
+    throttle_hysteresis_c,
+    throttle_max_frac
+});
+
 impl Default for ThermalCoupling {
     fn default() -> Self {
         ThermalCoupling {

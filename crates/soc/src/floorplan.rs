@@ -53,6 +53,23 @@ impl TileKind {
     }
 }
 
+impl blitzcoin_sim::json::ToJson for TileKind {
+    /// Serializes as a compact tag string (`"Cpu"`, `"Accelerator(FFT)"`,
+    /// `"Unmanaged(FFT)"`) — stable input for the result-cache key.
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        let tag = match self {
+            TileKind::Cpu => "Cpu".to_string(),
+            TileKind::Accelerator(c) => format!("Accelerator({})", c.name()),
+            TileKind::UnmanagedAccelerator(c) => format!("Unmanaged({})", c.name()),
+            TileKind::Memory => "Memory".to_string(),
+            TileKind::Io => "Io".to_string(),
+            TileKind::Scratchpad => "Scratchpad".to_string(),
+            TileKind::Empty => "Empty".to_string(),
+        };
+        blitzcoin_sim::json::Json::Str(tag)
+    }
+}
+
 /// A full SoC configuration: grid topology plus per-tile contents.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SocConfig {
@@ -62,6 +79,25 @@ pub struct SocConfig {
     pub topology: Topology,
     /// Tile contents, index-aligned with tile ids.
     pub tiles: Vec<TileKind>,
+}
+
+impl blitzcoin_sim::json::ToJson for SocConfig {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::Json::Obj(vec![
+            (
+                "name".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.name),
+            ),
+            (
+                "topology".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.topology),
+            ),
+            (
+                "tiles".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.tiles),
+            ),
+        ])
+    }
 }
 
 impl SocConfig {

@@ -63,6 +63,33 @@ impl ManagerKind {
     }
 }
 
+impl blitzcoin_sim::json::ToJson for ManagerKind {
+    /// Serializes as the figure short name (`"BC"`, `"C-RR"`, ...), the
+    /// same spelling `FromStr` reads back.
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::Json::Str(self.name().to_string())
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for ManagerKind {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| blitzcoin_sim::json::JsonError::new("expected manager name"))?;
+        s.parse()
+            .map_err(|e: ParseManagerError| blitzcoin_sim::json::JsonError::new(e.to_string()))
+    }
+}
+
+blitzcoin_sim::json_fields!(ManagerTiming {
+    crr_service_cycles,
+    crr_rotation_cycles,
+    bcc_service_cycles,
+    actuation_cycles,
+    ts_visit_cycles,
+    pt_round_cycles
+});
+
 /// Error from parsing a [`ManagerKind`] name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseManagerError(String);

@@ -19,6 +19,24 @@ pub struct ResponseSample {
     pub response_us: f64,
 }
 
+// Compact `[at_us, response_us]` pair: reports carry hundreds of
+// samples and the result cache round-trips them wholesale.
+impl blitzcoin_sim::json::ToJson for ResponseSample {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::Json::Arr(vec![
+            blitzcoin_sim::json::Json::Num(self.at_us),
+            blitzcoin_sim::json::Json::Num(self.response_us),
+        ])
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for ResponseSample {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        let (at_us, response_us) = blitzcoin_sim::json::FromJson::from_json(v)?;
+        Ok(ResponseSample { at_us, response_us })
+    }
+}
+
 /// A tile's activity transition (task stream starting or ending).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActivityChange {
@@ -28,6 +46,25 @@ pub struct ActivityChange {
     pub at_us: f64,
     /// `true` = became active, `false` = went idle.
     pub active: bool,
+}
+
+// Compact `[tile, at_us, active]` triple, for the same reason as
+// `ResponseSample`.
+impl blitzcoin_sim::json::ToJson for ActivityChange {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        (self.tile, self.at_us, self.active).to_json()
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for ActivityChange {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        let (tile, at_us, active) = blitzcoin_sim::json::FromJson::from_json(v)?;
+        Ok(ActivityChange {
+            tile,
+            at_us,
+            active,
+        })
+    }
 }
 
 /// The result of one full-SoC simulation run.
@@ -99,6 +136,37 @@ pub struct SimReport {
     /// When the first throttle engaged (µs), if any did.
     pub first_throttle_us: Option<f64>,
 }
+
+// The full report round-trips through JSON losslessly: every float is
+// finite (Rust's `Display` prints the shortest exact decimal, and the
+// parser reads it back bit-identical), and integers above 2^53 travel as
+// decimal strings. This exact round-trip is what lets the result cache
+// replay a memoized report byte-identically into the figure CSVs.
+blitzcoin_sim::json_fields!(SimReport {
+    finished,
+    exec_time,
+    responses,
+    activity_changes,
+    power,
+    tile_power,
+    coin_traces,
+    freq_traces,
+    managed_tiles,
+    budget_mw,
+    noc,
+    events,
+    coins_leaked,
+    coins_reclaimed,
+    coins_quarantined,
+    tasks_abandoned,
+    recovery_us,
+    oracle_violations,
+    oracle_first,
+    scheme_stats,
+    thermal_peak_c,
+    throttle_events,
+    first_throttle_us
+});
 
 impl SimReport {
     /// Execution time in microseconds.

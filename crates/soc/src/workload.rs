@@ -44,6 +44,40 @@ pub struct Workload {
     tasks: Vec<Task>,
 }
 
+impl blitzcoin_sim::json::ToJson for TaskId {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::ToJson::to_json(&self.0)
+    }
+}
+
+impl blitzcoin_sim::json::FromJson for TaskId {
+    fn from_json(v: &blitzcoin_sim::json::Json) -> Result<Self, blitzcoin_sim::json::JsonError> {
+        Ok(TaskId(blitzcoin_sim::json::FromJson::from_json(v)?))
+    }
+}
+
+blitzcoin_sim::json_fields!(Task {
+    id,
+    tile,
+    work_kcycles,
+    deps
+});
+
+impl blitzcoin_sim::json::ToJson for Workload {
+    fn to_json(&self) -> blitzcoin_sim::json::Json {
+        blitzcoin_sim::json::Json::Obj(vec![
+            (
+                "name".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.name),
+            ),
+            (
+                "tasks".to_string(),
+                blitzcoin_sim::json::ToJson::to_json(&self.tasks),
+            ),
+        ])
+    }
+}
+
 impl Workload {
     /// Creates a workload from tasks.
     ///

@@ -32,6 +32,14 @@ pub struct ThermalConfig {
     pub step_us: f64,
 }
 
+blitzcoin_sim::json_fields!(ThermalConfig {
+    ambient_c,
+    g_vertical,
+    g_lateral,
+    capacitance,
+    step_us
+});
+
 impl Default for ThermalConfig {
     fn default() -> Self {
         ThermalConfig {

@@ -5,9 +5,9 @@
 #   scripts/bench.sh --gate-selftest    # exercise the gate math on synthetic JSON
 #
 # Runs the per-policy throughput bench and the kernel microbenchmarks in
-# release mode and collects every reported metric into BENCH_9.json at
+# release mode and collects every reported metric into BENCH_10.json at
 # the repo root (or the path given as $1). If BASELINE (default:
-# BENCH_8.json) exists, the BC events/s regression gate runs afterwards.
+# BENCH_9.json) exists, the BC events/s regression gate runs afterwards.
 #
 # The gate is a same-run paired A/B: every snapshot also records
 # `policy/host_reference`, a pinned pure-ALU kernel whose ns/iter depends
@@ -151,8 +151,8 @@ if [ "${1:-}" = "--gate-selftest" ]; then
     exit "$fails"
 fi
 
-out="${1:-BENCH_9.json}"
-baseline="${2:-BENCH_8.json}"
+out="${1:-BENCH_10.json}"
+baseline="${2:-BENCH_9.json}"
 tsv=$(mktemp)
 trap 'rm -f "$tsv"' EXIT
 
@@ -165,7 +165,7 @@ rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 {
     printf '{\n'
-    printf '  "bench": 9,\n'
+    printf '  "bench": 10,\n'
     printf '  "git_rev": "%s",\n' "$rev"
     printf '  "jobs": 1,\n'
     printf '  "metrics": {\n'

@@ -209,7 +209,8 @@ fn manifest_shape_matches_cli_output() {
       {"id": "fig1", "title": "T", "claims": [
         {"id": "a", "paper": "p", "measured": "m", "holds": true}
       ], "outputs": ["results/fig1.csv"], "wall_ms": 12.5, "jobs": 4,
-      "oracle_violations": 0, "tie_break": "fifo"}
+      "oracle_violations": 0, "tie_break": "fifo",
+      "cache_hits": 3, "cache_misses": 2, "cache_saved_ms": 7.25}
     ]"#;
     let results: Vec<FigResult> = Vec::from_json(&Json::parse(text).unwrap()).unwrap();
     assert_eq!(results.len(), 1);
@@ -217,4 +218,7 @@ fn manifest_shape_matches_cli_output() {
     assert_eq!(results[0].wall_ms, 12.5);
     assert_eq!(results[0].jobs, 4);
     assert_eq!(results[0].oracle_violations, 0);
+    assert_eq!(results[0].cache_hits, 3);
+    assert_eq!(results[0].cache_misses, 2);
+    assert_eq!(results[0].cache_saved_ms, 7.25);
 }
